@@ -1,0 +1,230 @@
+(* Benchmark harness.
+
+   Running this executable first regenerates every table and figure of the
+   paper (printing paper-vs-measured rows), then times the computational
+   kernels behind each experiment with Bechamel. One Test.make per
+   table/figure, plus ablation benches for the design choices called out in
+   DESIGN.md. *)
+
+open Bechamel
+
+let experiments () =
+  print_endline "==================================================================";
+  print_endline " Reproduction of every table and figure (paper vs measured)";
+  print_endline "==================================================================";
+  print_newline ();
+  Lattice_experiments.All.print_all ()
+
+(* --- kernels, one per experiment ------------------------------------- *)
+
+let bench_table1 =
+  Test.make ~name:"TableI: count products 6x6 (1668 paths)" (Staged.stage (fun () ->
+      ignore (Lattice_core.Paths.count_irredundant ~rows:6 ~cols:6)))
+
+let bench_table1_large =
+  Test.make ~name:"TableI: count products 7x7 (26317 paths)" (Staged.stage (fun () ->
+      ignore (Lattice_core.Paths.count_irredundant ~rows:7 ~cols:7)))
+
+let bench_lattice_function =
+  Test.make ~name:"Fig2c: extract 3x3 lattice function" (Staged.stage (fun () ->
+      ignore (Lattice_core.Lattice_function.of_generic ~rows:3 ~cols:3)))
+
+let bench_synthesis =
+  Test.make ~name:"Fig3: Altun-Riedel synthesis of XOR3" (Staged.stage (fun () ->
+      ignore (Lattice_synthesis.Altun_riedel.synthesize Lattice_synthesis.Library.xor3)))
+
+let bench_validate =
+  Test.make ~name:"Fig3: validate XOR3 3x3 lattice" (Staged.stage (fun () ->
+      ignore (Lattice_synthesis.Validate.realizes Lattice_synthesis.Library.xor3_3x3
+          Lattice_synthesis.Library.xor3)))
+
+let square_hfo2 =
+  Lattice_device.Presets.find ~shape:Lattice_device.Geometry.Square
+    ~dielectric:Lattice_device.Material.HfO2
+
+let bench_iv =
+  Test.make ~name:"Fig5-7: standard I-V sweep set (51 pts x 3)" (Staged.stage (fun () ->
+      ignore (Lattice_device.Sweep.standard square_hfo2.Lattice_device.Presets.model)))
+
+let bench_field =
+  Test.make ~name:"Fig8: 2-D field solve, square device, 48x48" (Staged.stage (fun () ->
+      ignore
+        (Lattice_device.Field2d.solve square_hfo2 ~case:Lattice_device.Op_case.dsss ~vgs:5.0
+           ~vds:5.0)))
+
+let bench_fit =
+  Test.make ~name:"Fig10: Levenberg-Marquardt extraction" (Staged.stage (fun () ->
+      ignore (Lattice_fit.Fit.extract square_hfo2.Lattice_device.Presets.model)))
+
+let bench_transient =
+  Test.make ~name:"Fig11: XOR3 transient (100 ns, h = 1 ns)" (Staged.stage (fun () ->
+      let lc =
+        Lattice_spice.Lattice_circuit.build Lattice_synthesis.Library.xor3_3x3
+          ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:50e-9)
+      in
+      ignore
+        (Lattice_spice.Transient.run lc.Lattice_spice.Lattice_circuit.netlist ~h:1e-9
+           ~t_stop:100e-9 ~record:[ "out" ] ())))
+
+let bench_series_dc =
+  Test.make ~name:"Fig12a: DC solve of 21-switch chain" (Staged.stage (fun () ->
+      ignore (Lattice_spice.Series_chain.current ~n:21 ~v_top:1.2 ())))
+
+let bench_series_bisect =
+  Test.make ~name:"Fig12b: bisection for 5.5 uA, N = 11" (Staged.stage (fun () ->
+      ignore (Lattice_spice.Series_chain.voltage_for_current ~n:11 ~i_target:5.5e-6 ())))
+
+(* --- ablation benches (DESIGN.md) ------------------------------------ *)
+
+let on_pattern_43 = Array.make 12 true
+
+let bench_connectivity_bfs =
+  Test.make ~name:"ablation: connectivity BFS 4x3" (Staged.stage (fun () ->
+      ignore (Lattice_core.Connectivity.connected_bfs ~rows:4 ~cols:3 on_pattern_43)))
+
+let bench_connectivity_uf =
+  Test.make ~name:"ablation: connectivity union-find 4x3" (Staged.stage (fun () ->
+      ignore (Lattice_core.Connectivity.connected_union_find ~rows:4 ~cols:3 on_pattern_43)))
+
+let bench_paths_pruned =
+  Test.make ~name:"ablation: pruned path DFS 4x4" (Staged.stage (fun () ->
+      ignore (Lattice_core.Paths.count_irredundant ~rows:4 ~cols:4)))
+
+let bench_paths_brute =
+  Test.make ~name:"ablation: brute-force minimal sets 4x4" (Staged.stage (fun () ->
+      ignore (Lattice_core.Paths.irredundant_sets_brute ~rows:4 ~cols:4)))
+
+let transient_once integrator =
+  let lc =
+    Lattice_spice.Lattice_circuit.build Lattice_synthesis.Library.xor3_3x3
+      ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:50e-9)
+  in
+  let options = { Lattice_spice.Transient.default_options with integrator } in
+  ignore
+    (Lattice_spice.Transient.run ~options lc.Lattice_spice.Lattice_circuit.netlist ~h:1e-9
+       ~t_stop:50e-9 ~record:[ "out" ] ())
+
+let transient_with_types types =
+  let config = { Lattice_spice.Lattice_circuit.default_config with types } in
+  let lc =
+    Lattice_spice.Lattice_circuit.build ~config Lattice_synthesis.Library.xor3_3x3
+      ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:50e-9)
+  in
+  ignore
+    (Lattice_spice.Transient.run lc.Lattice_spice.Lattice_circuit.netlist ~h:1e-9 ~t_stop:50e-9
+       ~record:[ "out" ] ())
+
+let bench_model_level1 =
+  Test.make ~name:"ablation: XOR3 transient, level-1 switches" (Staged.stage (fun () ->
+      transient_with_types Lattice_spice.Fts.default_types))
+
+let bench_model_level3 =
+  Test.make ~name:"ablation: XOR3 transient, level-3 switches" (Staged.stage (fun () ->
+      transient_with_types (Lattice_spice.Fts.level3_types ())))
+
+let bench_complementary_dc =
+  Test.make ~name:"ExtVIa: complementary XOR3 DC op point" (Staged.stage (fun () ->
+      let lc =
+        Lattice_spice.Lattice_circuit.build_complementary
+          ~pull_up:Lattice_synthesis.Library.xnor3_3x3
+          ~pull_down:Lattice_synthesis.Library.xor3_3x3
+          ~stimulus:(fun _ -> Lattice_spice.Source.Dc 1.2)
+          ()
+      in
+      ignore (Lattice_spice.Dcop.solve lc.Lattice_spice.Lattice_circuit.netlist)))
+
+let bench_optimizer =
+  Test.make ~name:"ExtVIa: optimizer (analytic) on majority-3" (Staged.stage (fun () ->
+      ignore (Lattice_flow.Optimizer.optimize (Lattice_boolfn.Truthtable.majority_n 3))))
+
+let bench_faults =
+  Test.make ~name:"Ext: fault campaign on XOR3 3x3" (Staged.stage (fun () ->
+      ignore (Lattice_synthesis.Faults.analyze Lattice_synthesis.Library.xor3_3x3)))
+
+let bench_ac =
+  Test.make ~name:"ExtVIa: AC sweep of XOR3 output pole (61 pts)" (Staged.stage (fun () ->
+      let lc =
+        Lattice_spice.Lattice_circuit.build Lattice_synthesis.Library.xor3_3x3
+          ~stimulus:(fun _ -> Lattice_spice.Source.Dc 0.0)
+      in
+      ignore
+        (Lattice_spice.Ac.sweep lc.Lattice_spice.Lattice_circuit.netlist ~source:"VDD"
+           ~output:"out" ~f_start:1e4 ~f_stop:1e10 ~points_per_decade:10)))
+
+let bench_monte_carlo =
+  Test.make ~name:"Ext: Monte-Carlo die (8 DC solves, perturbed)" (Staged.stage (fun () ->
+      ignore
+        (Lattice_flow.Monte_carlo.run Lattice_synthesis.Library.maj3_2x3
+           ~target:(Lattice_boolfn.Truthtable.majority_n 3) ~samples:1)))
+
+let bench_compose =
+  Test.make ~name:"Ext: compositional synthesis of a 4-var expression" (Staged.stage (fun () ->
+      let e, _ = Lattice_boolfn.Expr.parse "(a ^ b) (c + d') + a' c" in
+      ignore (Lattice_core.Compose.of_expr e)))
+
+let bench_integrator_be =
+  Test.make ~name:"ablation: transient backward Euler" (Staged.stage (fun () ->
+      transient_once Lattice_spice.Transient.Backward_euler))
+
+let bench_integrator_trap =
+  Test.make ~name:"ablation: transient trapezoidal" (Staged.stage (fun () ->
+      transient_once Lattice_spice.Transient.Trapezoidal))
+
+let all_tests =
+  [
+    bench_table1;
+    bench_table1_large;
+    bench_lattice_function;
+    bench_synthesis;
+    bench_validate;
+    bench_iv;
+    bench_field;
+    bench_fit;
+    bench_transient;
+    bench_series_dc;
+    bench_series_bisect;
+    bench_connectivity_bfs;
+    bench_connectivity_uf;
+    bench_paths_pruned;
+    bench_paths_brute;
+    bench_integrator_be;
+    bench_integrator_trap;
+    bench_model_level1;
+    bench_model_level3;
+    bench_complementary_dc;
+    bench_optimizer;
+    bench_faults;
+    bench_ac;
+    bench_monte_carlo;
+    bench_compose;
+  ]
+
+let run_benchmarks () =
+  print_endline "==================================================================";
+  print_endline " Kernel timings (Bechamel, monotonic clock)";
+  print_endline "==================================================================";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let name = Test.Elt.name elt in
+          let results = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock results in
+          match Analyze.OLS.estimates est with
+          | Some [ ns_per_run ] ->
+            let value, unit_ =
+              if ns_per_run >= 1e9 then (ns_per_run /. 1e9, "s")
+              else if ns_per_run >= 1e6 then (ns_per_run /. 1e6, "ms")
+              else if ns_per_run >= 1e3 then (ns_per_run /. 1e3, "us")
+              else (ns_per_run, "ns")
+            in
+            Printf.printf "  %-48s %10.2f %s/run\n%!" name value unit_
+          | Some _ | None -> Printf.printf "  %-48s (no estimate)\n%!" name)
+        (Test.elements test))
+    all_tests
+
+let () =
+  experiments ();
+  run_benchmarks ()

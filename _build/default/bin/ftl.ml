@@ -1,0 +1,317 @@
+(* ftl — four-terminal switching lattice toolkit.
+
+   Command-line front end over the reproduction experiments and the
+   synthesis flow. `ftl all` regenerates every table/figure of the paper;
+   the other subcommands expose individual experiments and the synthesis
+   tools. *)
+
+open Cmdliner
+
+let print_report r = print_string (Lattice_experiments.Report.render r)
+
+(* --- all -------------------------------------------------------------- *)
+
+let all_cmd =
+  let doc = "regenerate every table and figure of the paper" in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const Lattice_experiments.All.print_all $ const ())
+
+(* --- table1 ----------------------------------------------------------- *)
+
+let table1 max_dim =
+  print_report (Lattice_experiments.Exp_table1.report ~max_dim ())
+
+let table1_cmd =
+  let max_dim =
+    let doc = "Largest lattice dimension to recompute (2-9). 9 enumerates 38.9M paths." in
+    Arg.(value & opt int 8 & info [ "d"; "max-dim" ] ~docv:"DIM" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"recompute Table I (products of the m x n lattice function)")
+    Term.(const table1 $ max_dim)
+
+(* --- function --------------------------------------------------------- *)
+
+let lattice_function rows cols =
+  if rows * cols > 62 then prerr_endline "lattice too large (max 62 sites)"
+  else begin
+    let sop = Lattice_core.Lattice_function.of_generic ~rows ~cols in
+    Printf.printf "f(%dx%d) has %d products:\n%s\n" rows cols
+      (Lattice_boolfn.Sop.product_count sop)
+      (Lattice_boolfn.Sop.to_string ~names:Lattice_boolfn.Sop.default_names sop)
+  end
+
+let rows_arg =
+  Arg.(value & opt int 3 & info [ "m"; "rows" ] ~docv:"M" ~doc:"Lattice rows.")
+
+let cols_arg =
+  Arg.(value & opt int 3 & info [ "n"; "cols" ] ~docv:"N" ~doc:"Lattice columns.")
+
+let function_cmd =
+  Cmd.v
+    (Cmd.info "function" ~doc:"print the generic m x n lattice function")
+    Term.(const lattice_function $ rows_arg $ cols_arg)
+
+(* --- synth ------------------------------------------------------------ *)
+
+let synth expr exhaustive max_area =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let pname i = if i < nvars then names.(i) else Printf.sprintf "v%d" i in
+    let r = Lattice_synthesis.Altun_riedel.synthesize tt in
+    let grid = r.Lattice_synthesis.Altun_riedel.grid in
+    Printf.printf "dual-based synthesis (%dx%d):\n%s\n"
+      grid.Lattice_core.Grid.rows grid.Lattice_core.Grid.cols
+      (Lattice_core.Grid.to_string ~names:pname grid);
+    Printf.printf "validates: %b\n"
+      (Lattice_synthesis.Validate.realizes grid tt);
+    if exhaustive then begin
+      match
+        Lattice_synthesis.Exhaustive.minimal
+          ~alphabet:Lattice_synthesis.Exhaustive.Literals_and_constants ~max_area tt
+      with
+      | Some (g, rr, cc) ->
+        Printf.printf "\nexhaustive minimum (%dx%d):\n%s\n" rr cc
+          (Lattice_core.Grid.to_string ~names:pname g)
+      | None -> Printf.printf "\nno lattice up to area %d realizes the function\n" max_area
+    end
+
+let synth_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR"
+           ~doc:"Boolean expression, e.g. \"a b' + c\" or \"a ^ b ^ c\".")
+  in
+  let exhaustive =
+    Arg.(value & flag & info [ "e"; "exhaustive" ] ~doc:"Also search for the minimum-size lattice.")
+  in
+  let max_area =
+    Arg.(value & opt int 9 & info [ "max-area" ] ~docv:"AREA" ~doc:"Exhaustive-search area cap.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"synthesize a lattice for a Boolean expression")
+    Term.(const synth $ expr $ exhaustive $ max_area)
+
+(* --- device experiments ---------------------------------------------- *)
+
+let shape_arg =
+  let shape_conv =
+    Arg.enum
+      [ ("square", Lattice_device.Geometry.Square);
+        ("cross", Lattice_device.Geometry.Cross);
+        ("junctionless", Lattice_device.Geometry.Junctionless) ]
+  in
+  Arg.(value & opt shape_conv Lattice_device.Geometry.Square
+       & info [ "s"; "shape" ] ~docv:"SHAPE" ~doc:"Device shape: square, cross or junctionless.")
+
+let iv_cmd =
+  let run shape = print_report (Lattice_experiments.Exp_iv.report shape) in
+  Cmd.v (Cmd.info "iv" ~doc:"device I-V curves and figures of merit (Figs 5-7)")
+    Term.(const run $ shape_arg)
+
+let field_cmd =
+  let run n = print_report (Lattice_experiments.Exp_field.report ~n ()) in
+  let n_arg =
+    Arg.(value & opt int 48 & info [ "grid" ] ~docv:"N" ~doc:"Field-solver grid resolution.")
+  in
+  Cmd.v (Cmd.info "field" ~doc:"current-density profiles (Fig 8)") Term.(const run $ n_arg)
+
+let fit_cmd =
+  let run () = print_report (Lattice_experiments.Exp_fit.report ()) in
+  Cmd.v (Cmd.info "fit" ~doc:"level-1 MOSFET parameter extraction (Fig 10)")
+    Term.(const run $ const ())
+
+let xor3_cmd =
+  let run () =
+    print_report (Lattice_experiments.Exp_xor3.report ());
+    print_report (Lattice_experiments.Exp_transient.report ())
+  in
+  Cmd.v (Cmd.info "xor3" ~doc:"XOR3 lattices and the Fig 11 transient") Term.(const run $ const ())
+
+let series_cmd =
+  let run max_n = print_report (Lattice_experiments.Exp_series.report ~max_n ()) in
+  let max_n =
+    Arg.(value & opt int 21 & info [ "max-n" ] ~docv:"N" ~doc:"Longest chain to simulate.")
+  in
+  Cmd.v (Cmd.info "series" ~doc:"series-switch drive capability (Fig 12)")
+    Term.(const run $ max_n)
+
+let table2_cmd =
+  let run () = print_report (Lattice_experiments.Exp_table2.report ()) in
+  Cmd.v (Cmd.info "table2" ~doc:"device structural features (Table II)")
+    Term.(const run $ const ())
+
+(* --- optimize (paper Sec VI-A automated design tool) ------------------- *)
+
+let optimize expr use_spice max_area =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let pname i = if i < nvars then names.(i) else Printf.sprintf "v%d" i in
+    let spec = { Lattice_flow.Optimizer.default_spec with Lattice_flow.Optimizer.max_area } in
+    let ranked = Lattice_flow.Optimizer.optimize ~spec ~use_spice ~expr:ast tt in
+    List.iter
+      (fun e -> print_endline (Lattice_flow.Optimizer.describe e ~names:pname))
+      ranked
+
+let optimize_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Target expression.")
+  in
+  let use_spice =
+    Arg.(value & flag & info [ "spice" ] ~doc:"Measure delay/power with the circuit simulator.")
+  in
+  let max_area =
+    Arg.(value & opt (some int) None & info [ "max-area" ] ~docv:"N" ~doc:"Area bound (switches).")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"rank lattice implementations by area/delay/power")
+    Term.(const optimize $ expr $ use_spice $ max_area)
+
+(* --- faults ------------------------------------------------------------ *)
+
+let faults expr =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let r = Lattice_synthesis.Altun_riedel.synthesize tt in
+    let grid = r.Lattice_synthesis.Altun_riedel.grid in
+    let pname i = if i < nvars then names.(i) else Printf.sprintf "v%d" i in
+    Printf.printf "lattice (%dx%d):\n%s\n" grid.Lattice_core.Grid.rows
+      grid.Lattice_core.Grid.cols
+      (Lattice_core.Grid.to_string ~names:pname grid);
+    let a = Lattice_synthesis.Faults.analyze grid in
+    Printf.printf "single stuck-ON/OFF faults: %d total, %d detectable\n"
+      a.Lattice_synthesis.Faults.total a.Lattice_synthesis.Faults.detectable;
+    List.iter
+      (fun f -> Printf.printf "  undetectable: %s\n" (Lattice_synthesis.Faults.fault_name f))
+      a.Lattice_synthesis.Faults.undetectable;
+    Printf.printf "greedy test set (%d vectors): %s\n"
+      (List.length a.Lattice_synthesis.Faults.test_set)
+      (String.concat ", "
+         (List.map
+            (fun m ->
+              String.concat ""
+                (List.init nvars (fun v -> string_of_int ((m lsr v) land 1))))
+            a.Lattice_synthesis.Faults.test_set));
+    Printf.printf "coverage of that set: %.1f%%\n"
+      (100.0 *. Lattice_synthesis.Faults.coverage grid ~vectors:a.Lattice_synthesis.Faults.test_set)
+
+let faults_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Target expression.")
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"stuck-fault analysis and test generation for a synthesized lattice")
+    Term.(const faults $ expr)
+
+let complementary_cmd =
+  let run () = print_report (Lattice_experiments.Exp_complementary.report ()) in
+  Cmd.v
+    (Cmd.info "complementary" ~doc:"complementary lattice structure experiment (paper Sec VI-A)")
+    Term.(const run $ const ())
+
+let frequency_cmd =
+  let run () = print_report (Lattice_experiments.Exp_frequency.report ()) in
+  Cmd.v
+    (Cmd.info "frequency" ~doc:"maximum frequency and dynamic energy (paper Sec VI-A)")
+    Term.(const run $ const ())
+
+(* --- yield ------------------------------------------------------------- *)
+
+let yield expr samples sigma_vth =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let r = Lattice_synthesis.Altun_riedel.synthesize tt in
+    let grid = r.Lattice_synthesis.Altun_riedel.grid in
+    Printf.printf "lattice: %dx%d (dual-based)\n" grid.Lattice_core.Grid.rows
+      grid.Lattice_core.Grid.cols;
+    let mc =
+      Lattice_flow.Monte_carlo.run grid ~target:tt ~samples
+        ~variation:{ Lattice_flow.Monte_carlo.sigma_vth; sigma_kp_rel = 0.1 }
+    in
+    Printf.printf
+      "Monte-Carlo (%d samples, sigma_Vth %.0f mV, sigma_Kp 10%%):\n\
+      \  yield %.1f%%   V_OL %.3f +- %.3f V   V_OH(min) %.3f V\n"
+      samples (sigma_vth *. 1e3)
+      (100.0 *. mc.Lattice_flow.Monte_carlo.yield)
+      mc.Lattice_flow.Monte_carlo.v_low_mean mc.Lattice_flow.Monte_carlo.v_low_std
+      mc.Lattice_flow.Monte_carlo.v_high_mean
+
+let yield_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Target expression.")
+  in
+  let samples =
+    Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples.")
+  in
+  let sigma =
+    Arg.(value & opt float 0.03 & info [ "sigma-vth" ] ~docv:"V" ~doc:"Vth sigma in volts.")
+  in
+  Cmd.v
+    (Cmd.info "yield" ~doc:"Monte-Carlo process-variation yield of a synthesized lattice")
+    Term.(const yield $ expr $ samples $ sigma)
+
+(* --- export ------------------------------------------------------------ *)
+
+let export expr =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let r = Lattice_synthesis.Altun_riedel.synthesize tt in
+    let lc =
+      Lattice_spice.Lattice_circuit.build r.Lattice_synthesis.Altun_riedel.grid
+        ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:100e-9)
+    in
+    print_string
+      (Lattice_spice.Netlist.to_spice_string lc.Lattice_spice.Lattice_circuit.netlist
+         ~title:(Printf.sprintf "four-terminal switching lattice for %s" expr))
+
+let export_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Target expression.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"synthesize a lattice and print its circuit as a SPICE deck")
+    Term.(const export $ expr)
+
+(* --- histogram ----------------------------------------------------------- *)
+
+let histogram rows cols =
+  let h = Lattice_core.Paths.length_histogram ~rows ~cols in
+  Printf.printf "products of the %dx%d lattice function by literal count:\n" rows cols;
+  let total = Array.fold_left ( + ) 0 h in
+  Array.iteri
+    (fun k count ->
+      if count > 0 then begin
+        let bar_len = Int.max 1 (count * 50 / Int.max 1 total) in
+        Printf.printf "  %2d literals: %9d %s\n" k count (String.make bar_len '#')
+      end)
+    h;
+  Printf.printf "  total: %d products\n" total
+
+let histogram_cmd =
+  Cmd.v
+    (Cmd.info "histogram" ~doc:"product-size distribution of the generic m x n lattice function")
+    Term.(const histogram $ rows_arg $ cols_arg)
+
+let main =
+  let doc = "four-terminal switching lattice toolkit (DATE 2019 reproduction)" in
+  Cmd.group (Cmd.info "ftl" ~version:"1.0.0" ~doc)
+    [
+      all_cmd; table1_cmd; table2_cmd; function_cmd; synth_cmd; iv_cmd; field_cmd; fit_cmd;
+      xor3_cmd; series_cmd; optimize_cmd; faults_cmd; complementary_cmd; frequency_cmd;
+      yield_cmd; export_cmd; histogram_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

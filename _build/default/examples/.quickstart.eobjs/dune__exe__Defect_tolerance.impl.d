@@ -1,0 +1,1 @@
+examples/defect_tolerance.ml: Bool Lattice_boolfn Lattice_core Lattice_spice Lattice_synthesis List Printf

@@ -1,0 +1,1 @@
+examples/defect_tolerance.mli:

@@ -1,0 +1,1 @@
+examples/design_tool_tour.ml: Array Lattice_boolfn Lattice_flow List Printf Sys

@@ -1,0 +1,1 @@
+examples/device_explorer.ml: Array Device_model Field2d Float Geometry Lattice_device List Material Op_case Presets Printf Sweep

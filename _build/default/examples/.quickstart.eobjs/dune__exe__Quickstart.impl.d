@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Lattice_boolfn Lattice_core List Printf

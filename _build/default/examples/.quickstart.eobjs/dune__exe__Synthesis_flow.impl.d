@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Array Bool Lattice_boolfn Lattice_core Lattice_spice Lattice_synthesis List Printf String Sys

@@ -1,0 +1,1 @@
+examples/xor3_waveform.ml: Bool Lattice_experiments Lattice_spice List Printf

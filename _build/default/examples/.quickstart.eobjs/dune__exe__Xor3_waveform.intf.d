@@ -1,0 +1,1 @@
+examples/xor3_waveform.mli:

@@ -1,0 +1,29 @@
+(* Fig 11 end to end: simulate the inverse-XOR3 lattice through all eight
+   input combinations and display the waveform with its measurements.
+
+   Run with: dune exec examples/xor3_waveform.exe *)
+
+let () =
+  let r = Lattice_experiments.Exp_transient.run () in
+  print_endline "inverse XOR3 on the 3x3 lattice (VDD 1.2 V, 500k pull-up, 10 fF load):";
+  print_string
+    (Lattice_spice.Measure.ascii_plot ~width:72 ~height:16 ~label:"V(out)" r.times r.out);
+  print_newline ();
+  Printf.printf "zero-state output: %.3f V (paper: ~0.22 V)\n" r.v_low;
+  (match r.rise_time with
+  | Some t -> Printf.printf "rise time:         %.1f ns (paper: ~11.3 ns)\n" (t *. 1e9)
+  | None -> print_endline "rise time:         not observed");
+  (match r.fall_time with
+  | Some t -> Printf.printf "fall time:         %.1f ns (paper: ~4.7 ns)\n" (t *. 1e9)
+  | None -> print_endline "fall time:         not observed");
+  print_newline ();
+  print_endline "input combination -> sampled output (expect NOT XOR3):";
+  List.iter
+    (fun (k, v, expect_one) ->
+      Printf.printf "  a=%d b=%d c=%d  ->  %.3f V  (expected logic %d)  %s\n" (k land 1)
+        ((k lsr 1) land 1) ((k lsr 2) land 1) v
+        (if expect_one then 1 else 0)
+        (if Bool.equal (v > 0.6) expect_one then "ok" else "MISMATCH"))
+    r.slot_values;
+  Printf.printf "\nfunctional: %s\n" (if r.functional_pass then "PASS" else "FAIL");
+  if not r.functional_pass then exit 1

@@ -1,0 +1,1 @@
+lib/boolfn/bdd.ml: Array Cube Hashtbl Int List Sop Truthtable

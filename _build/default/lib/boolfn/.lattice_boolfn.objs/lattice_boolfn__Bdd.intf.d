@@ -1,0 +1,1 @@
+lib/boolfn/bdd.mli: Sop Truthtable

@@ -1,0 +1,1 @@
+lib/boolfn/bitset.ml: Array List Sys

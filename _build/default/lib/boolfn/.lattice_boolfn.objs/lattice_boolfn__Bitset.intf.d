@@ -1,0 +1,1 @@
+lib/boolfn/bitset.mli:

@@ -1,0 +1,1 @@
+lib/boolfn/cube.ml: Int List String Sys

@@ -1,0 +1,1 @@
+lib/boolfn/cube.mli:

@@ -1,0 +1,1 @@
+lib/boolfn/expr.ml: Array Bool List Printf Qm String Truthtable

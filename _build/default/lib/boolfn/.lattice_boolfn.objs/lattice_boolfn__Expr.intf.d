@@ -1,0 +1,1 @@
+lib/boolfn/expr.mli: Sop Truthtable

@@ -1,0 +1,1 @@
+lib/boolfn/qm.ml: Array Cube Fun Int List Set Sop Truthtable

@@ -1,0 +1,1 @@
+lib/boolfn/qm.mli: Cube Sop Truthtable

@@ -1,0 +1,1 @@
+lib/boolfn/sop.ml: Array Bool Char Cube List Printf String

@@ -1,0 +1,1 @@
+lib/boolfn/sop.mli: Cube

@@ -1,0 +1,1 @@
+lib/boolfn/truthtable.ml: Bytes List Sop

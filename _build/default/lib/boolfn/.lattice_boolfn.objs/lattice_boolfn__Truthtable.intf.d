@@ -1,0 +1,1 @@
+lib/boolfn/truthtable.mli: Sop

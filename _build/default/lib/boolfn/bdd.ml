@@ -1,0 +1,195 @@
+(* Nodes live in a growable array; node 0 is the 0-terminal, node 1 the
+   1-terminal. A unique table maps (var, low, high) to the node id, making
+   structural equality physical. *)
+
+type node = { var : int; low : int; high : int }
+
+type manager = {
+  nvars : int;
+  mutable nodes : node array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  apply_cache : (int * int * int, int) Hashtbl.t; (* (op, a, b) -> result *)
+}
+
+type t = int
+
+let terminal_var = max_int
+
+let create_manager ~nvars =
+  if nvars < 0 then invalid_arg "Bdd.create_manager: negative variable count";
+  let dummy = { var = terminal_var; low = 0; high = 0 } in
+  let nodes = Array.make 1024 dummy in
+  nodes.(0) <- { var = terminal_var; low = 0; high = 0 };
+  nodes.(1) <- { var = terminal_var; low = 1; high = 1 };
+  { nvars; nodes; next = 2; unique = Hashtbl.create 1024; apply_cache = Hashtbl.create 1024 }
+
+let nvars m = m.nvars
+
+let zero (_ : manager) = 0
+let one (_ : manager) = 1
+
+let mk m var low high =
+  if low = high then low
+  else begin
+    let key = (var, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      if m.next >= Array.length m.nodes then begin
+        let bigger = Array.make (2 * Array.length m.nodes) m.nodes.(0) in
+        Array.blit m.nodes 0 bigger 0 m.next;
+        m.nodes <- bigger
+      end;
+      let id = m.next in
+      m.nodes.(id) <- { var; low; high };
+      m.next <- id + 1;
+      Hashtbl.replace m.unique key id;
+      id
+  end
+
+let check_var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd: variable out of range"
+
+let var m i =
+  check_var m i;
+  mk m i 0 1
+
+let nvar m i =
+  check_var m i;
+  mk m i 1 0
+
+(* binary apply with memoization; op codes: 0 and, 1 or, 2 xor *)
+let terminal_op op a b =
+  match op with
+  | 0 -> a land b
+  | 1 -> a lor b
+  | _ -> a lxor b
+
+let rec apply m op a b =
+  if a <= 1 && b <= 1 then terminal_op op a b
+  else begin
+    (* operator-specific short cuts *)
+    let shortcut =
+      match op with
+      | 0 -> if a = 0 || b = 0 then Some 0 else if a = 1 then Some b else if b = 1 then Some a else if a = b then Some a else None
+      | 1 -> if a = 1 || b = 1 then Some 1 else if a = 0 then Some b else if b = 0 then Some a else if a = b then Some a else None
+      | _ -> if a = b then Some 0 else if a = 0 then Some b else if b = 0 then Some a else None
+    in
+    match shortcut with
+    | Some r -> r
+    | None -> (
+      let key = (op, Int.min a b, Int.max a b) in
+      match Hashtbl.find_opt m.apply_cache key with
+      | Some r -> r
+      | None ->
+        let na = m.nodes.(a) and nb = m.nodes.(b) in
+        let v = Int.min na.var nb.var in
+        let a0, a1 = if na.var = v then (na.low, na.high) else (a, a) in
+        let b0, b1 = if nb.var = v then (nb.low, nb.high) else (b, b) in
+        let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+        Hashtbl.replace m.apply_cache key r;
+        r)
+  end
+
+let conj m a b = apply m 0 a b
+let disj m a b = apply m 1 a b
+let xor m a b = apply m 2 a b
+
+let neg m a = xor m a 1
+
+let equal (a : t) (b : t) = a = b
+let is_zero (_ : manager) b = b = 0
+let is_one (_ : manager) b = b = 1
+
+let rec eval m b assignment =
+  if b <= 1 then b = 1
+  else begin
+    let n = m.nodes.(b) in
+    let branch = if assignment land (1 lsl n.var) <> 0 then n.high else n.low in
+    eval m branch assignment
+  end
+
+let rec restrict m b v value =
+  check_var m v;
+  if b <= 1 then b
+  else begin
+    let n = m.nodes.(b) in
+    if n.var > v then b
+    else if n.var = v then if value then n.high else n.low
+    else mk m n.var (restrict m n.low v value) (restrict m n.high v value)
+  end
+
+let sat_count m b =
+  let memo = Hashtbl.create 64 in
+  (* returns count over variables >= from_var *)
+  let rec count b from_var =
+    if b = 0 then 0
+    else if b = 1 then 1 lsl (m.nvars - from_var)
+    else begin
+      match Hashtbl.find_opt memo (b, from_var) with
+      | Some c -> c
+      | None ->
+        let n = m.nodes.(b) in
+        let skipped = n.var - from_var in
+        let below = count n.low (n.var + 1) + count n.high (n.var + 1) in
+        let c = below lsl skipped in
+        Hashtbl.replace memo (b, from_var) c;
+        c
+    end
+  in
+  count b 0
+
+(* dual: complement inputs and output; swapping low/high complements the
+   inputs, so dual = neg of swapped *)
+let dual m b =
+  let memo = Hashtbl.create 64 in
+  let rec swap b =
+    if b <= 1 then b
+    else
+      match Hashtbl.find_opt memo b with
+      | Some r -> r
+      | None ->
+        let n = m.nodes.(b) in
+        let r = mk m n.var (swap n.high) (swap n.low) in
+        Hashtbl.replace memo b r;
+        r
+  in
+  neg m (swap b)
+
+let of_sop m sop =
+  if Sop.nvars sop > m.nvars then invalid_arg "Bdd.of_sop: too many variables";
+  List.fold_left
+    (fun acc cube ->
+      let product =
+        List.fold_left
+          (fun p (v, polarity) -> conj m p (if polarity then var m v else nvar m v))
+          1 (Cube.literals cube)
+      in
+      disj m acc product)
+    0 (Sop.cubes sop)
+
+let of_truthtable m tt =
+  if Truthtable.nvars tt > m.nvars then invalid_arg "Bdd.of_truthtable: too many variables";
+  (* Shannon expansion over the table *)
+  let n = Truthtable.nvars tt in
+  let rec build v prefix =
+    if v = n then if Truthtable.eval tt prefix then 1 else 0
+    else mk m v (build (v + 1) prefix) (build (v + 1) (prefix lor (1 lsl v)))
+  in
+  build 0 0
+
+let node_count m b =
+  let seen = Hashtbl.create 64 in
+  let rec go b =
+    if not (Hashtbl.mem seen b) then begin
+      Hashtbl.replace seen b ();
+      if b > 1 then begin
+        let n = m.nodes.(b) in
+        go n.low;
+        go n.high
+      end
+    end
+  in
+  go b;
+  Hashtbl.length seen

@@ -1,0 +1,67 @@
+(** Reduced ordered binary decision diagrams (ROBDDs) with hash-consing.
+
+    Variable order is fixed to the variable index (0 tested first). Nodes
+    are maximally shared within a [manager], so semantic equality of
+    functions built in the same manager is physical equality of node ids —
+    the property the equivalence checks below rely on. Complement edges are
+    not used; [neg] rebuilds instead (fine at these sizes).
+
+    The synthesis literature on switching lattices (the paper's refs
+    [2], [13]) manipulates functions and their duals symbolically; this
+    module provides that substrate and cross-checks the SOP/QM layer. *)
+
+type manager
+
+type t
+(** a BDD handle, tied to the manager that built it *)
+
+(** [create_manager ~nvars] prepares a manager for variables
+    [0 .. nvars-1]. *)
+val create_manager : nvars:int -> manager
+
+val nvars : manager -> int
+
+(** Constants and literals. *)
+val zero : manager -> t
+
+val one : manager -> t
+val var : manager -> int -> t
+val nvar : manager -> int -> t
+
+(** Boolean connectives (operands must share the manager). *)
+val neg : manager -> t -> t
+
+val conj : manager -> t -> t -> t
+val disj : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+
+(** [equal a b] — semantic equivalence (constant time). *)
+val equal : t -> t -> bool
+
+(** [is_zero b] / [is_one b]. *)
+val is_zero : manager -> t -> bool
+
+val is_one : manager -> t -> bool
+
+(** [eval m b assignment] evaluates under a variable bitmask. *)
+val eval : manager -> t -> int -> bool
+
+(** [restrict m b var value] — cofactor. *)
+val restrict : manager -> t -> int -> bool -> t
+
+(** [sat_count m b] — number of satisfying assignments over all [nvars]
+    variables. *)
+val sat_count : manager -> t -> int
+
+(** [dual m b] is the Boolean dual [x -> not (b (not x))]. *)
+val dual : manager -> t -> t
+
+(** [of_sop m sop] builds the BDD of a sum of products. *)
+val of_sop : manager -> Sop.t -> t
+
+(** [of_truthtable m tt] builds the BDD of a truth table (the table's
+    variable count must not exceed the manager's). *)
+val of_truthtable : manager -> Truthtable.t -> t
+
+(** [node_count m b] — nodes reachable from [b] (including terminals). *)
+val node_count : manager -> t -> int

@@ -1,0 +1,62 @@
+type t = { n : int; words : int array }
+
+let word_bits = Sys.int_size (* 63 on 64-bit systems *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (((n + word_bits - 1) / word_bits) + 1) 0 }
+
+let capacity s = s.n
+let copy s = { s with words = Array.copy s.words }
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: element out of range"
+
+let add s i =
+  check s i;
+  let w = i / word_bits and b = i mod word_bits in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i;
+  let w = i / word_bits and b = i mod word_bits in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  check s i;
+  let w = i / word_bits and b = i mod word_bits in
+  s.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset.subset: capacity mismatch";
+  let rec go i =
+    if i >= Array.length a.words then true
+    else if a.words.(i) land lnot b.words.(i) <> 0 then false
+    else go (i + 1)
+  in
+  go 0
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let of_list n elems =
+  let s = create n in
+  List.iter (add s) elems;
+  s
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if mem s i then f i
+  done
+
+let to_list s =
+  let acc = ref [] in
+  for i = s.n - 1 downto 0 do
+    if mem s i then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,43 @@
+(** Fixed-capacity bitsets backed by an [int array].
+
+    Used for path vertex sets during irredundant-path enumeration, where the
+    universe (lattice sites) can exceed the 63 bits of a native [int]. *)
+
+type t
+
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+val create : int -> t
+
+(** [capacity s] is the universe size [s] was created with. *)
+val capacity : t -> int
+
+(** [copy s] is an independent copy. *)
+val copy : t -> t
+
+(** [add s i] inserts element [i] in place. *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes element [i] in place. *)
+val remove : t -> int -> unit
+
+(** [mem s i] tests membership. *)
+val mem : t -> int -> bool
+
+(** [cardinal s] is the number of elements. *)
+val cardinal : t -> int
+
+(** [subset a b] is [true] when every element of [a] is in [b]. The sets
+    must share a capacity. *)
+val subset : t -> t -> bool
+
+(** [equal a b] is set equality. *)
+val equal : t -> t -> bool
+
+(** [of_list n elems] builds a set over universe [n] from a list. *)
+val of_list : int -> int list -> t
+
+(** [to_list s] is the sorted element list. *)
+val to_list : t -> int list
+
+(** [iter f s] applies [f] to each element in increasing order. *)
+val iter : (int -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/device/device_model.ml: Array Constants Float Format Geometry Lattice_mosfet List Material Mobility Op_case Threshold

@@ -1,0 +1,1 @@
+lib/device/device_model.mli: Format Geometry Lattice_mosfet Material Op_case

@@ -1,0 +1,1 @@
+lib/device/field2d.ml: Array Buffer Device_model Float Fun Geometry Int Lattice_numerics List Op_case Presets String Threshold

@@ -1,0 +1,1 @@
+lib/device/field2d.mli: Op_case Presets

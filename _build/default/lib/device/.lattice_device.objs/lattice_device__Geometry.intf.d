@@ -1,0 +1,1 @@
+lib/device/geometry.mli:

@@ -1,0 +1,1 @@
+lib/device/mobility.ml: Material

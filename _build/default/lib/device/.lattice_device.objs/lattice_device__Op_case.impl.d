@@ -1,0 +1,1 @@
+lib/device/op_case.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/device/op_case.mli:

@@ -1,0 +1,1 @@
+lib/device/presets.ml: Buffer Device_model Geometry List Material Printf

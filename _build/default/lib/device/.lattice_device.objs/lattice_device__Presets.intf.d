@@ -1,0 +1,1 @@
+lib/device/presets.mli: Device_model Geometry Material

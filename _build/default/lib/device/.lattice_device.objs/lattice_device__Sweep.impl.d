@@ -1,0 +1,1 @@
+lib/device/sweep.ml: Array Device_model Float Lattice_numerics List Op_case

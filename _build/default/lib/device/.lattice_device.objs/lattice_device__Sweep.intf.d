@@ -1,0 +1,1 @@
+lib/device/sweep.mli: Device_model Op_case

@@ -1,0 +1,1 @@
+lib/device/threshold.ml: Constants Float Geometry Material

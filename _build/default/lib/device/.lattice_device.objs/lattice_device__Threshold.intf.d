@@ -1,0 +1,1 @@
+lib/device/threshold.mli: Geometry Material

@@ -1,0 +1,7 @@
+let q = 1.602176634e-19
+let eps0 = 8.8541878128e-12
+let k_boltzmann = 1.380649e-23
+let temperature = 300.0
+let thermal_voltage = k_boltzmann *. temperature /. q
+let ni_si = 1.5e16 (* 1.5e10 cm^-3 *)
+let eps_si = 11.7 *. eps0

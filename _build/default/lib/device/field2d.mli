@@ -1,0 +1,34 @@
+(** Two-dimensional finite-difference conduction solver — the substitute
+    for the paper's TCAD current-density vector profiles (Fig 8).
+
+    The device footprint is discretized into an [n x n] cell-centred grid
+    with a per-cell conductivity: high in the four electrodes, gate-bias
+    dependent in the channel region (whose shape follows the gate: square
+    block, cross arms, or the whole wire), and near-insulating elsewhere.
+    Solving [div (sigma grad V) = 0] with Dirichlet conditions on the
+    electrodes (drain at [vds], sources at 0) by conjugate gradients yields
+    the potential, the current-density field [J = -sigma grad V], the
+    per-terminal currents and a uniformity metric — the paper's qualitative
+    claim being that the cross gate spreads the current far more uniformly
+    across terminals than the square gate. *)
+
+type result = {
+  n : int;  (** grid edge (cells) *)
+  potential : float array;  (** n*n, row-major, volts *)
+  jx : float array;  (** current density x-component per cell *)
+  jy : float array;
+  terminal_currents : float array;  (** into T1..T4, A (per unit depth) *)
+  channel_cv : float;  (** coefficient of variation of |J| over channel cells *)
+  source_share_cv : float;  (** CV of the per-source current split *)
+  cg_iterations : int;
+  converged : bool;
+}
+
+(** [solve ?n variant ~case ~vgs ~vds] runs the solver ([n] defaults
+    to 48). Raises [Invalid_argument] for an invalid case. *)
+val solve :
+  ?n:int -> Presets.variant -> case:Op_case.t -> vgs:float -> vds:float -> result
+
+(** [ascii result ~width] renders the current-density magnitude as an ASCII
+    heat map (characters [" .:-=+*#%@"]), for terminal output. *)
+val ascii : result -> width:int -> string

@@ -1,0 +1,6 @@
+(* m^2/(V s); 1 m^2/(V s) = 1e4 cm^2/(V s) *)
+let enhancement = function
+  | Material.HfO2 -> 0.0024 (* 24 cm^2/Vs: strong remote-phonon degradation *)
+  | Material.SiO2 -> 0.0070 (* 70 cm^2/Vs *)
+
+let junctionless = 0.0050 (* 50 cm^2/Vs at ~4e20 cm^-3 doping *)

@@ -1,0 +1,17 @@
+(** Effective channel mobilities, m^2/(V s).
+
+    These are the calibration knobs of the compact model (one scalar per
+    gate stack), standing in for everything the 3-D TCAD transport solver
+    knows that a compact model does not: vertical-field degradation, remote
+    phonon scattering under the high-k stack, series resistance. Values are
+    chosen so the square device's DSSS drain current at VGS = VDS = 5 V
+    lands on the paper's Fig 5 magnitude (~1.2 mA for HfO2), with the usual
+    ~2-4x high-k degradation relative to SiO2. The junctionless wire uses a
+    heavily-doped bulk mobility. *)
+
+(** [enhancement d] — effective inversion-layer mobility under a SiO2 or
+    HfO2 gate. *)
+val enhancement : Material.gate_dielectric -> float
+
+(** [junctionless] — bulk mobility of the degenerately doped nanowire. *)
+val junctionless : float

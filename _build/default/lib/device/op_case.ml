@@ -1,0 +1,41 @@
+type role = Drain | Source | Floating
+
+type t = role array
+
+let role_of_char = function
+  | 'D' | 'd' -> Drain
+  | 'S' | 's' -> Source
+  | 'F' | 'f' -> Floating
+  | c -> invalid_arg (Printf.sprintf "Op_case: bad role %C" c)
+
+let char_of_role = function Drain -> 'D' | Source -> 'S' | Floating -> 'F'
+
+let of_string s =
+  if String.length s <> 4 then invalid_arg "Op_case.of_string: need 4 letters";
+  Array.init 4 (fun i -> role_of_char s.[i])
+
+let to_string c = String.init 4 (fun i -> char_of_role c.(i))
+
+let all =
+  List.map of_string
+    [
+      "DSFF"; "SFDF";
+      "DSSS"; "SDSS"; "SSDS"; "SSSD";
+      "DDSS"; "SDDS"; "DSDS"; "DSSD"; "SDSD"; "SSDD";
+      "DDDS"; "SDDD"; "DDSD"; "DSDD";
+    ]
+
+let dsss = of_string "DSSS"
+
+let indices_with role c =
+  List.filter (fun i -> c.(i) = role) [ 0; 1; 2; 3 ]
+
+let drains c = indices_with Drain c
+let sources c = indices_with Source c
+
+let opposite i j = (i + 2) mod 4 = j || (j + 2) mod 4 = i
+
+let pairs c =
+  List.concat_map (fun d -> List.map (fun s -> (d, s, opposite d s)) (sources c)) (drains c)
+
+let is_valid c = drains c <> [] && sources c <> []

@@ -1,0 +1,65 @@
+type variant = {
+  geometry : Geometry.t;
+  dielectric : Material.gate_dielectric;
+  model : Device_model.t;
+}
+
+let make geometry dielectric =
+  { geometry; dielectric; model = Device_model.make ~geometry ~dielectric }
+
+let all =
+  List.concat_map
+    (fun g -> List.map (make g) [ Material.HfO2; Material.SiO2 ])
+    [ Geometry.square; Geometry.cross; Geometry.junctionless ]
+
+let find ~shape ~dielectric =
+  match
+    List.find_opt (fun v -> v.geometry.Geometry.shape = shape && v.dielectric = dielectric) all
+  with
+  | Some v -> v
+  | None -> invalid_arg "Presets.find: unknown variant"
+
+let variant_name v =
+  Printf.sprintf "%s/%s" (Geometry.shape_name v.geometry.Geometry.shape) (Material.name v.dielectric)
+
+(* Paper Section III-B: threshold voltages and on/off ratios per variant. *)
+let paper_figures_of_merit =
+  [
+    ("square/HfO2", 0.16, 1e6);
+    ("square/SiO2", 1.36, 1e5);
+    ("cross/HfO2", 0.27, 1e6);
+    ("cross/SiO2", 1.76, 1e4);
+    ("junctionless/HfO2", -0.57, 1e8);
+    ("junctionless/SiO2", -4.8, 1e7);
+  ]
+
+let nm x = x /. 1e-9
+
+let render_table2 () =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-22s %-28s %-28s %-22s" "" "Square (enh.)" "Cross (enh.)" "Junctionless (dep.)";
+  let dims g =
+    Printf.sprintf "%.0f x %.0f x %.0f" (nm g.Geometry.device_x) (nm g.Geometry.device_y)
+      (nm g.Geometry.device_z)
+  in
+  let elec g =
+    Printf.sprintf "%.0f x %.0f x %.0f" (nm g.Geometry.electrode_w) (nm g.Geometry.electrode_w /. 3.5)
+      (nm g.Geometry.electrode_d)
+  in
+  let sq = Geometry.square and cr = Geometry.cross and jl = Geometry.junctionless in
+  line "%-22s %-28s %-28s %-22s" "Device size (nm)" (dims sq) (dims cr) (dims jl);
+  line "%-22s %-28s %-28s %-22s" "Electrode size (nm)" (elec sq) (elec cr)
+    (Printf.sprintf "%.0f x %.0f x %.0f" (nm jl.Geometry.electrode_w) (nm jl.Geometry.channel_width)
+       (nm jl.Geometry.electrode_d));
+  line "%-22s %-28s %-28s %-22s" "Gate size (nm)"
+    (Printf.sprintf "%.0f x %.0f x %.0f" (nm sq.Geometry.gate_extent) (nm sq.Geometry.gate_extent)
+       (nm sq.Geometry.tox))
+    (Printf.sprintf "W:%.0f, H:%.0f" (nm cr.Geometry.gate_extent) (nm cr.Geometry.tox))
+    (Printf.sprintf "%.0f x %.0f x %.0f" (nm jl.Geometry.gate_extent) (nm jl.Geometry.gate_extent)
+       (nm jl.Geometry.tox));
+  line "%-22s %-28s %-28s %-22s" "Substrate doping" "B, 1e17 cm^-3" "B, 1e17 cm^-3" "- (SiO2 body)";
+  line "%-22s %-28s %-28s %-22s" "Electrode doping" "P, 1e20 cm^-3" "P, 1e20 cm^-3" "P, 1e20 cm^-3";
+  line "%-22s %-28s %-28s %-22s" "Gate material" "SiO2 / HfO2" "SiO2 / HfO2" "SiO2 / HfO2";
+  line "%-22s %-28s %-28s %-22s" "Electrode material" "n-type Si" "n-type Si" "n-type Si";
+  Buffer.contents buf

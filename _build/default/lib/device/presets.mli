@@ -1,0 +1,26 @@
+(** The six device variants evaluated in the paper (three geometries times
+    two gate dielectrics) and a renderer for Table II. *)
+
+type variant = {
+  geometry : Geometry.t;
+  dielectric : Material.gate_dielectric;
+  model : Device_model.t;
+}
+
+(** All six variants in the paper's order: square, cross, junctionless, each
+    with HfO2 then SiO2. *)
+val all : variant list
+
+(** [find ~shape ~dielectric] looks a variant up. *)
+val find : shape:Geometry.shape -> dielectric:Material.gate_dielectric -> variant
+
+(** [variant_name v] is e.g. ["square/HfO2"]. *)
+val variant_name : variant -> string
+
+(** Paper text figures of merit for regression: [(variant name,
+    expected Vth in V, expected on/off ratio)]. *)
+val paper_figures_of_merit : (string * float * float) list
+
+(** [render_table2 ()] formats the structural-feature table (paper
+    Table II). *)
+val render_table2 : unit -> string

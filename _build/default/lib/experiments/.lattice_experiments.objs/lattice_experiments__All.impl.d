@@ -1,0 +1,1 @@
+lib/experiments/all.ml: Exp_cases Exp_complementary Exp_field Exp_fit Exp_frequency Exp_iv Exp_lattice_function Exp_series Exp_table1 Exp_table2 Exp_transient Exp_xor3 Lattice_device List Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_cases.ml: Array Buffer Float Hashtbl Lattice_device List Option Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_cases.mli: Lattice_device Report

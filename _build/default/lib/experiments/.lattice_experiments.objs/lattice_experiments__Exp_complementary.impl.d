@@ -1,0 +1,1 @@
+lib/experiments/exp_complementary.ml: Array Bool Lattice_numerics Lattice_spice Lattice_synthesis List Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_field.ml: Array Lattice_device Printf Report String

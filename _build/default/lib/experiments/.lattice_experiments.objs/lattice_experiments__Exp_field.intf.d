@@ -1,0 +1,1 @@
+lib/experiments/exp_field.mli: Lattice_device Report

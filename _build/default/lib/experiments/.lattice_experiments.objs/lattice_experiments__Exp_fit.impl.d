@@ -1,0 +1,1 @@
+lib/experiments/exp_fit.ml: Array Buffer Lattice_device Lattice_fit Printf Report

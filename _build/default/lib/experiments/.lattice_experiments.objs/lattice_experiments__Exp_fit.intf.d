@@ -1,0 +1,1 @@
+lib/experiments/exp_fit.mli: Lattice_fit Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_frequency.ml: Lattice_spice Lattice_synthesis Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_iv.ml: Array Buffer Float Lattice_device Lattice_numerics List Printf Report

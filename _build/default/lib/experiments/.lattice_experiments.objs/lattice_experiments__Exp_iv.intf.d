@@ -1,0 +1,1 @@
+lib/experiments/exp_iv.mli: Lattice_device Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_lattice_function.ml: Lattice_core List Report String

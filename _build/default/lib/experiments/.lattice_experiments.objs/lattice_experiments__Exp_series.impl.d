@@ -1,0 +1,1 @@
+lib/experiments/exp_series.ml: Array Buffer Int Lattice_numerics Lattice_spice Printf Report

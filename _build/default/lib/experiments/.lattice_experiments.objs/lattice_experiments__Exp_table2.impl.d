@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Lattice_device List Printf Report

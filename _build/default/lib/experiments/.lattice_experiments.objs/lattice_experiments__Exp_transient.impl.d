@@ -1,0 +1,1 @@
+lib/experiments/exp_transient.ml: Bool Lattice_spice Lattice_synthesis List Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_transient.mli: Lattice_spice Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_xor3.ml: Lattice_boolfn Lattice_core Lattice_synthesis Option Printf Report

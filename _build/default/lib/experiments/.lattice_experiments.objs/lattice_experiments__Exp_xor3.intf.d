@@ -1,0 +1,1 @@
+lib/experiments/exp_xor3.mli: Report

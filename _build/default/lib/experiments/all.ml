@@ -1,0 +1,20 @@
+let reports () =
+  [
+    Exp_table1.report ();
+    Exp_lattice_function.report ();
+    Exp_xor3.report ();
+    Exp_table2.report ();
+    Exp_cases.report ();
+    Exp_iv.report Lattice_device.Geometry.Square;
+    Exp_iv.report Lattice_device.Geometry.Cross;
+    Exp_iv.report Lattice_device.Geometry.Junctionless;
+    Exp_field.report ();
+    Exp_fit.report ();
+    Exp_transient.report ();
+    Exp_series.report ();
+    Exp_complementary.report ();
+    Exp_frequency.report ();
+  ]
+
+let print_all () =
+  List.iter (fun r -> print_string (Report.render r); print_newline ()) (reports ())

@@ -1,0 +1,24 @@
+(** Experiment (Section III-B): the 16 drain/source operating cases.
+
+    The paper explores DSFF, SFDF, 1-drain-3-source, 2-2 and 3-1 cases "in
+    the symmetric and non-symmetric operating conditions" and reports "good
+    correlations between the symmetric simulations". Here the compact model
+    evaluates every case at VGS = VDS = 5 V and the report groups cases
+    that are geometric rotations/reflections of each other — their total
+    drain currents must agree exactly, and they do. *)
+
+type case_result = {
+  name : string;
+  currents : float array;  (** into T1..T4, A *)
+  total_drain : float;  (** sum of positive terminal currents *)
+}
+
+type result = {
+  cases : case_result list;
+  symmetry_groups : (string list * float) list;
+      (** rotation-equivalent case names with their common drain current *)
+  symmetry_holds : bool;
+}
+
+val run : ?shape:Lattice_device.Geometry.shape -> unit -> result
+val report : ?shape:Lattice_device.Geometry.shape -> unit -> Report.t

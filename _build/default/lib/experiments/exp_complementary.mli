@@ -1,0 +1,34 @@
+(** Extension experiment (paper Section VI-A): complementary lattice
+    structure.
+
+    The paper forecasts replacing the pull-up resistor with a second
+    four-terminal lattice implementing the complement function: "this
+    complementary structure obviously makes the static power consumption
+    almost zero and eliminates the dominance of the rise time delay caused
+    by a high pull-up resistor".
+
+    Here both XOR3 circuits are simulated — the Fig 11 resistor-load
+    version and a complementary version with an XNOR3 pull-up lattice — and
+    the forecast quantified: static power per input state, worst-case
+    propagation behaviour (rise/fall), and output levels. *)
+
+type style_result = {
+  static_power_per_state : float array;  (** W, per input combination (8) *)
+  static_power_mean : float;  (** W *)
+  v_low : float;
+  v_high : float;
+  rise_time : float option;  (** 10-90% of the circuit's own swing *)
+  fall_time : float option;
+  mid_rise : float option;  (** time from 0.2 VDD to 0.5 VDD: propagation proxy *)
+  functional_pass : bool;
+}
+
+type result = {
+  resistor : style_result;
+  complementary : style_result;
+  power_reduction : float;  (** resistor mean power / complementary mean power *)
+  rise_speedup : float;  (** resistor rise / complementary rise (nan if unmeasured) *)
+}
+
+val run : ?bit_time:float -> ?h:float -> unit -> result
+val report : unit -> Report.t

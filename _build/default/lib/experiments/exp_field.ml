@@ -1,0 +1,56 @@
+module D = Lattice_device
+
+type result = {
+  square : D.Field2d.result;
+  cross : D.Field2d.result;
+  junctionless : D.Field2d.result;
+  cross_more_uniform : bool;
+}
+
+let solve_shape ?n shape =
+  let v = D.Presets.find ~shape ~dielectric:D.Material.HfO2 in
+  D.Field2d.solve ?n v ~case:D.Op_case.dsss ~vgs:5.0 ~vds:5.0
+
+let run ?n () =
+  let square = solve_shape ?n D.Geometry.Square in
+  let cross = solve_shape ?n D.Geometry.Cross in
+  let junctionless = solve_shape ?n D.Geometry.Junctionless in
+  {
+    square;
+    cross;
+    junctionless;
+    cross_more_uniform = cross.D.Field2d.source_share_cv < square.D.Field2d.source_share_cv;
+  }
+
+let describe name (r : D.Field2d.result) =
+  Printf.sprintf
+    "%-13s terminals [%8.3g %8.3g %8.3g %8.3g]  source-split CV %.3f  |J| CV %.3f  (CG %d iters)"
+    name r.D.Field2d.terminal_currents.(0) r.D.Field2d.terminal_currents.(1)
+    r.D.Field2d.terminal_currents.(2) r.D.Field2d.terminal_currents.(3)
+    r.D.Field2d.source_share_cv r.D.Field2d.channel_cv r.D.Field2d.cg_iterations
+
+let report ?n () =
+  let r = run ?n () in
+  let rows =
+    [
+      Report.row ~id:"Fig8" ~metric:"cross profile more uniform than square" ~paper:"yes"
+        ~measured:(if r.cross_more_uniform then "yes" else "NO")
+        ~note:"per-source current-split CV" ();
+      Report.row_f ~id:"Fig8" ~metric:"square source-split CV" ~paper:nan
+        ~measured:r.square.D.Field2d.source_share_cv ();
+      Report.row_f ~id:"Fig8" ~metric:"cross source-split CV" ~paper:nan
+        ~measured:r.cross.D.Field2d.source_share_cv ();
+    ]
+  in
+  let body =
+    String.concat "\n"
+      [
+        describe "square" r.square;
+        describe "cross" r.cross;
+        describe "junctionless" r.junctionless;
+        "";
+        "cross |J| map (DSSS, drain at top):";
+        D.Field2d.ascii r.cross ~width:24;
+      ]
+  in
+  { Report.title = "Fig 8: current-density profiles (2-D field solve)"; rows; body }

@@ -1,0 +1,18 @@
+(** Experiment F8 — paper Fig 8: current-density vector profiles of the
+    three devices under electric field (DSSS, HfO2).
+
+    The paper's claim is qualitative: "the cross shaped gate offers a
+    uniform current vector profile across terminals when compared to the
+    square shaped device". The measured proxy is the coefficient of
+    variation of the per-source current split (and of |J| over the channel
+    region). *)
+
+type result = {
+  square : Lattice_device.Field2d.result;
+  cross : Lattice_device.Field2d.result;
+  junctionless : Lattice_device.Field2d.result;
+  cross_more_uniform : bool;  (** the paper's ordering holds *)
+}
+
+val run : ?n:int -> unit -> result
+val report : ?n:int -> unit -> Report.t

@@ -1,0 +1,44 @@
+module D = Lattice_device
+module Fit = Lattice_fit.Fit
+
+type result = {
+  extraction : Fit.extraction;
+  scenario2 : Fit.scenario;
+  predicted : float array;
+  vth_electrostatic : float;
+}
+
+let run () =
+  let v = D.Presets.find ~shape:D.Geometry.Square ~dielectric:D.Material.HfO2 in
+  let model = v.D.Presets.model in
+  let extraction = Fit.extract model in
+  let scenario2 = Fit.scenario2 model ~points:51 in
+  let predicted = Fit.predict extraction ~geometry:model.D.Device_model.geometry scenario2 in
+  { extraction; scenario2; predicted; vth_electrostatic = model.D.Device_model.vth }
+
+let report () =
+  let r = run () in
+  let e = r.extraction in
+  let rows =
+    [
+      Report.row_f ~id:"Fig10" ~metric:"extracted Vth, V" ~paper:0.16
+        ~measured:e.Fit.vth ~note:"paper extracts ~Vth of the HfO2 square device" ();
+      Report.row_f ~id:"Fig10" ~metric:"extracted Kp, A/V^2" ~paper:nan ~measured:e.Fit.kp ();
+      Report.row_f ~id:"Fig10" ~metric:"extracted lambda, 1/V" ~paper:nan ~measured:e.Fit.lambda ();
+      Report.row_f ~id:"Fig10" ~metric:"fit RMSE, A" ~paper:nan ~measured:e.Fit.rmse
+        ~note:"paper: smallest RMSE via MATLAB toolbox" ();
+      Report.row_f ~id:"Fig10" ~metric:"fit R^2" ~paper:nan ~measured:e.Fit.r_squared ();
+      Report.row ~id:"Fig10" ~metric:"LM converged" ~paper:"-"
+        ~measured:(if e.Fit.converged then "yes" else "NO") ();
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "IDS-VDS at VGS = 5 V: data vs fitted level-1 curve\n";
+  Buffer.add_string buf "  Vds      data (A)        fit (A)\n";
+  Array.iteri
+    (fun i x ->
+      if i mod 5 = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-5.1f  %12.5g   %12.5g\n" x r.scenario2.Fit.ys.(i) r.predicted.(i)))
+    r.scenario2.Fit.xs;
+  { Report.title = "Fig 10: level-1 parameter extraction (square/HfO2)"; rows; body = Buffer.contents buf }

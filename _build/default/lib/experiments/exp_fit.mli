@@ -1,0 +1,13 @@
+(** Experiment F10 — paper Fig 10 / Section IV: fitting the level-1 MOSFET
+    equations to the square-device (HfO2) I-V data and extracting Kp, Vth
+    and lambda. *)
+
+type result = {
+  extraction : Lattice_fit.Fit.extraction;
+  scenario2 : Lattice_fit.Fit.scenario;  (** the IDS-VDS sweep Fig 10 plots *)
+  predicted : float array;  (** fitted model over [scenario2.xs] *)
+  vth_electrostatic : float;  (** what the threshold model predicted *)
+}
+
+val run : unit -> result
+val report : unit -> Report.t

@@ -1,0 +1,28 @@
+(** Extension experiment (paper Section VI-A): maximum frequency and
+    dynamic energy.
+
+    The paper plans an analysis including "power consumption, delay
+    (maximum frequency), phase margin". Measured here for the XOR3
+    circuit, in both load styles:
+
+    - small-signal bandwidth of the output node (the -3 dB corner of the
+      supply-to-output transfer — the output-pole proxy for maximum
+      operating frequency) and its phase at the corner;
+    - dynamic energy per full 8-combination input cycle, by integrating the
+      supply current over the Fig 11 transient. *)
+
+type style_metrics = {
+  f3db_hz : float option;  (** output-high state (weak for n-type pull-up) *)
+  f3db_low_hz : float option;  (** output-low state (strongly driven) *)
+  phase_at_f3db_deg : float;
+  cycle_energy_j : float;  (** energy drawn from VDD over one 8-slot cycle *)
+}
+
+type result = {
+  resistor : style_metrics;
+  complementary : style_metrics;
+  bandwidth_gain : float;  (** complementary f3db / resistor f3db *)
+}
+
+val run : ?bit_time:float -> unit -> result
+val report : unit -> Report.t

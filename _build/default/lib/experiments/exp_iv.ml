@@ -1,0 +1,89 @@
+module D = Lattice_device
+
+type variant_result = {
+  name : string;
+  vth_model : float;
+  vth_paper : float;
+  ion : float;
+  ioff : float;
+  ratio : float;
+  ratio_paper : float;
+  iv : D.Sweep.iv_set;
+}
+
+let paper_peak_currents =
+  [
+    (D.Geometry.Square, 1.5e-5, 1.2e-3);
+    (D.Geometry.Cross, 6e-6, 4e-4);
+    (D.Geometry.Junctionless, 1.4e-6, 6e-5);
+  ]
+
+let run_variant ~shape ~dielectric =
+  let v = D.Presets.find ~shape ~dielectric in
+  let name = D.Presets.variant_name v in
+  let vth_paper, ratio_paper =
+    match List.assoc_opt name (List.map (fun (n, a, b) -> (n, (a, b))) D.Presets.paper_figures_of_merit) with
+    | Some (a, b) -> (a, b)
+    | None -> (nan, nan)
+  in
+  {
+    name;
+    vth_model = v.D.Presets.model.D.Device_model.vth;
+    vth_paper;
+    ion = D.Device_model.ion v.D.Presets.model;
+    ioff = D.Device_model.ioff v.D.Presets.model;
+    ratio = D.Device_model.on_off_ratio v.D.Presets.model;
+    ratio_paper;
+    iv = D.Sweep.standard v.D.Presets.model;
+  }
+
+let figure_id = function
+  | D.Geometry.Square -> "Fig5"
+  | D.Geometry.Cross -> "Fig6"
+  | D.Geometry.Junctionless -> "Fig7"
+
+let sample_table iv =
+  let t1 which = D.Sweep.drain_curve iv which in
+  let a = t1 `Vgs_low and b = t1 `Vgs_high and c = t1 `Vds in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "  V      a) Ids(Vgs)@Vds=10mV   b) Ids(Vgs)@Vds=5V    c) Ids(Vds)@Vgs=5V\n";
+  let sample curve x = Lattice_numerics.Interp.lookup curve.D.Sweep.xs curve.D.Sweep.ys x in
+  List.iter
+    (fun x ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-5.1f  %18.4g   %18.4g   %18.4g\n" x (sample a x) (sample b x) (sample c x)))
+    [ 0.0; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 4.5; 5.0 ];
+  Buffer.contents buf
+
+let report shape =
+  let hf = run_variant ~shape ~dielectric:D.Material.HfO2 in
+  let si = run_variant ~shape ~dielectric:D.Material.SiO2 in
+  let id = figure_id shape in
+  let peak_low, peak_high =
+    match List.assoc_opt shape (List.map (fun (s, a, b) -> (s, (a, b))) paper_peak_currents) with
+    | Some p -> p
+    | None -> (nan, nan)
+  in
+  let t1_peak which =
+    let c = D.Sweep.drain_curve hf.iv which in
+    Array.fold_left Float.max 0.0 c.D.Sweep.ys
+  in
+  let rows =
+    [
+      Report.row_f ~id ~metric:"Vth (HfO2), V" ~paper:hf.vth_paper ~measured:hf.vth_model ();
+      Report.row_f ~id ~metric:"Vth (SiO2), V" ~paper:si.vth_paper ~measured:si.vth_model ();
+      Report.row_f ~id ~metric:"Ion/Ioff (HfO2)" ~paper:hf.ratio_paper ~measured:hf.ratio ();
+      Report.row_f ~id ~metric:"Ion/Ioff (SiO2)" ~paper:si.ratio_paper ~measured:si.ratio ();
+      Report.row_f ~id ~metric:"peak Ids @ Vds=10mV (HfO2), A" ~paper:peak_low
+        ~measured:(t1_peak `Vgs_low) ();
+      Report.row_f ~id ~metric:"peak Ids @ Vds=5V (HfO2), A" ~paper:peak_high
+        ~measured:(t1_peak `Vgs_high) ();
+    ]
+  in
+  {
+    Report.title =
+      Printf.sprintf "%s: %s device I-V (DSSS case)" id (D.Geometry.shape_name shape);
+    rows;
+    body = "T1 drain current, HfO2 gate:\n" ^ sample_table hf.iv;
+  }

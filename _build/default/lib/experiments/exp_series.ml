@@ -1,0 +1,54 @@
+module Sp = Lattice_spice
+
+type result = {
+  ns : int array;
+  currents : float array;
+  voltages : float array;
+  decay_ratio : float;
+  linearity_r2 : float;
+}
+
+let run ?(max_n = 21) () =
+  let ns = Array.init max_n (fun i -> i + 1) in
+  let currents = Array.map (fun n -> Sp.Series_chain.current ~n ~v_top:1.2 ()) ns in
+  let voltages =
+    Array.map (fun n -> Sp.Series_chain.voltage_for_current ~n ~i_target:5.5e-6 ()) ns
+  in
+  let xs = Array.map float_of_int ns in
+  let slope, intercept = Lattice_numerics.Stats.linear_regression xs voltages in
+  let fitted = Array.map (fun x -> (slope *. x) +. intercept) xs in
+  {
+    ns;
+    currents;
+    voltages;
+    decay_ratio = currents.(0) /. currents.(max_n - 1);
+    linearity_r2 = Lattice_numerics.Stats.r_squared voltages fitted;
+  }
+
+let report ?max_n () =
+  let r = run ?max_n () in
+  let last = Array.length r.ns - 1 in
+  let at n = r.currents.(n - 1) in
+  let rows =
+    [
+      Report.row_f ~id:"Fig12a" ~metric:"I at N=1, uA" ~paper:11.12 ~measured:(at 1 *. 1e6) ();
+      Report.row_f ~id:"Fig12a" ~metric:"I at N=5, uA" ~paper:2.2
+        ~measured:(at (Int.min 5 (last + 1)) *. 1e6) ();
+      Report.row_f ~id:"Fig12a" ~metric:"I at N=21, uA" ~paper:0.52
+        ~measured:(r.currents.(last) *. 1e6) ();
+      Report.row_f ~id:"Fig12a" ~metric:"decay ratio I(1)/I(N)" ~paper:21.4
+        ~measured:r.decay_ratio ~note:"shape of the decay curve" ();
+      Report.row_f ~id:"Fig12b" ~metric:"V for 5.5 uA at N=21, V" ~paper:2.5
+        ~measured:r.voltages.(last) ();
+      Report.row_f ~id:"Fig12b" ~metric:"linearity R^2 of V(N)" ~paper:nan
+        ~measured:r.linearity_r2 ~note:"paper: 'values increase almost linearly'" ();
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "  N    I @ 1.2 V (uA)    V @ 5.5 uA (V)\n";
+  Array.iteri
+    (fun i n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-3d  %14.4g    %14.4g\n" n (r.currents.(i) *. 1e6) r.voltages.(i)))
+    r.ns;
+  { Report.title = "Fig 12: switches in series (drive capability)"; rows; body = Buffer.contents buf }

@@ -1,0 +1,19 @@
+(** Experiment F12 — paper Fig 12: drive capability of series-connected
+    switches.
+
+    (a) current through a chain of N ON switches at a constant 1.2 V
+    (paper: 11.12 uA at N = 1, ~2.2 uA at N = 5, 1-2 uA for 5..11,
+    0.52 uA at N = 21);
+    (b) supply voltage required for a constant 5.5 uA versus N (paper:
+    almost linear, reaching 2.5 V at N = 21). *)
+
+type result = {
+  ns : int array;  (** chain lengths 1..21 *)
+  currents : float array;  (** Fig 12a, A *)
+  voltages : float array;  (** Fig 12b, V *)
+  decay_ratio : float;  (** I(1) / I(21); paper: 11.12 / 0.52 ~ 21.4 *)
+  linearity_r2 : float;  (** R^2 of a linear fit to Fig 12b *)
+}
+
+val run : ?max_n:int -> unit -> result
+val report : ?max_n:int -> unit -> Report.t

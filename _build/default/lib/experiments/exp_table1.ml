@@ -1,0 +1,45 @@
+module Table1 = Lattice_core.Table1
+
+type result = {
+  max_dim : int;
+  mismatches : (int * int * int * int) list;
+  table_text : string;
+}
+
+let default_max_dim () =
+  match Sys.getenv_opt "FTL_TABLE1_FULL" with Some ("1" | "true") -> 9 | Some _ | None -> 8
+
+let run ?max_dim () =
+  let max_dim = match max_dim with Some m -> m | None -> default_max_dim () in
+  let max_dim = Int.max 2 (Int.min 9 max_dim) in
+  let mismatches = ref [] in
+  for m = 2 to max_dim do
+    for n = 2 to max_dim do
+      let got = Table1.count ~rows:m ~cols:n in
+      let want = Table1.paper_value ~rows:m ~cols:n in
+      if got <> want then mismatches := (m, n, got, want) :: !mismatches
+    done
+  done;
+  {
+    max_dim;
+    mismatches = List.rev !mismatches;
+    table_text = Table1.render ~max_dim ~compute:true ();
+  }
+
+let report ?max_dim () =
+  let r = run ?max_dim () in
+  let cells = (r.max_dim - 1) * (r.max_dim - 1) in
+  let rows =
+    [
+      Report.row ~id:"TableI" ~metric:(Printf.sprintf "matching cells (of %d checked)" cells)
+        ~paper:(string_of_int cells)
+        ~measured:(string_of_int (cells - List.length r.mismatches))
+        ~note:(if r.max_dim < 9 then "set FTL_TABLE1_FULL=1 for the full 9x9 table" else "full table")
+        ();
+    ]
+  in
+  {
+    Report.title = "Table I: products of the m x n lattice function";
+    rows;
+    body = r.table_text;
+  }

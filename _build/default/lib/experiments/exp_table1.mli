@@ -1,0 +1,15 @@
+(** Experiment T1 — paper Table I: number of products of the m x n lattice
+    function. *)
+
+type result = {
+  max_dim : int;
+  mismatches : (int * int * int * int) list;  (** rows, cols, got, want *)
+  table_text : string;
+}
+
+(** [run ?max_dim ()] recomputes Table I up to [max_dim] (default 8; the
+    9 x 9 entry enumerates 38.9 M paths and takes seconds — enable it with
+    [max_dim:9] or by setting the [FTL_TABLE1_FULL] environment variable). *)
+val run : ?max_dim:int -> unit -> result
+
+val report : ?max_dim:int -> unit -> Report.t

@@ -1,0 +1,11 @@
+let report () =
+  {
+    Report.title = "Table II: structural features of the four-terminal devices";
+    rows =
+      [
+        Report.row ~id:"TableII" ~metric:"device presets encoded" ~paper:"3 shapes x 2 gates"
+          ~measured:(Printf.sprintf "%d variants" (List.length Lattice_device.Presets.all))
+          ();
+      ];
+    body = Lattice_device.Presets.render_table2 ();
+  }

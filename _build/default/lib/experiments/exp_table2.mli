@@ -1,0 +1,4 @@
+(** Experiment T2 — paper Table II: structural features of the
+    four-terminal devices used for the TCAD simulations. *)
+
+val report : unit -> Report.t

@@ -1,0 +1,19 @@
+(** Experiment F3 — paper Fig 3: XOR3 realizations on 3 x 4 and (minimum
+    size) 3 x 3 lattices, plus the generic dual-based synthesis for
+    comparison. *)
+
+type result = {
+  lattice_3x3_valid : bool;
+  lattice_3x4_valid : bool;
+  altun_riedel_rows : int;
+  altun_riedel_cols : int;
+  altun_riedel_valid : bool;
+  min_size_found : (int * int) option;  (** exhaustive-search minimum (with constants) *)
+}
+
+(** [run ?search ()] validates the library lattices; with [search = true]
+    (default false — it enumerates ~10^7 grids) the exhaustive synthesizer
+    re-derives the minimum size. *)
+val run : ?search:bool -> unit -> result
+
+val report : ?search:bool -> unit -> Report.t

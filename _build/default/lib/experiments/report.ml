@@ -1,0 +1,30 @@
+type row = { id : string; metric : string; paper : string; measured : string; note : string }
+
+type t = { title : string; rows : row list; body : string }
+
+let row ~id ~metric ~paper ~measured ?(note = "") () = { id; metric; paper; measured; note }
+
+let fmt_f x = if Float.is_nan x then "-" else Printf.sprintf "%.4g" x
+
+let row_f ~id ~metric ~paper ~measured ?note () =
+  row ~id ~metric ~paper:(fmt_f paper) ~measured:(fmt_f measured) ?note ()
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  if t.rows <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s %-34s %14s %14s  %s\n" "id" "metric" "paper" "measured" "note");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-8s %-34s %14s %14s  %s\n" r.id r.metric r.paper r.measured r.note))
+      t.rows
+  end;
+  if t.body <> "" then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf t.body;
+    if not (String.length t.body > 0 && t.body.[String.length t.body - 1] = '\n') then
+      Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Paper-vs-measured reporting shared by the bench harness, the CLI and
+    EXPERIMENTS.md generation. *)
+
+type row = {
+  id : string;  (** experiment id, e.g. ["Fig11"] *)
+  metric : string;
+  paper : string;  (** value as printed in the paper, or ["-"] *)
+  measured : string;
+  note : string;
+}
+
+type t = {
+  title : string;
+  rows : row list;
+  body : string;  (** free-form text: tables, ASCII plots *)
+}
+
+(** [row ~id ~metric ~paper ~measured ?note ()] builds a row from
+    preformatted strings. *)
+val row : id:string -> metric:string -> paper:string -> measured:string -> ?note:string -> unit -> row
+
+(** [row_f] formats float values with [%.4g]; [paper = nan] renders
+    as ["-"]. *)
+val row_f : id:string -> metric:string -> paper:float -> measured:float -> ?note:string -> unit -> row
+
+(** [render report] lays the title, the row table and the body out for a
+    terminal. *)
+val render : t -> string

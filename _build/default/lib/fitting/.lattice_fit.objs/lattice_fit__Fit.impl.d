@@ -1,0 +1,1 @@
+lib/fitting/fit.ml: Array Float Lattice_device Lattice_mosfet Lattice_numerics List

@@ -1,0 +1,1 @@
+lib/fitting/fit.mli: Lattice_device Lattice_mosfet

@@ -1,0 +1,115 @@
+module Level1 = Lattice_mosfet.Level1
+module Device_model = Lattice_device.Device_model
+module Geometry = Lattice_device.Geometry
+module Op_case = Lattice_device.Op_case
+
+type scenario = {
+  name : string;
+  bias : [ `Sweep_vgs of float | `Sweep_vds of float ];
+  xs : float array;
+  ys : float array;
+}
+
+let drain_current model ~vgs ~vds =
+  let i = Device_model.terminal_currents model ~case:Op_case.dsss ~vgs ~vds in
+  i.(0)
+
+let scenario1 model ~points =
+  let xs = Lattice_numerics.Vec.linspace 0.0 5.0 points in
+  {
+    name = "scenario 1 (VDS = 5 V, sweep VGS)";
+    bias = `Sweep_vgs 5.0;
+    xs;
+    ys = Array.map (fun vgs -> drain_current model ~vgs ~vds:5.0) xs;
+  }
+
+let scenario2 model ~points =
+  let xs = Lattice_numerics.Vec.linspace 0.0 5.0 points in
+  {
+    name = "scenario 2 (VGS = 5 V, sweep VDS)";
+    bias = `Sweep_vds 5.0;
+    xs;
+    ys = Array.map (fun vds -> drain_current model ~vgs:5.0 ~vds) xs;
+  }
+
+type extraction = {
+  kp : float;
+  vth : float;
+  lambda : float;
+  rmse : float;
+  r_squared : float;
+  iterations : int;
+  converged : bool;
+  type_a : Level1.params;
+  type_b : Level1.params;
+}
+
+let params_of ~geometry ~kp ~vth ~lambda ~opposite =
+  {
+    Level1.kp;
+    vth;
+    lambda;
+    w = geometry.Geometry.channel_width;
+    l = (if opposite then geometry.Geometry.l_opposite else geometry.Geometry.l_adjacent);
+  }
+
+let composite_current ~geometry ~kp ~vth ~lambda ~vgs ~vds =
+  let pa = params_of ~geometry ~kp ~vth ~lambda ~opposite:false in
+  let pb = params_of ~geometry ~kp ~vth ~lambda ~opposite:true in
+  (2.0 *. Level1.ids pa ~vgs ~vds) +. Level1.ids pb ~vgs ~vds
+
+let bias_point scenario x =
+  match scenario.bias with
+  | `Sweep_vgs vds -> (x, vds)
+  | `Sweep_vds vgs -> (vgs, x)
+
+let extract ?scenarios model =
+  let scenarios =
+    match scenarios with
+    | Some s -> s
+    | None -> [ scenario1 model ~points:51; scenario2 model ~points:51 ]
+  in
+  let geometry = model.Device_model.geometry in
+  let samples =
+    List.concat_map
+      (fun sc -> Array.to_list (Array.mapi (fun i x -> (bias_point sc x, sc.ys.(i))) sc.xs))
+      scenarios
+  in
+  let observed = Array.of_list (List.map snd samples) in
+  (* normalize residuals by the current scale so LM tolerances behave *)
+  let scale = Float.max 1e-12 (Array.fold_left Float.max 0.0 (Array.map Float.abs observed)) in
+  let residuals p =
+    let kp = Float.abs p.(0) and vth = p.(1) and lambda = Float.abs p.(2) in
+    Array.of_list
+      (List.map
+         (fun ((vgs, vds), y) ->
+           (composite_current ~geometry ~kp ~vth ~lambda ~vgs ~vds -. y) /. scale)
+         samples)
+  in
+  let x0 = [| 1e-5; 0.5; 0.01 |] in
+  let lm = Lattice_numerics.Optimize.levenberg_marquardt ~residuals ~x0 ~max_iter:400 () in
+  let kp = Float.abs lm.Lattice_numerics.Optimize.params.(0) in
+  let vth = lm.Lattice_numerics.Optimize.params.(1) in
+  let lambda = Float.abs lm.Lattice_numerics.Optimize.params.(2) in
+  let predicted =
+    Array.of_list
+      (List.map (fun ((vgs, vds), _) -> composite_current ~geometry ~kp ~vth ~lambda ~vgs ~vds) samples)
+  in
+  {
+    kp;
+    vth;
+    lambda;
+    rmse = Lattice_numerics.Stats.rmse observed predicted;
+    r_squared = Lattice_numerics.Stats.r_squared observed predicted;
+    iterations = lm.Lattice_numerics.Optimize.iterations;
+    converged = lm.Lattice_numerics.Optimize.converged;
+    type_a = params_of ~geometry ~kp ~vth ~lambda ~opposite:false;
+    type_b = params_of ~geometry ~kp ~vth ~lambda ~opposite:true;
+  }
+
+let predict e ~geometry scenario =
+  Array.map
+    (fun x ->
+      let vgs, vds = bias_point scenario x in
+      composite_current ~geometry ~kp:e.kp ~vth:e.vth ~lambda:e.lambda ~vgs ~vds)
+    scenario.xs

@@ -1,0 +1,1 @@
+lib/flow/monte_carlo.ml: Array Bool Float Lattice_boolfn Lattice_core Lattice_mosfet Lattice_numerics Lattice_spice Random

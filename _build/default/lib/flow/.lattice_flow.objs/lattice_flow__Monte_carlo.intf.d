@@ -1,0 +1,1 @@
+lib/flow/monte_carlo.mli: Lattice_boolfn Lattice_core Lattice_spice

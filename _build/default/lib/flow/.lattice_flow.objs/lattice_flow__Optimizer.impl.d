@@ -1,0 +1,1 @@
+lib/flow/optimizer.ml: Array Float Hashtbl Int Lattice_boolfn Lattice_core Lattice_mosfet Lattice_numerics Lattice_spice Lattice_synthesis List Printf

@@ -1,0 +1,1 @@
+lib/flow/optimizer.mli: Lattice_boolfn Lattice_core Lattice_spice

@@ -1,0 +1,45 @@
+(** Monte-Carlo process-variation analysis of lattice circuits.
+
+    Emerging-device lattices live or die by variability, and the paper's
+    planned fabrication step makes yield the first question its simulation
+    flow must answer. This module samples per-switch threshold-voltage and
+    gain variations (independent Gaussians, the standard local-mismatch
+    model), re-simulates the lattice at DC over every input combination,
+    and reports functional yield plus output-level statistics. *)
+
+type variation = {
+  sigma_vth : float;  (** absolute Vth sigma, V *)
+  sigma_kp_rel : float;  (** relative Kp sigma (e.g. 0.1 = 10%) *)
+}
+
+(** 30 mV Vth sigma, 10% Kp sigma — typical nano-device local mismatch. *)
+val default_variation : variation
+
+type outcome = {
+  functional : bool;  (** output matches NOT f on every combination *)
+  worst_v_low : float;  (** highest logic-0 output over the combinations *)
+  worst_v_high : float;  (** lowest logic-1 output *)
+}
+
+type result = {
+  samples : int;
+  yield : float;  (** fraction of functional samples *)
+  outcomes : outcome array;
+  v_low_mean : float;
+  v_low_std : float;
+  v_high_mean : float;
+}
+
+(** [run ?config ?variation ?samples ?seed grid ~target] runs the campaign:
+    each sample perturbs every switch independently and checks the DC
+    response against [target] (the function the lattice should realize;
+    the circuit output is its complement). Defaults: 100 samples, seed 42,
+    [default_variation]. Requires [Truthtable.nvars target <= 5]. *)
+val run :
+  ?config:Lattice_spice.Lattice_circuit.config ->
+  ?variation:variation ->
+  ?samples:int ->
+  ?seed:int ->
+  Lattice_core.Grid.t ->
+  target:Lattice_boolfn.Truthtable.t ->
+  result

@@ -1,0 +1,1 @@
+lib/lattice/compose.ml: Array Grid Int Lattice_boolfn

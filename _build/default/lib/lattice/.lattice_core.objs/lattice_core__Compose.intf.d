@@ -1,0 +1,1 @@
+lib/lattice/compose.mli: Grid Lattice_boolfn

@@ -1,0 +1,1 @@
+lib/lattice/connectivity.ml: Array Bytes Grid Lattice_boolfn Queue

@@ -1,0 +1,1 @@
+lib/lattice/connectivity.mli: Bytes Grid Lattice_boolfn

@@ -1,0 +1,1 @@
+lib/lattice/lattice_function.ml: Array Grid Lattice_boolfn List Paths Printf String

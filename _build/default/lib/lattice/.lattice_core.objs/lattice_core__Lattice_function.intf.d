@@ -1,0 +1,1 @@
+lib/lattice/lattice_function.mli: Grid Lattice_boolfn

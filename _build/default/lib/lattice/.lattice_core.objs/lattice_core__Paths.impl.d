@@ -1,0 +1,1 @@
+lib/lattice/paths.ml: Array Hashtbl Int List

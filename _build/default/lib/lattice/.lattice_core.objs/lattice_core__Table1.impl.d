@@ -1,0 +1,1 @@
+lib/lattice/table1.ml: Array Buffer Hashtbl Int List Paths Printf

@@ -1,0 +1,1 @@
+lib/lattice/table1.mli:

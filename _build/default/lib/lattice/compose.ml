@@ -1,0 +1,83 @@
+module Expr = Lattice_boolfn.Expr
+
+let literal v polarity = Grid.create 1 1 [| Grid.Lit (v, polarity) |]
+
+let constant b = Grid.create 1 1 [| Grid.Const b |]
+
+let pad_to_height g h =
+  let rows = g.Grid.rows and cols = g.Grid.cols in
+  if h < rows then invalid_arg "Compose.pad_to_height: target below current height";
+  if h = rows then g
+  else begin
+    let entries =
+      Array.init (h * cols) (fun i -> if i < rows * cols then g.Grid.entries.(i) else Grid.Const true)
+    in
+    Grid.create h cols entries
+  end
+
+let pad_to_width g w =
+  let rows = g.Grid.rows and cols = g.Grid.cols in
+  if w < cols then invalid_arg "Compose.pad_to_width: target below current width";
+  if w = cols then g
+  else begin
+    let entries =
+      Array.init (rows * w) (fun i ->
+          let r = i / w and c = i mod w in
+          if c < cols then g.Grid.entries.((r * cols) + c) else Grid.Const false)
+    in
+    Grid.create rows w entries
+  end
+
+let disjunction g1 g2 =
+  let h = Int.max g1.Grid.rows g2.Grid.rows in
+  let g1 = pad_to_height g1 h and g2 = pad_to_height g2 h in
+  let c1 = g1.Grid.cols and c2 = g2.Grid.cols in
+  let w = c1 + 1 + c2 in
+  let entries =
+    Array.init (h * w) (fun i ->
+        let r = i / w and c = i mod w in
+        if c < c1 then g1.Grid.entries.((r * c1) + c)
+        else if c = c1 then Grid.Const false (* isolating spacer column *)
+        else g2.Grid.entries.((r * c2) + (c - c1 - 1)))
+  in
+  Grid.create h w entries
+
+let conjunction g1 g2 =
+  let w = Int.max g1.Grid.cols g2.Grid.cols in
+  let g1 = pad_to_width g1 w and g2 = pad_to_width g2 w in
+  let r1 = g1.Grid.rows and r2 = g2.Grid.rows in
+  let h = r1 + 1 + r2 in
+  let entries =
+    Array.init (h * w) (fun i ->
+        let r = i / w and c = i mod w in
+        if r < r1 then g1.Grid.entries.((r * w) + c)
+        else if r = r1 then Grid.Const true (* bridging spacer row *)
+        else g2.Grid.entries.(((r - r1 - 1) * w) + c))
+  in
+  Grid.create h w entries
+
+(* compile through negation normal form; [negated] tracks a pending
+   complement pushed down from above *)
+let rec compile negated e =
+  match e with
+  | Expr.Const b -> constant (if negated then not b else b)
+  | Expr.Var v -> literal v (not negated)
+  | Expr.Not e -> compile (not negated) e
+  | Expr.And (a, b) ->
+    if negated then disjunction (compile true a) (compile true b)
+    else conjunction (compile false a) (compile false b)
+  | Expr.Or (a, b) ->
+    if negated then conjunction (compile true a) (compile true b)
+    else disjunction (compile false a) (compile false b)
+  | Expr.Xor (a, b) ->
+    (* a xor b = (a and not b) or (not a and b); xnor dually *)
+    if negated then
+      disjunction
+        (conjunction (compile false a) (compile false b))
+        (conjunction (compile true a) (compile true b))
+    else
+      disjunction
+        (conjunction (compile false a) (compile true b))
+        (conjunction (compile true a) (compile false b))
+
+let of_expr e = compile false e

@@ -1,0 +1,39 @@
+module Sop = Lattice_boolfn.Sop
+module Cube = Lattice_boolfn.Cube
+
+let of_generic ~rows ~cols =
+  let n = rows * cols in
+  if n > Cube.max_vars then invalid_arg "Lattice_function.of_generic: too many sites for cube masks";
+  let cubes = ref [] in
+  Paths.iter_irredundant ~rows ~cols (fun path ->
+      let pos = Array.fold_left (fun acc site -> acc lor (1 lsl site)) 0 path in
+      cubes := Cube.of_masks ~pos ~neg:0 :: !cubes);
+  Sop.of_cubes n !cubes
+
+let of_assigned grid =
+  let rows = grid.Grid.rows and cols = grid.Grid.cols in
+  let nvars = Grid.nvars grid in
+  let cubes = ref [] in
+  Paths.iter_irredundant ~rows ~cols (fun path ->
+      let exception Dead in
+      match
+        Array.fold_left
+          (fun cube site ->
+            match grid.Grid.entries.(site) with
+            | Grid.Const false -> raise Dead
+            | Grid.Const true -> cube
+            | Grid.Lit (v, p) -> (
+              try Cube.and_literal cube v p with Cube.Contradictory -> raise Dead))
+          Cube.one path
+      with
+      | cube -> cubes := cube :: !cubes
+      | exception Dead -> ())
+  |> ignore;
+  Sop.absorb (Sop.of_cubes nvars !cubes)
+
+let product_strings ~rows ~cols =
+  let out = ref [] in
+  Paths.iter_irredundant ~rows ~cols (fun path ->
+      let names = List.map (fun site -> Printf.sprintf "x%d" (site + 1)) (Array.to_list path) in
+      out := String.concat "" (List.map (fun s -> s) names) :: !out);
+  List.rev !out

@@ -1,0 +1,19 @@
+(** Extraction of lattice functions as sums of products. *)
+
+(** [of_generic ~rows ~cols] is the lattice function of the generic
+    [rows x cols] lattice over variables [x1 .. x_{rows*cols}] (site-major;
+    paper Fig 2c). Requires [rows * cols <= 62]. The result needs no further
+    absorption: the enumerated paths are exactly the irredundant products. *)
+val of_generic : rows:int -> cols:int -> Lattice_boolfn.Sop.t
+
+(** [of_assigned grid] is the Boolean function computed by an assigned
+    lattice, as an absorbed SOP over the grid's variables: each irredundant
+    path contributes the conjunction of its cells' entries; paths through a
+    constant 0 or with contradictory literals vanish, and the surviving
+    products are absorbed. The result is semantically the lattice function
+    (path existence) of the grid. *)
+val of_assigned : Grid.t -> Lattice_boolfn.Sop.t
+
+(** [product_strings ~rows ~cols] renders the generic lattice function's
+    products with the paper's [x1 x4 x7] naming, in enumeration order. *)
+val product_strings : rows:int -> cols:int -> string list

@@ -1,0 +1,49 @@
+(* Values as printed in paper Table I; rows indexed by m = 2..9, columns by
+   n = 2..9. *)
+let published =
+  [|
+    [| 2; 3; 4; 5; 6; 7; 8; 9 |];
+    [| 4; 9; 16; 25; 36; 49; 64; 81 |];
+    [| 6; 17; 36; 67; 118; 203; 344; 575 |];
+    [| 10; 37; 94; 205; 436; 957; 2146; 4773 |];
+    [| 16; 77; 236; 621; 1668; 4883; 14880; 44331 |];
+    [| 26; 163; 602; 1905; 6562; 26317; 110838; 446595 |];
+    [| 42; 343; 1528; 5835; 25686; 139231; 797048; 4288707 |];
+    [| 68; 723; 3882; 17873; 100294; 723153; 5509834; 38930447 |];
+  |]
+
+let memo : (int * int, int) Hashtbl.t = Hashtbl.create 64
+
+let count ~rows ~cols =
+  match Hashtbl.find_opt memo (rows, cols) with
+  | Some v -> v
+  | None ->
+    let v = Paths.count_irredundant ~rows ~cols in
+    Hashtbl.replace memo (rows, cols) v;
+    v
+
+let paper_value ~rows ~cols =
+  if rows < 2 || rows > 9 || cols < 2 || cols > 9 then
+    invalid_arg "Table1.paper_value: published range is 2..9";
+  published.(rows - 2).(cols - 2)
+
+let dimensions =
+  List.concat_map (fun m -> List.map (fun n -> (m, n)) [ 2; 3; 4; 5; 6; 7; 8; 9 ]) [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let render ?(max_dim = 9) ~compute () =
+  let max_dim = Int.min 9 (Int.max 2 max_dim) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "m/n ";
+  for n = 2 to max_dim do
+    Buffer.add_string buf (Printf.sprintf "%10d" n)
+  done;
+  Buffer.add_char buf '\n';
+  for m = 2 to max_dim do
+    Buffer.add_string buf (Printf.sprintf "%-4d" m);
+    for n = 2 to max_dim do
+      let v = if compute then count ~rows:m ~cols:n else paper_value ~rows:m ~cols:n in
+      Buffer.add_string buf (Printf.sprintf "%10d" v)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

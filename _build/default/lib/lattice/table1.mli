@@ -1,0 +1,24 @@
+(** Paper Table I: number of products of the [m x n] lattice function.
+
+    The published values cover [2 <= m, n <= 9]; this module reproduces them
+    by counting irredundant paths and also ships the printed values for
+    regression checks. *)
+
+(** [count ~rows ~cols] computes the entry by path enumeration. The largest
+    published entry (9 x 9, 38 930 447 products) takes on the order of
+    seconds. Results are memoized per dimension pair. *)
+val count : rows:int -> cols:int -> int
+
+(** [paper_value ~rows ~cols] is the value printed in Table I, for
+    [2 <= rows, cols <= 9]; raises [Invalid_argument] outside that range. *)
+val paper_value : rows:int -> cols:int -> int
+
+(** [dimensions] is the [(rows, cols)] list of every Table I cell in
+    row-major order. *)
+val dimensions : (int * int) list
+
+(** [render ?max_dim ~compute ()] formats the table like the paper
+    (rows [m], columns [n]); with [compute = true] values are recomputed,
+    otherwise the published values are printed. [max_dim] (default 9) trims
+    the table for quick runs. *)
+val render : ?max_dim:int -> compute:bool -> unit -> string

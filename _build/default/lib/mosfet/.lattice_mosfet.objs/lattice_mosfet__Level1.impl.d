@@ -1,0 +1,1 @@
+lib/mosfet/level1.ml: Float Format

@@ -1,0 +1,1 @@
+lib/mosfet/level3.ml: Float Level1

@@ -1,0 +1,1 @@
+lib/mosfet/level3.mli: Level1

@@ -1,0 +1,1 @@
+lib/mosfet/model.ml: Format Level1 Level3

@@ -1,0 +1,1 @@
+lib/mosfet/model.mli: Format Level1 Level3

@@ -1,0 +1,52 @@
+type params = { kp : float; vth : float; lambda : float; w : float; l : float }
+
+type region = Cutoff | Triode | Saturation
+
+let beta p = p.kp *. p.w /. p.l
+
+let vdsat p ~vgs = Float.max 0.0 (vgs -. p.vth)
+
+let check_vds vds = if vds < 0.0 then invalid_arg "Level1: vds must be >= 0 (use ids_signed)"
+
+let region p ~vgs ~vds =
+  check_vds vds;
+  let vov = vgs -. p.vth in
+  if vov <= 0.0 then Cutoff else if vds <= vov then Triode else Saturation
+
+let ids p ~vgs ~vds =
+  match region p ~vgs ~vds with
+  | Cutoff -> 0.0
+  | Triode ->
+    let vov = vgs -. p.vth in
+    beta p *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. (1.0 +. (p.lambda *. vds))
+  | Saturation ->
+    let vov = vgs -. p.vth in
+    0.5 *. beta p *. vov *. vov *. (1.0 +. (p.lambda *. vds))
+
+let ids_signed p ~vg ~vd ~vs =
+  if vd >= vs then ids p ~vgs:(vg -. vs) ~vds:(vd -. vs)
+  else -.ids p ~vgs:(vg -. vd) ~vds:(vs -. vd)
+
+let gm p ~vgs ~vds =
+  match region p ~vgs ~vds with
+  | Cutoff -> 0.0
+  | Triode -> beta p *. vds *. (1.0 +. (p.lambda *. vds))
+  | Saturation ->
+    let vov = vgs -. p.vth in
+    beta p *. vov *. (1.0 +. (p.lambda *. vds))
+
+let gds p ~vgs ~vds =
+  match region p ~vgs ~vds with
+  | Cutoff -> 0.0
+  | Triode ->
+    let vov = vgs -. p.vth in
+    let b = beta p in
+    (b *. (vov -. vds) *. (1.0 +. (p.lambda *. vds)))
+    +. (b *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. p.lambda)
+  | Saturation ->
+    let vov = vgs -. p.vth in
+    0.5 *. beta p *. vov *. vov *. p.lambda
+
+let pp_params fmt p =
+  Format.fprintf fmt "{kp=%.4g A/V^2; vth=%.4g V; lambda=%.4g 1/V; W=%.3g m; L=%.3g m}" p.kp p.vth
+    p.lambda p.w p.l

@@ -1,0 +1,53 @@
+(** Level-1 (Shichman-Hodges) MOSFET equations, exactly as printed in the
+    paper's Section IV:
+
+    {v
+      IDS = 0                                                   VGS <= Vth
+      IDS = Kp W/L [(VGS-Vth) VDS - VDS^2/2] (1 + lambda VDS)   triode
+      IDS = 1/2 Kp W/L (VGS-Vth)^2 (1 + lambda VDS)             saturation
+    v}
+
+    Shared by the parameter-extraction code ([Lattice_fit]) and the circuit
+    simulator ([Lattice_spice]). All quantities are SI: amperes, volts,
+    metres. *)
+
+type params = {
+  kp : float;  (** transconductance parameter [mu_n * Cox], A/V^2 *)
+  vth : float;  (** threshold voltage, V (negative for depletion devices) *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  w : float;  (** channel width, m *)
+  l : float;  (** channel length, m *)
+}
+
+type region = Cutoff | Triode | Saturation
+
+(** [region p ~vgs ~vds] classifies the operating point (expects
+    [vds >= 0]). *)
+val region : params -> vgs:float -> vds:float -> region
+
+(** [ids p ~vgs ~vds] is the drain-source current for [vds >= 0]; raises
+    [Invalid_argument] on negative [vds] (use [ids_signed]). *)
+val ids : params -> vgs:float -> vds:float -> float
+
+(** [ids_signed p ~vg ~vd ~vs] handles source/drain reversal the SPICE way:
+    when [vd < vs] the physical source is the drain terminal, so the device
+    is evaluated with the terminals swapped and the current negated.
+    Voltages are node potentials relative to any common reference. Returns
+    the current flowing into the [vd] terminal. *)
+val ids_signed : params -> vg:float -> vd:float -> vs:float -> float
+
+(** [gm p ~vgs ~vds] is the analytic transconductance [d IDS / d VGS]
+    ([vds >= 0]). *)
+val gm : params -> vgs:float -> vds:float -> float
+
+(** [gds p ~vgs ~vds] is the analytic output conductance [d IDS / d VDS]
+    ([vds >= 0]). *)
+val gds : params -> vgs:float -> vds:float -> float
+
+(** [beta p] is the gain factor [Kp * W / L], A/V^2. *)
+val beta : params -> float
+
+(** [vdsat p ~vgs] is the saturation voltage [max 0 (vgs - vth)]. *)
+val vdsat : params -> vgs:float -> float
+
+val pp_params : Format.formatter -> params -> unit

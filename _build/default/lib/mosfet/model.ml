@@ -1,0 +1,28 @@
+type t = L1 of Level1.params | L3 of Level3.params
+
+let ids m ~vgs ~vds =
+  match m with L1 p -> Level1.ids p ~vgs ~vds | L3 p -> Level3.ids p ~vgs ~vds
+
+let gm m ~vgs ~vds =
+  match m with L1 p -> Level1.gm p ~vgs ~vds | L3 p -> Level3.gm p ~vgs ~vds
+
+let gds m ~vgs ~vds =
+  match m with L1 p -> Level1.gds p ~vgs ~vds | L3 p -> Level3.gds p ~vgs ~vds
+
+let base = function L1 p -> p | L3 p -> p.Level3.base
+
+let vth m = (base m).Level1.vth
+
+let w_over_l m =
+  let p = base m in
+  p.Level1.w /. p.Level1.l
+
+let on_conductance m ~vdd =
+  let dv = 1e-3 in
+  ids m ~vgs:vdd ~vds:dv /. dv
+
+let pp fmt = function
+  | L1 p -> Format.fprintf fmt "level1 %a" Level1.pp_params p
+  | L3 p ->
+    Format.fprintf fmt "level3 %a theta=%.3g vc=%.3g" Level1.pp_params p.Level3.base
+      p.Level3.theta p.Level3.vc

@@ -1,0 +1,45 @@
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let solve ~apply ~b ?x0 ?(tol = 1e-10) ?max_iter () =
+  let n = Array.length b in
+  let max_iter = match max_iter with Some m -> m | None -> 4 * n in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let ax = Vec.zeros n in
+  apply x ax;
+  let r = Vec.sub b ax in
+  let p = Vec.copy r in
+  let ap = Vec.zeros n in
+  let b_norm = Vec.norm2 b in
+  let target = if b_norm = 0.0 then tol else tol *. b_norm in
+  let rs_old = ref (Vec.dot r r) in
+  let rec loop iter =
+    let r_norm = sqrt !rs_old in
+    if r_norm <= target then { solution = x; iterations = iter; residual_norm = r_norm; converged = true }
+    else if iter >= max_iter then
+      { solution = x; iterations = iter; residual_norm = r_norm; converged = false }
+    else begin
+      apply p ap;
+      let p_ap = Vec.dot p ap in
+      if p_ap <= 0.0 then
+        (* operator not SPD along p; stop rather than diverge *)
+        { solution = x; iterations = iter; residual_norm = r_norm; converged = false }
+      else begin
+        let alpha = !rs_old /. p_ap in
+        Vec.axpy alpha p x;
+        Vec.axpy (-.alpha) ap r;
+        let rs_new = Vec.dot r r in
+        let beta = rs_new /. !rs_old in
+        for i = 0 to n - 1 do
+          p.(i) <- r.(i) +. (beta *. p.(i))
+        done;
+        rs_old := rs_new;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0

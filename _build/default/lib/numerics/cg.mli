@@ -1,0 +1,28 @@
+(** Matrix-free conjugate-gradient solver for symmetric positive-definite
+    operators.
+
+    Used by the 2-D field solver ([Lattice_device.Field2d]) where the
+    five-point Laplacian is applied on the fly rather than assembled. *)
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+(** [solve ~apply ~b ?x0 ?tol ?max_iter ()] solves [A x = b] where
+    [apply x out] writes [A x] into [out]. The operator must be symmetric
+    positive definite for convergence guarantees.
+
+    @param x0 initial guess (defaults to zero)
+    @param tol relative residual target on [||r|| / ||b||] (default [1e-10])
+    @param max_iter iteration cap (default [4 * length b]) *)
+val solve :
+  apply:(Vec.t -> Vec.t -> unit) ->
+  b:Vec.t ->
+  ?x0:Vec.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Array Dcop Float Int Lattice_numerics List Mna Netlist

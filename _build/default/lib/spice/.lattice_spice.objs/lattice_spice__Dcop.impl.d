@@ -1,0 +1,1 @@
+lib/spice/dcop.ml: Array Float Lattice_numerics List Mna Netlist Printf

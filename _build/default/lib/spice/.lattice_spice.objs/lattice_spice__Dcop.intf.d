@@ -1,0 +1,1 @@
+lib/spice/dcop.mli: Lattice_numerics Mna Netlist

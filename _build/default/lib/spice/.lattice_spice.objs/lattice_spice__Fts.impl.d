@@ -1,0 +1,1 @@
+lib/spice/fts.ml: Lattice_mosfet Netlist Printf

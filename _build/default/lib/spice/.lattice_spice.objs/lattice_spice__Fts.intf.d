@@ -1,0 +1,1 @@
+lib/spice/fts.mli: Lattice_mosfet Netlist

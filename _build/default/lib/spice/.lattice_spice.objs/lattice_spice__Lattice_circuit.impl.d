@@ -1,0 +1,1 @@
+lib/spice/lattice_circuit.ml: Array Fts Int Lattice_core List Netlist Printf Source

@@ -1,0 +1,1 @@
+lib/spice/lattice_circuit.mli: Fts Lattice_core Netlist Source

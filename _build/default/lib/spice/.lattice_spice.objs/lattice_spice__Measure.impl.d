@@ -1,0 +1,1 @@
+lib/spice/measure.ml: Array Buffer Float Int Lattice_numerics List Printf String

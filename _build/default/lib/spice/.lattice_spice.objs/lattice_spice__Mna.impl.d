@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Float Lattice_mosfet Lattice_numerics List Netlist Source

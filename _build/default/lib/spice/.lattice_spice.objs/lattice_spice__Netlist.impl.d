@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: Array Buffer Float Hashtbl Lattice_mosfet List Printf Source String Units

@@ -1,0 +1,1 @@
+lib/spice/netlist.mli: Lattice_mosfet Source

@@ -1,0 +1,1 @@
+lib/spice/series_chain.ml: Array Dcop Fts Lattice_numerics Netlist Printf Source

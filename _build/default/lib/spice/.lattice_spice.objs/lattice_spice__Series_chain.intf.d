@@ -1,0 +1,1 @@
+lib/spice/series_chain.mli: Fts Netlist

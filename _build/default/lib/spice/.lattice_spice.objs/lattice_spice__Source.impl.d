@@ -1,0 +1,1 @@
+lib/spice/source.ml: Float

@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Dcop Float Int Lattice_numerics List Mna Netlist Printf

@@ -1,0 +1,96 @@
+module Matrix = Lattice_numerics.Matrix
+module Lu = Lattice_numerics.Lu
+
+type point = { freq_hz : float; magnitude : float; phase_deg : float }
+
+type response = { points : point list; dc_gain : float }
+
+let cap_stamps netlist =
+  List.filter_map
+    (function
+      | Netlist.Capacitor { n1; n2; farads; _ } ->
+        Some (Netlist.node_index n1, Netlist.node_index n2, farads)
+      | Netlist.Resistor _ | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Mosfet _ -> None)
+    (Netlist.elements netlist)
+
+let sweep netlist ~source ~output ~f_start ~f_stop ~points_per_decade =
+  if f_start <= 0.0 || f_stop <= f_start then invalid_arg "Ac.sweep: bad frequency range";
+  if points_per_decade < 1 then invalid_arg "Ac.sweep: need at least 1 point per decade";
+  let source_row =
+    match Netlist.vsource_index netlist source with
+    | Some idx -> Netlist.vsource_row netlist idx
+    | None -> invalid_arg ("Ac.sweep: unknown source " ^ source)
+  in
+  let out_index = Netlist.node_index (Netlist.node netlist output) in
+  if out_index < 0 then invalid_arg "Ac.sweep: output is ground";
+  let x_op = Dcop.solve netlist in
+  let g_matrix, _ =
+    Mna.stamp netlist ~x:x_op ~time:0.0 ~gmin:Dcop.default_options.Dcop.gmin_final ~gshunt:0.0
+      ~source_scale:1.0 ~caps:None
+  in
+  let n = Netlist.unknowns netlist in
+  let caps = cap_stamps netlist in
+  let solve_at freq =
+    let w = 2.0 *. Float.pi *. freq in
+    (* real augmented system [[G, -B]; [B, G]] *)
+    let a = Matrix.create (2 * n) (2 * n) in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        let g = Matrix.get g_matrix r c in
+        Matrix.set a r c g;
+        Matrix.set a (n + r) (n + c) g
+      done
+    done;
+    let add_b r c v =
+      if r >= 0 && c >= 0 then begin
+        Matrix.add_to a r (n + c) (-.v);
+        Matrix.add_to a (n + r) c v
+      end
+    in
+    List.iter
+      (fun (i1, i2, farads) ->
+        let y = w *. farads in
+        if i1 >= 0 then add_b i1 i1 y;
+        if i2 >= 0 then add_b i2 i2 y;
+        if i1 >= 0 && i2 >= 0 then begin
+          add_b i1 i2 (-.y);
+          add_b i2 i1 (-.y)
+        end)
+      caps;
+    let b = Array.make (2 * n) 0.0 in
+    b.(source_row) <- 1.0;
+    let x = Lu.solve_dense a b in
+    let re = x.(out_index) and im = x.(n + out_index) in
+    {
+      freq_hz = freq;
+      magnitude = sqrt ((re *. re) +. (im *. im));
+      phase_deg = Float.atan2 im re *. 180.0 /. Float.pi;
+    }
+  in
+  let decades = log10 (f_stop /. f_start) in
+  let npoints = Int.max 2 (1 + int_of_float (Float.round (decades *. float_of_int points_per_decade))) in
+  let points =
+    List.init npoints (fun i ->
+        let t = float_of_int i /. float_of_int (npoints - 1) in
+        solve_at (f_start *. (10.0 ** (decades *. t))))
+  in
+  let dc_gain = match points with p :: _ -> p.magnitude | [] -> 0.0 in
+  { points; dc_gain }
+
+let arrays response =
+  let fs = Array.of_list (List.map (fun p -> p.freq_hz) response.points) in
+  let mags = Array.of_list (List.map (fun p -> p.magnitude) response.points) in
+  let phases = Array.of_list (List.map (fun p -> p.phase_deg) response.points) in
+  (fs, mags, phases)
+
+let f_3db response =
+  let fs, mags, _ = arrays response in
+  Lattice_numerics.Interp.first_crossing fs mags (response.dc_gain /. sqrt 2.0)
+
+let phase_at response f =
+  let fs, _, phases = arrays response in
+  Lattice_numerics.Interp.lookup fs phases f
+
+let magnitude_at response f =
+  let fs, mags, _ = arrays response in
+  Lattice_numerics.Interp.lookup fs mags f

@@ -1,0 +1,125 @@
+module Vec = Lattice_numerics.Vec
+module Lu = Lattice_numerics.Lu
+
+exception Convergence_failure of string
+
+type options = {
+  max_iterations : int;
+  abstol : float;
+  reltol : float;
+  gmin_final : float;
+  gmin_steps : float list;
+  source_steps : int;
+  damping : float;
+}
+
+let default_options =
+  {
+    max_iterations = 200;
+    abstol = 1e-9;
+    reltol = 1e-6;
+    gmin_final = 1e-12;
+    gmin_steps = [ 1e-3; 1e-5; 1e-7; 1e-9; 1e-12 ];
+    source_steps = 10;
+    damping = 1.0;
+  }
+
+let converged options x_old x_new =
+  let n = Array.length x_old in
+  let rec go i =
+    i >= n
+    ||
+    let d = Float.abs (x_new.(i) -. x_old.(i)) in
+    d <= options.abstol +. (options.reltol *. Float.abs x_new.(i)) && go (i + 1)
+  in
+  go 0
+
+let newton ?(gshunt = 0.0) netlist ~options ~x0 ~time ~gmin ~source_scale ~caps =
+  let x = Vec.copy x0 in
+  let rec iterate k =
+    if k >= options.max_iterations then
+      raise (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" k));
+    let a, b = Mna.stamp netlist ~x ~time ~gmin ~gshunt ~source_scale ~caps in
+    let x_new =
+      match Lu.factor a with
+      | f -> Lu.solve f b
+      | exception Lu.Singular col ->
+        raise (Convergence_failure (Printf.sprintf "singular MNA matrix at column %d" col))
+    in
+    (* limit per-step voltage change to keep the level-1 model in range *)
+    let nnodes = Netlist.num_nodes netlist in
+    for i = 0 to nnodes - 1 do
+      let d = x_new.(i) -. x.(i) in
+      if Float.abs d > options.damping then x_new.(i) <- x.(i) +. (Float.copy_sign options.damping d)
+    done;
+    if converged options x x_new then x_new
+    else begin
+      Array.blit x_new 0 x 0 (Array.length x);
+      iterate (k + 1)
+    end
+  in
+  iterate 0
+
+let solve ?(options = default_options) ?x0 ?(time = 0.0) netlist =
+  let n = Netlist.unknowns netlist in
+  if n = 0 then [||]
+  else begin
+    let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.zeros n in
+    let attempt_plain options () =
+      newton netlist ~options ~x0 ~time ~gmin:options.gmin_final ~source_scale:1.0 ~caps:None
+    in
+    let attempt_gmin options () =
+      let x = ref (Vec.copy x0) in
+      List.iter
+        (fun gmin -> x := newton netlist ~options ~x0:!x ~time ~gmin ~source_scale:1.0 ~caps:None)
+        options.gmin_steps;
+      newton netlist ~options ~x0:!x ~time ~gmin:options.gmin_final ~source_scale:1.0 ~caps:None
+    in
+    let attempt_source options () =
+      let x = ref (Vec.copy x0) in
+      for k = 1 to options.source_steps do
+        let scale = float_of_int k /. float_of_int options.source_steps in
+        x :=
+          newton netlist ~options ~x0:!x ~time ~gmin:options.gmin_final ~source_scale:scale
+            ~caps:None
+      done;
+      !x
+    in
+    (* heavily damped settings suppress the source/drain-swap chattering
+       that plain Newton can fall into on badly matched devices *)
+    let damped =
+      { options with damping = Float.min 0.1 options.damping; max_iterations = 4 * options.max_iterations }
+    in
+    (* last resort: walk a node-to-ground shunt from strong to negligible,
+       warm-starting each stage. The ladder stops at 1e-12 S rather than 0:
+       a node left floating by OFF switches has no zero-shunt operating
+       point, and the residual bias (~fA) sits far below the device leakage
+       floor. *)
+    let attempt_gshunt options () =
+      let x = ref (Vec.copy x0) in
+      List.iter
+        (fun gshunt ->
+          x :=
+            newton ~gshunt netlist ~options ~x0:!x ~time ~gmin:options.gmin_final
+              ~source_scale:1.0 ~caps:None)
+        [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; 1e-12 ];
+      !x
+    in
+    let rec first_success = function
+      | [] -> raise (Convergence_failure "all DC strategies failed")
+      | attempt :: rest -> (
+        match attempt () with
+        | x -> x
+        | exception Convergence_failure _ -> first_success rest)
+    in
+    first_success
+      [
+        attempt_plain options;
+        attempt_gmin options;
+        attempt_source options;
+        attempt_plain damped;
+        attempt_gmin damped;
+        attempt_source damped;
+        attempt_gshunt damped;
+      ]
+  end

@@ -1,0 +1,38 @@
+(** DC operating-point analysis: damped Newton-Raphson with gmin stepping
+    and a source-stepping fallback. *)
+
+exception Convergence_failure of string
+
+type options = {
+  max_iterations : int;  (** Newton iterations per continuation step (default 200) *)
+  abstol : float;  (** absolute voltage tolerance, V (default 1e-9) *)
+  reltol : float;  (** relative tolerance (default 1e-6) *)
+  gmin_final : float;  (** residual drain-source conductance, S (default 1e-12) *)
+  gmin_steps : float list;  (** continuation ladder, largest first *)
+  source_steps : int;  (** ramp points for the source-stepping fallback (default 10) *)
+  damping : float;  (** max voltage change per Newton step, V (default 1.0) *)
+}
+
+val default_options : options
+
+(** [newton netlist ~options ~x0 ~time ~gmin ~source_scale ~caps] runs plain
+    Newton at a fixed continuation point ([gshunt] adds a node-to-ground
+    conductance, default 0); returns the solution or raises
+    [Convergence_failure]. Exposed for the convergence-aid ablation. *)
+val newton :
+  ?gshunt:float ->
+  Netlist.t ->
+  options:options ->
+  x0:Lattice_numerics.Vec.t ->
+  time:float ->
+  gmin:float ->
+  source_scale:float ->
+  caps:Mna.cap_companion option ->
+  Lattice_numerics.Vec.t
+
+(** [solve ?options ?x0 ?time netlist] computes the operating point at
+    [time] (default 0). Strategy ladder: plain Newton, gmin stepping,
+    source stepping, the same three heavily damped, then a node-shunt
+    continuation. Raises [Convergence_failure] if everything fails. *)
+val solve :
+  ?options:options -> ?x0:Lattice_numerics.Vec.t -> ?time:float -> Netlist.t -> Lattice_numerics.Vec.t

@@ -1,0 +1,81 @@
+(** Lattice-to-netlist generation (paper Section V).
+
+    An assigned [m x n] lattice becomes a pull-down network of four-terminal
+    switches: vertically adjacent switches share their north/south terminal
+    nodes, horizontally adjacent ones their east/west nodes; the top plate
+    (shared north node of row 0) is pulled up to VDD through a resistor and
+    carries the output capacitor, the bottom plate (row m-1's south node) is
+    grounded. Because the lattice is a pull-down network, the circuit
+    computes the {e complement} of the lattice function (the paper simulates
+    the inverse of XOR3).
+
+    Control inputs become gate drivers: a literal [x] connects the switch
+    gate to the driver of [x] ([x'] to the complement driver), a constant-1
+    site to VDD and a constant-0 site to ground. *)
+
+type config = {
+  vdd : float;  (** supply, V (paper: 1.2) *)
+  pullup_ohms : float;  (** paper: 500k *)
+  output_cap : float;  (** paper: 10 fF *)
+  terminal_cap : float;  (** paper: 1 fF *)
+  gate_cap : float;  (** per-switch gate capacitance (paper model: 0) *)
+  types : Fts.mosfet_types;
+}
+
+(** The paper's Fig 11 configuration. *)
+val default_config : config
+
+type t = {
+  netlist : Netlist.t;
+  output_node : string;  (** top plate, the (inverted) output *)
+  input_nodes : string array;  (** driver node of each variable *)
+  config : config;
+}
+
+(** [input_node_name v] / [input_bar_node_name v] are the driver node names
+    of variable [v] and its complement. *)
+val input_node_name : int -> string
+
+val input_bar_node_name : int -> string
+
+(** [build ?config ?types_of_site grid ~stimulus] generates the netlist.
+    [stimulus v] is the waveform of variable [v]; its complement driver
+    gets [complement config.vdd (stimulus v)] automatically (vdd minus the
+    waveform, realized for DC and pulse sources). [types_of_site row col]
+    overrides the switch models per site — the hook Monte-Carlo process
+    variation uses.
+
+    Complement drivers are only added when some site mentions the negated
+    literal. *)
+val build :
+  ?config:config ->
+  ?types_of_site:(int -> int -> Fts.mosfet_types) ->
+  Lattice_core.Grid.t ->
+  stimulus:(int -> Source.t) ->
+  t
+
+(** [build_complementary ?config ~pull_up ~pull_down ~stimulus ()] builds
+    the complementary structure the paper's Section VI-A forecasts: a
+    four-terminal lattice as the pull-up network (realizing the complement
+    of the pull-down function) instead of the resistor. No static path ever
+    connects VDD to ground, so static power drops to leakage, and the
+    output rise is driven actively instead of through the 500 k resistor.
+    The logic-high level is degraded by roughly one threshold voltage
+    because the pass network is n-type — the paper's proposal shares this
+    property until a p-type four-terminal switch exists. *)
+val build_complementary :
+  ?config:config ->
+  pull_up:Lattice_core.Grid.t ->
+  pull_down:Lattice_core.Grid.t ->
+  stimulus:(int -> Source.t) ->
+  unit ->
+  t
+
+(** [exhaustive_stimulus ~vdd ~bit_time] drives variable [v] with
+    [Source.bit_clock] so all input combinations appear — the Fig 11
+    stimulus. *)
+val exhaustive_stimulus : vdd:float -> bit_time:float -> int -> Source.t
+
+(** [complement ~vdd wave] mirrors a waveform across [vdd/2] (complement
+    driver). *)
+val complement : vdd:float -> Source.t -> Source.t

@@ -1,0 +1,197 @@
+type node = int
+
+type element =
+  | Resistor of { name : string; n1 : node; n2 : node; ohms : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; farads : float }
+  | Vsource of { name : string; npos : node; nneg : node; wave : Source.t; index : int }
+  | Isource of { name : string; npos : node; nneg : node; wave : Source.t }
+  | Mosfet of {
+      name : string;
+      drain : node;
+      gate : node;
+      source : node;
+      model : Lattice_mosfet.Model.t;
+    }
+
+type t = {
+  mutable names : (string, node) Hashtbl.t;
+  mutable node_names : string array;  (* grows; index = node id *)
+  mutable next_node : int;
+  mutable elements_rev : element list;
+  mutable nvsrc : int;
+  mutable fresh_counter : int;
+}
+
+let ground = 0
+
+let create () =
+  let names = Hashtbl.create 64 in
+  Hashtbl.replace names "0" ground;
+  {
+    names;
+    node_names = Array.make 16 "0";
+    next_node = 1;
+    elements_rev = [];
+    nvsrc = 0;
+    fresh_counter = 0;
+  }
+
+let store_name t id name =
+  if id >= Array.length t.node_names then begin
+    let bigger = Array.make (2 * (id + 1)) "" in
+    Array.blit t.node_names 0 bigger 0 (Array.length t.node_names);
+    t.node_names <- bigger
+  end;
+  t.node_names.(id) <- name
+
+let node t name =
+  let name = if name = "gnd" || name = "GND" then "0" else name in
+  match Hashtbl.find_opt t.names name with
+  | Some id -> id
+  | None ->
+    let id = t.next_node in
+    t.next_node <- id + 1;
+    Hashtbl.replace t.names name id;
+    store_name t id name;
+    id
+
+let fresh_node t prefix =
+  t.fresh_counter <- t.fresh_counter + 1;
+  node t (Printf.sprintf "%s#%d" prefix t.fresh_counter)
+
+let add t e = t.elements_rev <- e :: t.elements_rev
+
+let check_value what v = if not (Float.is_finite v) || v <= 0.0 then
+    invalid_arg (Printf.sprintf "Netlist: %s must be positive and finite (got %g)" what v)
+
+let resistor t name n1 n2 ohms =
+  check_value "resistance" ohms;
+  add t (Resistor { name; n1; n2; ohms })
+
+let capacitor t name n1 n2 farads =
+  check_value "capacitance" farads;
+  add t (Capacitor { name; n1; n2; farads })
+
+let vsource t name npos nneg wave =
+  let index = t.nvsrc in
+  t.nvsrc <- index + 1;
+  add t (Vsource { name; npos; nneg; wave; index })
+
+let isource t name npos nneg wave = add t (Isource { name; npos; nneg; wave })
+
+let mosfet_model t name ~drain ~gate ~source model =
+  add t (Mosfet { name; drain; gate; source; model })
+
+let mosfet t name ~drain ~gate ~source params =
+  mosfet_model t name ~drain ~gate ~source (Lattice_mosfet.Model.L1 params)
+
+let num_nodes t = t.next_node - 1
+let num_vsources t = t.nvsrc
+let unknowns t = num_nodes t + num_vsources t
+let elements t = List.rev t.elements_rev
+
+let node_name t n =
+  if n < 0 || n >= t.next_node then invalid_arg "Netlist.node_name: unknown node";
+  t.node_names.(n)
+
+let node_index n = n - 1
+
+let vsource_row t index = num_nodes t + index
+
+let vsource_index t name =
+  let rec find = function
+    | [] -> None
+    | Vsource { name = n; index; _ } :: _ when n = name -> Some index
+    | (Vsource _ | Resistor _ | Capacitor _ | Isource _ | Mosfet _) :: rest -> find rest
+  in
+  find (elements t)
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) name
+
+let wave_to_spice = function
+  | Source.Dc v -> Printf.sprintf "DC %s" (Units.format v)
+  | Source.Pulse { v1; v2; delay; rise; fall; width; period } ->
+    Printf.sprintf "PULSE(%s %s %s %s %s %s %s)" (Units.format v1) (Units.format v2)
+      (Units.format delay) (Units.format rise) (Units.format fall) (Units.format width)
+      (Units.format period)
+  | Source.Pwl points ->
+    "PWL("
+    ^ String.concat " "
+        (List.map (fun (tt, v) -> Printf.sprintf "%s %s" (Units.format tt) (Units.format v)) points)
+    ^ ")"
+
+let to_spice_string t ~title =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  (* collect distinct MOSFET models and name them *)
+  let models = Hashtbl.create 8 in
+  let model_name m =
+    match Hashtbl.find_opt models m with
+    | Some name -> name
+    | None ->
+      let name = Printf.sprintf "NMOD%d" (Hashtbl.length models + 1) in
+      Hashtbl.replace models m name;
+      name
+  in
+  let node_str n = if n = ground then "0" else sanitize (node_name t n) in
+  List.iter
+    (fun e ->
+      match e with
+      | Resistor { name; n1; n2; ohms } ->
+        Buffer.add_string buf
+          (Printf.sprintf "R%s %s %s %s\n" (sanitize name) (node_str n1) (node_str n2)
+             (Units.format ohms))
+      | Capacitor { name; n1; n2; farads } ->
+        Buffer.add_string buf
+          (Printf.sprintf "C%s %s %s %s\n" (sanitize name) (node_str n1) (node_str n2)
+             (Units.format farads))
+      | Vsource { name; npos; nneg; wave; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "V%s %s %s %s\n" (sanitize name) (node_str npos) (node_str nneg)
+             (wave_to_spice wave))
+      | Isource { name; npos; nneg; wave } ->
+        Buffer.add_string buf
+          (Printf.sprintf "I%s %s %s %s\n" (sanitize name) (node_str npos) (node_str nneg)
+             (wave_to_spice wave))
+      | Mosfet { name; drain; gate; source; model } ->
+        let base =
+          match model with
+          | Lattice_mosfet.Model.L1 p -> p
+          | Lattice_mosfet.Model.L3 p3 -> p3.Lattice_mosfet.Level3.base
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "M%s %s %s %s 0 %s W=%s L=%s\n" (sanitize name) (node_str drain)
+             (node_str gate) (node_str source) (model_name model)
+             (Units.format base.Lattice_mosfet.Level1.w)
+             (Units.format base.Lattice_mosfet.Level1.l)))
+    (elements t);
+  Hashtbl.iter
+    (fun model name ->
+      match model with
+      | Lattice_mosfet.Model.L1 p ->
+        Buffer.add_string buf
+          (Printf.sprintf ".MODEL %s NMOS (LEVEL=1 KP=%.4g VTO=%.4g LAMBDA=%.4g)\n" name
+             p.Lattice_mosfet.Level1.kp p.Lattice_mosfet.Level1.vth p.Lattice_mosfet.Level1.lambda)
+      | Lattice_mosfet.Model.L3 p3 ->
+        let p = p3.Lattice_mosfet.Level3.base in
+        Buffer.add_string buf
+          (Printf.sprintf ".MODEL %s NMOS (LEVEL=3 KP=%.4g VTO=%.4g KAPPA=%.4g THETA=%.4g) * Vc=%.4g\n"
+             name p.Lattice_mosfet.Level1.kp p.Lattice_mosfet.Level1.vth
+             p.Lattice_mosfet.Level1.lambda p3.Lattice_mosfet.Level3.theta
+             p3.Lattice_mosfet.Level3.vc))
+    models;
+  Buffer.add_string buf ".END\n";
+  Buffer.contents buf
+
+let summary t =
+  let r = ref 0 and c = ref 0 and v = ref 0 and i = ref 0 and m = ref 0 in
+  List.iter
+    (function
+      | Resistor _ -> incr r
+      | Capacitor _ -> incr c
+      | Vsource _ -> incr v
+      | Isource _ -> incr i
+      | Mosfet _ -> incr m)
+    t.elements_rev;
+  Printf.sprintf "%d nodes, %d R, %d C, %d V, %d I, %d M" (num_nodes t) !r !c !v !i !m

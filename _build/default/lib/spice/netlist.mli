@@ -1,0 +1,84 @@
+(** Circuit netlists.
+
+    A netlist is built imperatively: create it, ask for nodes by name (the
+    ground node is ["0"]), and add elements. Unknowns of the MNA system are
+    the non-ground node voltages followed by one branch current per voltage
+    source. *)
+
+type node = int
+(** 0 is ground; positive values are circuit nodes. *)
+
+type element =
+  | Resistor of { name : string; n1 : node; n2 : node; ohms : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; farads : float }
+  | Vsource of { name : string; npos : node; nneg : node; wave : Source.t; index : int }
+  | Isource of { name : string; npos : node; nneg : node; wave : Source.t }
+      (** current flows from [npos] through the source to [nneg] *)
+  | Mosfet of {
+      name : string;
+      drain : node;
+      gate : node;
+      source : node;
+      model : Lattice_mosfet.Model.t;
+    }
+
+type t
+
+val create : unit -> t
+
+(** [node t name] returns the node with that name, creating it if new.
+    ["0"], ["gnd"] and ["GND"] are the ground node. *)
+val node : t -> string -> node
+
+(** [fresh_node t prefix] creates an anonymous internal node. *)
+val fresh_node : t -> string -> node
+
+val ground : node
+
+(** Element constructors; values must be positive where physical.
+    Each returns unit and registers the element. *)
+val resistor : t -> string -> node -> node -> float -> unit
+
+val capacitor : t -> string -> node -> node -> float -> unit
+val vsource : t -> string -> node -> node -> Source.t -> unit
+val isource : t -> string -> node -> node -> Source.t -> unit
+
+(** [mosfet] adds a level-1 transistor; [mosfet_model] accepts any
+    first-class model (level 1 or level 3). *)
+val mosfet : t -> string -> drain:node -> gate:node -> source:node -> Lattice_mosfet.Level1.params -> unit
+
+val mosfet_model : t -> string -> drain:node -> gate:node -> source:node -> Lattice_mosfet.Model.t -> unit
+
+(** [num_nodes t] counts non-ground nodes; [num_vsources t] the voltage
+    sources; [unknowns t] the MNA system size. *)
+val num_nodes : t -> int
+
+val num_vsources : t -> int
+val unknowns : t -> int
+
+(** [elements t] lists elements in insertion order. *)
+val elements : t -> element list
+
+(** [node_name t n] is the name [n] was created with. *)
+val node_name : t -> node -> string
+
+(** [node_index n] is the row of node [n] in the MNA system, or [-1] for
+    ground. *)
+val node_index : node -> int
+
+(** [vsource_row t index] is the MNA row of a voltage source's branch
+    current. *)
+val vsource_row : t -> int -> int
+
+(** [vsource_index t name] looks a voltage source up by element name. *)
+val vsource_index : t -> string -> int option
+
+(** [summary t] is a one-line element census for logs. *)
+val summary : t -> string
+
+(** [to_spice_string t ~title] renders the circuit as a SPICE deck
+    (.MODEL cards for the distinct MOSFET models, engineering-notation
+    values, PULSE/PWL sources), for interoperability with external
+    simulators. Level-3 models are emitted as LEVEL=3 cards with THETA and
+    the critical voltage in a comment. *)
+val to_spice_string : t -> title:string -> string

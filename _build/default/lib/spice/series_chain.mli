@@ -1,0 +1,34 @@
+(** Series-connected four-terminal switches — the drive-strength experiment
+    of paper Fig 12.
+
+    [n] switches are stacked vertically (north of switch k+1 = south of
+    switch k); every gate is tied to the gate bias (1.2 V in the paper so
+    all switches are ON), the bottom terminal is grounded and a voltage
+    source drives the top terminal. *)
+
+type t = {
+  netlist : Netlist.t;
+  supply_index : int;  (** voltage-source index of the top driver *)
+}
+
+(** [build ~n ?types ?gate_v ?terminal_cap ~v_top ()] constructs the chain.
+    Defaults: [Fts.default_types], [gate_v = 1.2], 1 fF terminal caps. *)
+val build :
+  n:int ->
+  ?types:Fts.mosfet_types ->
+  ?gate_v:float ->
+  ?terminal_cap:float ->
+  v_top:float ->
+  unit ->
+  t
+
+(** [current ~n ?types ?gate_v ~v_top ()] is the DC current drawn through
+    the chain at the given top voltage (positive for conduction), A —
+    one point of Fig 12a. *)
+val current : n:int -> ?types:Fts.mosfet_types -> ?gate_v:float -> v_top:float -> unit -> float
+
+(** [voltage_for_current ~n ?types ?gate_v ~i_target ()] finds by bisection
+    the top voltage at which the chain conducts [i_target] — one point of
+    Fig 12b. Searches in [0 .. 20 V]. *)
+val voltage_for_current :
+  n:int -> ?types:Fts.mosfet_types -> ?gate_v:float -> i_target:float -> unit -> float

@@ -1,0 +1,124 @@
+module Vec = Lattice_numerics.Vec
+
+type integrator = Backward_euler | Trapezoidal
+
+type options = { integrator : integrator; dc : Dcop.options; max_step_halvings : int }
+
+let default_options =
+  { integrator = Trapezoidal; dc = Dcop.default_options; max_step_halvings = 8 }
+
+type result = {
+  times : float array;
+  node_names : string array;
+  voltages : float array array;
+  current_names : string array;
+  currents : float array array;
+  newton_iterations_total : int;
+}
+
+let lookup_series names series name =
+  let rec find i =
+    if i >= Array.length names then raise Not_found
+    else if names.(i) = name then series.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let signal result name = lookup_series result.node_names result.voltages name
+let branch_current result name = lookup_series result.current_names result.currents name
+
+type cap_state = { farads : float array; mutable v_prev : float array; mutable i_prev : float array }
+
+let companion state ~dt ~use_trap =
+  let n = Array.length state.farads in
+  let geq = Array.make n 0.0 and ieq = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    if use_trap then begin
+      geq.(k) <- 2.0 *. state.farads.(k) /. dt;
+      ieq.(k) <- -.((geq.(k) *. state.v_prev.(k)) +. state.i_prev.(k))
+    end
+    else begin
+      geq.(k) <- state.farads.(k) /. dt;
+      ieq.(k) <- -.(geq.(k) *. state.v_prev.(k))
+    end
+  done;
+  { Mna.geq; ieq }
+
+let cap_farads netlist =
+  let out = ref [] in
+  List.iter
+    (function
+      | Netlist.Capacitor { farads; _ } -> out := farads :: !out
+      | Netlist.Resistor _ | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Mosfet _ -> ())
+    (Netlist.elements netlist);
+  Array.of_list (List.rev !out)
+
+let run ?(options = default_options) netlist ~h ~t_stop ~record ?(record_currents = []) () =
+  if h <= 0.0 || t_stop <= 0.0 then invalid_arg "Transient.run: h and t_stop must be positive";
+  let record_nodes = List.map (fun name -> Netlist.node netlist name) record in
+  let record_rows =
+    List.map
+      (fun name ->
+        match Netlist.vsource_index netlist name with
+        | Some idx -> Netlist.vsource_row netlist idx
+        | None -> invalid_arg ("Transient.run: unknown voltage source " ^ name))
+      record_currents
+  in
+  let x = ref (Dcop.solve ~options:options.dc ~time:0.0 netlist) in
+  let caps =
+    {
+      farads = cap_farads netlist;
+      v_prev = Mna.cap_voltages netlist !x;
+      i_prev = Array.make (Mna.cap_count netlist) 0.0;
+    }
+  in
+  let newton_total = ref 0 in
+  let first_step = ref true in
+  (* advance from [t] by [dt]; recursive halving on Newton failure *)
+  let rec advance t dt halvings =
+    let use_trap = options.integrator = Trapezoidal && not !first_step in
+    let comp = companion caps ~dt ~use_trap in
+    match
+      Dcop.newton netlist ~options:options.dc ~x0:!x ~time:(t +. dt) ~gmin:options.dc.Dcop.gmin_final
+        ~source_scale:1.0 ~caps:(Some comp)
+    with
+    | x_new ->
+      let v_new = Mna.cap_voltages netlist x_new in
+      let i_new =
+        Array.mapi (fun k g -> (g *. v_new.(k)) +. comp.Mna.ieq.(k)) comp.Mna.geq
+      in
+      caps.v_prev <- v_new;
+      caps.i_prev <- i_new;
+      x := x_new;
+      first_step := false;
+      incr newton_total
+    | exception Dcop.Convergence_failure msg ->
+      if halvings >= options.max_step_halvings then
+        raise (Dcop.Convergence_failure (Printf.sprintf "transient at t=%.4g: %s" t msg));
+      let half = dt /. 2.0 in
+      advance t half (halvings + 1);
+      advance (t +. half) half (halvings + 1)
+  in
+  let nsteps = int_of_float (Float.round (t_stop /. h)) in
+  let nsteps = Int.max 1 nsteps in
+  let times = Array.make (nsteps + 1) 0.0 in
+  let voltages = Array.map (fun _ -> Array.make (nsteps + 1) 0.0) (Array.of_list record) in
+  let currents = Array.map (fun _ -> Array.make (nsteps + 1) 0.0) (Array.of_list record_currents) in
+  let sample k =
+    List.iteri (fun idx node -> voltages.(idx).(k) <- Mna.voltage !x node) record_nodes;
+    List.iteri (fun idx row -> currents.(idx).(k) <- !x.(row)) record_rows;
+    times.(k) <- float_of_int k *. h
+  in
+  sample 0;
+  for k = 1 to nsteps do
+    advance (float_of_int (k - 1) *. h) h 0;
+    sample k
+  done;
+  {
+    times;
+    node_names = Array.of_list record;
+    voltages;
+    current_names = Array.of_list record_currents;
+    currents;
+    newton_iterations_total = !newton_total;
+  }

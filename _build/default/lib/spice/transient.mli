@@ -1,0 +1,49 @@
+(** Fixed-step transient analysis.
+
+    The initial condition is the DC operating point with sources at t = 0.
+    Each step solves the nonlinear MNA system with capacitor companion
+    models; the first step after DC always uses backward Euler (no history
+    for the trapezoidal rule), subsequent steps use the selected
+    integrator. On a Newton failure the step is retried with halved step
+    size (up to [max_step_halvings]). *)
+
+type integrator = Backward_euler | Trapezoidal
+
+type options = {
+  integrator : integrator;
+  dc : Dcop.options;
+  max_step_halvings : int;  (** default 8 *)
+}
+
+val default_options : options
+
+type result = {
+  times : float array;
+  node_names : string array;  (** recorded nodes, in request order *)
+  voltages : float array array;  (** [voltages.(k)] is node [k]'s samples *)
+  current_names : string array;  (** recorded voltage-source names *)
+  currents : float array array;
+      (** branch currents, positive into the source's + terminal *)
+  newton_iterations_total : int;
+}
+
+(** [signal result name] fetches a recorded node waveform.
+    Raises [Not_found]. *)
+val signal : result -> string -> float array
+
+(** [branch_current result name] fetches a recorded source current.
+    Raises [Not_found]. *)
+val branch_current : result -> string -> float array
+
+(** [run ?options netlist ~h ~t_stop ~record ?record_currents ()] simulates
+    from 0 to [t_stop] with step [h], recording the named nodes and the
+    branch currents of the named voltage sources. *)
+val run :
+  ?options:options ->
+  Netlist.t ->
+  h:float ->
+  t_stop:float ->
+  record:string list ->
+  ?record_currents:string list ->
+  unit ->
+  result

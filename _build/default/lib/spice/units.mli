@@ -1,0 +1,10 @@
+(** Engineering-notation helpers for netlist values ("500k", "1f", "10n"). *)
+
+(** [parse s] reads a float with an optional SPICE suffix
+    (f, p, n, u, m, k, meg, g, t); case-insensitive.
+    Raises [Invalid_argument] on malformed input. *)
+val parse : string -> float
+
+(** [format x] renders with the closest engineering suffix,
+    e.g. [format 5e5 = "500k"], [format 1e-15 = "1f"]. *)
+val format : float -> string

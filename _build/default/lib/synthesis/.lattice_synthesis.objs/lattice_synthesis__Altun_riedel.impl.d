@@ -1,0 +1,1 @@
+lib/synthesis/altun_riedel.ml: Array Lattice_boolfn Lattice_core

@@ -1,0 +1,1 @@
+lib/synthesis/altun_riedel.mli: Lattice_boolfn Lattice_core

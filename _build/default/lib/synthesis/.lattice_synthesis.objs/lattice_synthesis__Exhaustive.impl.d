@@ -1,0 +1,1 @@
+lib/synthesis/exhaustive.ml: Array Bool Bytes Fun Int Lattice_boolfn Lattice_core List Option

@@ -1,0 +1,1 @@
+lib/synthesis/exhaustive.mli: Lattice_boolfn Lattice_core

@@ -1,0 +1,1 @@
+lib/synthesis/faults.ml: Array Bool Fun Hashtbl Int Lattice_core List Option Printf

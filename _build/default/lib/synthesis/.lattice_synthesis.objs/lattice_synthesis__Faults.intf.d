@@ -1,0 +1,1 @@
+lib/synthesis/faults.mli: Lattice_core

@@ -1,0 +1,1 @@
+lib/synthesis/library.ml: Array Lattice_boolfn Lattice_core

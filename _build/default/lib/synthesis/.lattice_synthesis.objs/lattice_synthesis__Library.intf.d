@@ -1,0 +1,1 @@
+lib/synthesis/library.mli: Lattice_boolfn Lattice_core

@@ -1,0 +1,1 @@
+lib/synthesis/validate.ml: Bool Lattice_boolfn Lattice_core Option

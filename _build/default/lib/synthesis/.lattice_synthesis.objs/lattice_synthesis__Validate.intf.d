@@ -1,0 +1,1 @@
+lib/synthesis/validate.mli: Lattice_boolfn Lattice_core

@@ -1,0 +1,50 @@
+module Sop = Lattice_boolfn.Sop
+module Cube = Lattice_boolfn.Cube
+module Tt = Lattice_boolfn.Truthtable
+module Grid = Lattice_core.Grid
+
+type result = { grid : Grid.t; f_sop : Sop.t; dual_sop : Sop.t }
+
+exception No_shared_literal of int * int
+
+let lowest_bit m =
+  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let shared_literal row_idx col_idx q p =
+  let (pq : Cube.t) = q and (pp : Cube.t) = p in
+  let pos = pq.Cube.pos land pp.Cube.pos in
+  let neg = pq.Cube.neg land pp.Cube.neg in
+  if pos <> 0 then Grid.Lit (lowest_bit pos, true)
+  else if neg <> 0 then Grid.Lit (lowest_bit neg, false)
+  else raise (No_shared_literal (row_idx, col_idx))
+
+let of_sops ~f_sop ~dual_sop =
+  let cols = Array.of_list (Sop.cubes f_sop) in
+  let rows = Array.of_list (Sop.cubes dual_sop) in
+  let k = Array.length cols and r = Array.length rows in
+  if k = 0 || r = 0 then invalid_arg "Altun_riedel.of_sops: constant function; use synthesize";
+  let entries =
+    Array.init (r * k) (fun idx ->
+        let i = idx / k and j = idx mod k in
+        shared_literal i j rows.(i) cols.(j))
+  in
+  { grid = Grid.create r k entries; f_sop; dual_sop }
+
+let constant_result nvars b =
+  {
+    grid = Grid.create 1 1 [| Grid.Const b |];
+    f_sop = (if b then Sop.one nvars else Sop.zero nvars);
+    dual_sop = (if b then Sop.zero nvars else Sop.one nvars);
+  }
+
+let synthesize target =
+  let nvars = Tt.nvars target in
+  let ones = Tt.count_ones target in
+  if ones = 0 then constant_result nvars false
+  else if ones = 1 lsl nvars then constant_result nvars true
+  else begin
+    let f_sop = Lattice_boolfn.Qm.cover target in
+    let dual_sop = Lattice_boolfn.Qm.cover (Tt.dual target) in
+    of_sops ~f_sop ~dual_sop
+  end

@@ -1,0 +1,31 @@
+(** The Altun-Riedel dual-based lattice synthesis method
+    (IEEE Trans. Computers 2012, the paper's reference [9]).
+
+    Given a target function [f], take an irredundant SOP of [f] with
+    products [P1 .. Pk] (lattice columns) and an irredundant SOP of the dual
+    [fD] with products [Q1 .. Qr] (lattice rows). Any implicant of [f] and
+    any implicant of [fD] share at least one literal with the same polarity,
+    so every site [(i, j)] can be assigned such a shared literal; the
+    resulting [r x k] lattice realizes [f]. Self-dual functions such as
+    3-input XOR get a [k x k] lattice. *)
+
+type result = {
+  grid : Lattice_core.Grid.t;
+  f_sop : Lattice_boolfn.Sop.t;  (** the column SOP used *)
+  dual_sop : Lattice_boolfn.Sop.t;  (** the row SOP used *)
+}
+
+exception No_shared_literal of int * int
+(** Raised if some row/column product pair shares no literal — impossible
+    for a genuine dual pair; indicates caller-supplied SOPs that are not
+    [f] and [f]'s dual. *)
+
+(** [synthesize target] minimizes [target] and its dual with
+    Quine-McCluskey and builds the lattice. Constant functions are mapped to
+    a 1 x 1 constant lattice. *)
+val synthesize : Lattice_boolfn.Truthtable.t -> result
+
+(** [of_sops ~f_sop ~dual_sop] runs the construction on caller-supplied
+    covers (useful for reproducing a specific published lattice).
+    Raises [No_shared_literal] when the covers are not dual. *)
+val of_sops : f_sop:Lattice_boolfn.Sop.t -> dual_sop:Lattice_boolfn.Sop.t -> result

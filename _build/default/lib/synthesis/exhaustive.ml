@@ -1,0 +1,123 @@
+module Tt = Lattice_boolfn.Truthtable
+module Grid = Lattice_core.Grid
+
+type alphabet = Literals_only | Literals_and_constants
+
+let entries_of_alphabet alphabet nvars =
+  let lits =
+    List.concat_map (fun v -> [ Grid.Lit (v, true); Grid.Lit (v, false) ]) (List.init nvars Fun.id)
+  in
+  match alphabet with
+  | Literals_only -> Array.of_list lits
+  | Literals_and_constants -> Array.of_list (lits @ [ Grid.Const false; Grid.Const true ])
+
+(* value mask of an entry: bit [a] set when the entry evaluates to 1 under
+   assignment [a] *)
+let value_mask nvars entry =
+  let limit = 1 lsl nvars in
+  let acc = ref 0 in
+  for a = 0 to limit - 1 do
+    let v =
+      match entry with
+      | Grid.Const b -> b
+      | Grid.Lit (var, polarity) -> Bool.equal (a land (1 lsl var) <> 0) polarity
+    in
+    if v then acc := !acc lor (1 lsl a)
+  done;
+  !acc
+
+(* Shared search skeleton over per-site candidate entries; [on_hit] receives
+   the per-site choice indices and returns [true] to stop the search. *)
+let search ~rows ~cols ~alphabet ~pins target on_hit =
+  let nvars = Tt.nvars target in
+  if nvars > 6 then invalid_arg "Exhaustive: too many variables (max 6)";
+  let nsites = rows * cols in
+  if nsites > 20 then invalid_arg "Exhaustive: lattice too large (max 20 sites)";
+  let alpha = entries_of_alphabet alphabet nvars in
+  (* per-site candidate entries: pinned sites get exactly their entry *)
+  let site_entries =
+    Array.init nsites (fun site ->
+        match List.assoc_opt site pins with
+        | Some entry -> [| entry |]
+        | None -> alpha)
+  in
+  List.iter
+    (fun (site, _) ->
+      if site < 0 || site >= nsites then invalid_arg "Exhaustive: pin out of range")
+    pins;
+  let site_masks = Array.map (Array.map (value_mask nvars)) site_entries in
+  let table = Lattice_core.Connectivity.table_of_patterns ~rows ~cols in
+  let nassign = 1 lsl nvars in
+  let target_bits = Array.init nassign (Tt.eval target) in
+  let patt = Array.make nassign 0 in
+  let digits = Array.make nsites 0 in
+  let exception Stop in
+  let rec go site =
+    if site = nsites then begin
+      let ok = ref true in
+      let a = ref 0 in
+      while !ok && !a < nassign do
+        if Bool.equal (Bytes.get table patt.(!a) <> '\000') target_bits.(!a) then incr a
+        else ok := false
+      done;
+      if !ok && on_hit digits then raise Stop
+    end
+    else begin
+      let bit = 1 lsl site in
+      let masks = site_masks.(site) in
+      for d = 0 to Array.length masks - 1 do
+        digits.(site) <- d;
+        let m = masks.(d) in
+        for a = 0 to nassign - 1 do
+          if m land (1 lsl a) <> 0 then patt.(a) <- patt.(a) lor bit
+        done;
+        go (site + 1);
+        for a = 0 to nassign - 1 do
+          patt.(a) <- patt.(a) land lnot bit
+        done
+      done
+    end
+  in
+  (try go 0 with Stop -> ());
+  site_entries
+
+let grid_of_digits ~rows ~cols site_entries digits =
+  Grid.create rows cols (Array.mapi (fun site d -> site_entries.(site).(d)) digits)
+
+let find_with_pins ~rows ~cols ?(alphabet = Literals_only) ~pins target =
+  let result = ref None in
+  let site_entries =
+    search ~rows ~cols ~alphabet ~pins target (fun digits ->
+        result := Some (Array.copy digits);
+        true)
+  in
+  Option.map (grid_of_digits ~rows ~cols site_entries) !result
+
+let find ~rows ~cols ?alphabet target = find_with_pins ~rows ~cols ?alphabet ~pins:[] target
+
+let count_solutions ~rows ~cols ?(alphabet = Literals_only) ?limit target =
+  let count = ref 0 in
+  let (_ : Grid.entry array array) =
+    search ~rows ~cols ~alphabet ~pins:[] target (fun _ ->
+        incr count;
+        match limit with Some l -> !count >= l | None -> false)
+  in
+  !count
+
+let minimal ?(alphabet = Literals_only) ?(max_area = 9) target =
+  let candidates =
+    List.concat_map
+      (fun rows -> List.map (fun cols -> (rows, cols)) (List.init max_area (fun i -> i + 1)))
+      (List.init max_area (fun i -> i + 1))
+    |> List.filter (fun (r, c) -> r * c <= max_area)
+    |> List.sort (fun (r1, c1) (r2, c2) ->
+           match Int.compare (r1 * c1) (r2 * c2) with 0 -> Int.compare r1 r2 | d -> d)
+  in
+  let rec try_dims = function
+    | [] -> None
+    | (rows, cols) :: rest -> (
+      match find ~rows ~cols ~alphabet target with
+      | Some grid -> Some (grid, rows, cols)
+      | None -> try_dims rest)
+  in
+  try_dims candidates

@@ -1,0 +1,47 @@
+(** Exhaustive search for minimum-size lattices of small functions.
+
+    The paper's Fig 3b shows XOR3 on the minimum-size 3 x 3 lattice, found
+    by the synthesis algorithms of its references [3], [4], [13]. This
+    module provides the brute-force counterpart: enumerate every assignment
+    of literals (optionally constants) to the sites of a candidate grid and
+    keep the first one whose lattice function matches the target.
+
+    Feasible for [nvars <= ~4] and [rows * cols <= ~12]: connectivity over
+    all [2^(rows*cols)] conduction patterns is precomputed once, and each
+    candidate costs one table lookup per input assignment with early exit. *)
+
+type alphabet = Literals_only | Literals_and_constants
+
+(** [find ~rows ~cols ?alphabet target] is the first [rows x cols] grid (in
+    odometer order over sites) realizing [target], or [None]. Default
+    alphabet: [Literals_only]. *)
+val find :
+  rows:int -> cols:int -> ?alphabet:alphabet -> Lattice_boolfn.Truthtable.t -> Lattice_core.Grid.t option
+
+(** [find_with_pins ~rows ~cols ?alphabet ~pins target] additionally fixes
+    the entries of some sites (row-major indices) — defect-aware mapping: a
+    stuck-OFF switch is a pinned [Const false], a stuck-ON one a pinned
+    [Const true], and the search works around them. *)
+val find_with_pins :
+  rows:int ->
+  cols:int ->
+  ?alphabet:alphabet ->
+  pins:(int * Lattice_core.Grid.entry) list ->
+  Lattice_boolfn.Truthtable.t ->
+  Lattice_core.Grid.t option
+
+(** [count_solutions ~rows ~cols ?alphabet ?limit target] counts realizing
+    grids, stopping at [limit] if given. *)
+val count_solutions :
+  rows:int ->
+  cols:int ->
+  ?alphabet:alphabet ->
+  ?limit:int ->
+  Lattice_boolfn.Truthtable.t ->
+  int
+
+(** [minimal ?alphabet ?max_area target] tries candidate dimensions in
+    order of increasing area (ties: fewer rows first) up to [max_area]
+    (default 9) and returns the first hit with its dimensions. *)
+val minimal :
+  ?alphabet:alphabet -> ?max_area:int -> Lattice_boolfn.Truthtable.t -> (Lattice_core.Grid.t * int * int) option

@@ -1,0 +1,91 @@
+module Grid = Lattice_core.Grid
+module Conn = Lattice_core.Connectivity
+
+type kind = Stuck_off | Stuck_on
+
+type fault = { row : int; col : int; kind : kind }
+
+let all_faults grid =
+  List.concat_map
+    (fun row ->
+      List.concat_map
+        (fun col -> [ { row; col; kind = Stuck_off }; { row; col; kind = Stuck_on } ])
+        (List.init grid.Grid.cols Fun.id))
+    (List.init grid.Grid.rows Fun.id)
+
+let inject grid fault =
+  let entries = Array.copy grid.Grid.entries in
+  let site = (fault.row * grid.Grid.cols) + fault.col in
+  if site < 0 || site >= Array.length entries then invalid_arg "Faults.inject: site out of range";
+  entries.(site) <- (match fault.kind with Stuck_off -> Grid.Const false | Stuck_on -> Grid.Const true);
+  Grid.create grid.Grid.rows grid.Grid.cols entries
+
+let detecting_vectors grid fault =
+  let faulty = inject grid fault in
+  let nvars = Int.max (Grid.nvars grid) 1 in
+  let out = ref [] in
+  for m = (1 lsl nvars) - 1 downto 0 do
+    if not (Bool.equal (Conn.eval grid m) (Conn.eval faulty m)) then out := m :: !out
+  done;
+  !out
+
+let is_detectable grid fault = detecting_vectors grid fault <> []
+
+type analysis = {
+  total : int;
+  detectable : int;
+  undetectable : fault list;
+  test_set : int list;
+}
+
+(* greedy covering: repeatedly pick the vector detecting the most
+   still-uncovered faults *)
+let greedy_test_set detections =
+  let remaining = ref (List.filter (fun (_, vs) -> vs <> []) detections) in
+  let chosen = ref [] in
+  while !remaining <> [] do
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun (_, vs) ->
+        List.iter
+          (fun v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+          vs)
+      !remaining;
+    let best_v, _ =
+      Hashtbl.fold (fun v c (bv, bc) -> if c > bc || (c = bc && v < bv) then (v, c) else (bv, bc))
+        counts (max_int, 0)
+    in
+    chosen := best_v :: !chosen;
+    remaining := List.filter (fun (_, vs) -> not (List.mem best_v vs)) !remaining
+  done;
+  List.sort Int.compare !chosen
+
+let analyze grid =
+  let faults = all_faults grid in
+  let detections = List.map (fun f -> (f, detecting_vectors grid f)) faults in
+  let undetectable = List.filter_map (fun (f, vs) -> if vs = [] then Some f else None) detections in
+  {
+    total = List.length faults;
+    detectable = List.length faults - List.length undetectable;
+    undetectable;
+    test_set = greedy_test_set detections;
+  }
+
+let coverage grid ~vectors =
+  let faults = all_faults grid in
+  let detectable = List.filter (fun f -> is_detectable grid f) faults in
+  match detectable with
+  | [] -> 1.0
+  | _ ->
+    let caught =
+      List.filter
+        (fun f ->
+          let vs = detecting_vectors grid f in
+          List.exists (fun v -> List.mem v vs) vectors)
+        detectable
+    in
+    float_of_int (List.length caught) /. float_of_int (List.length detectable)
+
+let kind_name = function Stuck_off -> "stuck-off" | Stuck_on -> "stuck-on"
+
+let fault_name f = Printf.sprintf "(%d,%d) %s" f.row f.col (kind_name f.kind)

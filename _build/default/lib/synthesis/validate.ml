@@ -1,0 +1,15 @@
+module Tt = Lattice_boolfn.Truthtable
+
+let counterexample grid target =
+  let nvars = Tt.nvars target in
+  if Lattice_core.Grid.nvars grid > nvars then
+    invalid_arg "Validate: grid mentions more variables than the target";
+  let limit = 1 lsl nvars in
+  let rec go m =
+    if m >= limit then None
+    else if Bool.equal (Lattice_core.Connectivity.eval grid m) (Tt.eval target m) then go (m + 1)
+    else Some m
+  in
+  go 0
+
+let realizes grid target = Option.is_none (counterexample grid target)

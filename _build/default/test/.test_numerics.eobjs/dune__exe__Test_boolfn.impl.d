@@ -1,0 +1,1 @@
+test/test_boolfn.ml: Alcotest Array Bool Fun Int Lattice_boolfn List Printf QCheck2 QCheck_alcotest

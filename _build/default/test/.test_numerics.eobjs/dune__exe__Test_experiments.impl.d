@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float Lattice_device Lattice_experiments Lattice_fit Lattice_spice List Printf String

@@ -1,0 +1,1 @@
+test/test_fitting.ml: Alcotest Array Float Lattice_device Lattice_fit Lattice_mosfet Lattice_numerics Random

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float Lattice_boolfn Lattice_core Lattice_flow Lattice_synthesis List Printf String

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Bool Bytes Hashtbl Int Lattice_boolfn Lattice_core Lattice_synthesis List Printf QCheck2 QCheck_alcotest String

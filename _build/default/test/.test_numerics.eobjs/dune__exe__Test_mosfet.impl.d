@@ -1,0 +1,1 @@
+test/test_mosfet.ml: Alcotest Float Lattice_mosfet List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun Lattice_numerics List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Bool Float Lattice_core Lattice_mosfet Lattice_spice Lattice_synthesis List Printf QCheck2 QCheck_alcotest String

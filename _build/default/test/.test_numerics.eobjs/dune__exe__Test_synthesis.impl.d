@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Bool Lattice_boolfn Lattice_core Lattice_synthesis List QCheck2 QCheck_alcotest Random

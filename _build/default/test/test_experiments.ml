@@ -1,0 +1,197 @@
+(* Integration tests: every paper experiment runs and lands on the paper's
+   side of each comparison. *)
+
+module E = Lattice_experiments
+
+let test_table1 () =
+  let r = E.Exp_table1.run ~max_dim:6 () in
+  Alcotest.(check (list (pair (pair int int) (pair int int))))
+    "no mismatches" []
+    (List.map (fun (a, b, c, d) -> ((a, b), (c, d))) r.E.Exp_table1.mismatches)
+
+let test_lattice_function () =
+  let r = E.Exp_lattice_function.run () in
+  Alcotest.(check bool) "matches Fig 2c" true r.E.Exp_lattice_function.matches_paper;
+  Alcotest.(check int) "9 products" 9 (List.length r.E.Exp_lattice_function.products)
+
+let test_xor3_synthesis () =
+  let r = E.Exp_xor3.run () in
+  Alcotest.(check bool) "3x3 valid" true r.E.Exp_xor3.lattice_3x3_valid;
+  Alcotest.(check bool) "3x4 valid" true r.E.Exp_xor3.lattice_3x4_valid;
+  Alcotest.(check bool) "AR valid" true r.E.Exp_xor3.altun_riedel_valid;
+  Alcotest.(check int) "AR 4x4" 16 (r.E.Exp_xor3.altun_riedel_rows * r.E.Exp_xor3.altun_riedel_cols)
+
+let check_within_order msg paper measured =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.3g within 10x of paper %.3g" msg measured paper)
+    true
+    (measured > paper /. 10.0 && measured < paper *. 10.0)
+
+let test_iv_variants () =
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun dielectric ->
+          let r = E.Exp_iv.run_variant ~shape ~dielectric in
+          (* threshold voltages within 0.3 V of the paper's TCAD values *)
+          Alcotest.(check bool)
+            (r.E.Exp_iv.name ^ " vth")
+            true
+            (Float.abs (r.E.Exp_iv.vth_model -. r.E.Exp_iv.vth_paper) < 0.3);
+          check_within_order (r.E.Exp_iv.name ^ " on/off") r.E.Exp_iv.ratio_paper r.E.Exp_iv.ratio)
+        [ Lattice_device.Material.HfO2; Lattice_device.Material.SiO2 ])
+    [ Lattice_device.Geometry.Square; Lattice_device.Geometry.Cross;
+      Lattice_device.Geometry.Junctionless ]
+
+let test_iv_orderings () =
+  (* qualitative claims of Section III-B *)
+  let get shape d = E.Exp_iv.run_variant ~shape ~dielectric:d in
+  let sq_h = get Lattice_device.Geometry.Square Lattice_device.Material.HfO2 in
+  let sq_s = get Lattice_device.Geometry.Square Lattice_device.Material.SiO2 in
+  let cr_h = get Lattice_device.Geometry.Cross Lattice_device.Material.HfO2 in
+  Alcotest.(check bool) "HfO2 threshold below SiO2" true
+    (sq_h.E.Exp_iv.vth_model < sq_s.E.Exp_iv.vth_model);
+  Alcotest.(check bool) "cross currents smaller than square" true
+    (cr_h.E.Exp_iv.ion < sq_h.E.Exp_iv.ion);
+  Alcotest.(check bool) "cross threshold above square" true
+    (cr_h.E.Exp_iv.vth_model > sq_h.E.Exp_iv.vth_model)
+
+let test_field () =
+  let r = E.Exp_field.run ~n:32 () in
+  Alcotest.(check bool) "cross more uniform" true r.E.Exp_field.cross_more_uniform;
+  Alcotest.(check bool) "solves converged" true
+    (r.E.Exp_field.square.Lattice_device.Field2d.converged
+    && r.E.Exp_field.cross.Lattice_device.Field2d.converged
+    && r.E.Exp_field.junctionless.Lattice_device.Field2d.converged)
+
+let test_fit () =
+  let r = E.Exp_fit.run () in
+  let e = r.E.Exp_fit.extraction in
+  Alcotest.(check bool) "converged" true e.Lattice_fit.Fit.converged;
+  Alcotest.(check bool) "r2 high" true (e.Lattice_fit.Fit.r_squared > 0.999);
+  Alcotest.(check bool) "vth near electrostatic" true
+    (Float.abs (e.Lattice_fit.Fit.vth -. r.E.Exp_fit.vth_electrostatic) < 0.05)
+
+let test_transient () =
+  let r = E.Exp_transient.run ~bit_time:60e-9 ~h:1e-9 () in
+  Alcotest.(check bool) "functional" true r.E.Exp_transient.functional_pass;
+  (* zero-state output: paper 0.22 V, ours within [0.05, 0.4] *)
+  Alcotest.(check bool) "zero level plausible" true
+    (r.E.Exp_transient.v_low > 0.05 && r.E.Exp_transient.v_low < 0.4);
+  Alcotest.(check bool) "one level at VDD" true (r.E.Exp_transient.v_high > 1.15);
+  (match r.E.Exp_transient.rise_time with
+  | Some t -> Alcotest.(check bool) "rise ns-scale" true (t > 1e-9 && t < 100e-9)
+  | None -> Alcotest.fail "no rise observed");
+  match r.E.Exp_transient.fall_time with
+  | Some t ->
+    Alcotest.(check bool) "fall faster than rise" true
+      (match r.E.Exp_transient.rise_time with Some rt -> t < rt | None -> false)
+  | None -> Alcotest.fail "no fall observed"
+
+let test_transient_integrators_agree () =
+  (* design-choice ablation: both integrators give the same logic levels *)
+  let trap = E.Exp_transient.run ~integrator:Lattice_spice.Transient.Trapezoidal ~bit_time:40e-9 ~h:1e-9 () in
+  let be = E.Exp_transient.run ~integrator:Lattice_spice.Transient.Backward_euler ~bit_time:40e-9 ~h:1e-9 () in
+  Alcotest.(check bool) "trap functional" true trap.E.Exp_transient.functional_pass;
+  Alcotest.(check bool) "BE functional" true be.E.Exp_transient.functional_pass;
+  Alcotest.(check (float 0.02)) "same zero level" trap.E.Exp_transient.v_low be.E.Exp_transient.v_low
+
+let test_series () =
+  let r = E.Exp_series.run ~max_n:21 () in
+  (* paper decay ratio 11.12/0.52 ~ 21.4; ours must land nearby *)
+  Alcotest.(check bool)
+    (Printf.sprintf "decay ratio %.1f in [15, 30]" r.E.Exp_series.decay_ratio)
+    true
+    (r.E.Exp_series.decay_ratio > 15.0 && r.E.Exp_series.decay_ratio < 30.0);
+  (* currents strictly decreasing *)
+  Array.iteri
+    (fun i x -> if i > 0 then Alcotest.(check bool) "decreasing" true (x < r.E.Exp_series.currents.(i - 1)))
+    r.E.Exp_series.currents;
+  (* Fig 12b: nearly linear voltage requirement *)
+  Alcotest.(check bool) "linear-ish" true (r.E.Exp_series.linearity_r2 > 0.95);
+  Alcotest.(check bool) "V(21) in [1.5, 3.5]" true
+    (r.E.Exp_series.voltages.(20) > 1.5 && r.E.Exp_series.voltages.(20) < 3.5)
+
+let test_cases_symmetry () =
+  let r = E.Exp_cases.run () in
+  Alcotest.(check int) "16 cases" 16 (List.length r.E.Exp_cases.cases);
+  Alcotest.(check bool) "rotation symmetry exact" true r.E.Exp_cases.symmetry_holds;
+  (* adjacent (DSFF) and opposite (SFDF) single pairs differ on the square
+     device (type A vs type B channel lengths) *)
+  let total name =
+    (List.find (fun c -> c.E.Exp_cases.name = name) r.E.Exp_cases.cases).E.Exp_cases.total_drain
+  in
+  Alcotest.(check bool) "adjacent pair carries more than opposite" true
+    (total "DSFF" > total "SFDF")
+
+let test_complementary () =
+  let r = E.Exp_complementary.run ~bit_time:50e-9 ~h:1e-9 () in
+  Alcotest.(check bool) "resistor functional" true
+    r.E.Exp_complementary.resistor.E.Exp_complementary.functional_pass;
+  Alcotest.(check bool) "complementary functional" true
+    r.E.Exp_complementary.complementary.E.Exp_complementary.functional_pass;
+  Alcotest.(check bool)
+    (Printf.sprintf "power reduction %.3g > 1000" r.E.Exp_complementary.power_reduction)
+    true
+    (r.E.Exp_complementary.power_reduction > 1000.0);
+  Alcotest.(check bool) "V_OL ~ 0" true
+    (r.E.Exp_complementary.complementary.E.Exp_complementary.v_low < 0.01);
+  Alcotest.(check bool) "V_OH degraded below VDD" true
+    (r.E.Exp_complementary.complementary.E.Exp_complementary.v_high < 1.15)
+
+let test_frequency () =
+  let r = E.Exp_frequency.run ~bit_time:50e-9 () in
+  (match r.E.Exp_frequency.resistor.E.Exp_frequency.f3db_hz with
+  | Some f ->
+    (* output pole ~ 1/(2 pi * 500k * C_plate): tens of MHz *)
+    Alcotest.(check bool) (Printf.sprintf "f3db %.3g MHz-scale" f) true (f > 1e6 && f < 1e9)
+  | None -> Alcotest.fail "no resistor corner");
+  Alcotest.(check bool) "complementary uses less cycle energy" true
+    (r.E.Exp_frequency.complementary.E.Exp_frequency.cycle_energy_j
+    < r.E.Exp_frequency.resistor.E.Exp_frequency.cycle_energy_j);
+  Alcotest.(check bool) "energies positive" true
+    (r.E.Exp_frequency.complementary.E.Exp_frequency.cycle_energy_j > 0.0)
+
+let test_reports_render () =
+  (* every report renders without raising and contains its id *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (make, id) ->
+      let r = make () in
+      let s = E.Report.render r in
+      Alcotest.(check bool) (id ^ " rendered") true (contains s id))
+    [
+      ((fun () -> E.Exp_table1.report ~max_dim:4 ()), "TableI");
+      (E.Exp_lattice_function.report, "Fig2c");
+      ((fun () -> E.Exp_xor3.report ()), "Fig3");
+      (E.Exp_table2.report, "TableII");
+      ((fun () -> E.Exp_iv.report Lattice_device.Geometry.Square), "Fig5");
+      ((fun () -> E.Exp_field.report ~n:24 ()), "Fig8");
+      (E.Exp_fit.report, "Fig10");
+    ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "Table I (to 6x6)" `Quick test_table1;
+          Alcotest.test_case "Fig 2c lattice function" `Quick test_lattice_function;
+          Alcotest.test_case "Fig 3 XOR3 lattices" `Quick test_xor3_synthesis;
+          Alcotest.test_case "Figs 5-7 I-V figures of merit" `Quick test_iv_variants;
+          Alcotest.test_case "Figs 5-7 qualitative orderings" `Quick test_iv_orderings;
+          Alcotest.test_case "Fig 8 field profiles" `Slow test_field;
+          Alcotest.test_case "Fig 10 extraction" `Quick test_fit;
+          Alcotest.test_case "Fig 11 transient" `Slow test_transient;
+          Alcotest.test_case "Fig 11 integrator ablation" `Slow test_transient_integrators_agree;
+          Alcotest.test_case "Fig 12 series chain" `Slow test_series;
+          Alcotest.test_case "Sec III-B 16-case symmetry" `Quick test_cases_symmetry;
+          Alcotest.test_case "Sec VI-A complementary structure" `Slow test_complementary;
+          Alcotest.test_case "Sec VI-A frequency and energy" `Slow test_frequency;
+          Alcotest.test_case "reports render" `Quick test_reports_render;
+        ] );
+    ]

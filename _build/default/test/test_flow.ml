@@ -1,0 +1,171 @@
+(* Tests for the automated design tool (optimizer). *)
+
+module Opt = Lattice_flow.Optimizer
+module Tt = Lattice_boolfn.Truthtable
+
+let xor3 = Tt.xor_n 3
+let maj3 = Tt.majority_n 3
+
+let test_candidates_valid () =
+  (* every candidate must realize the target (modulo output inversion) *)
+  List.iter
+    (fun target ->
+      List.iter
+        (fun impl ->
+          let effective =
+            if impl.Opt.inverted then Tt.complement target else target
+          in
+          Alcotest.(check bool)
+            (impl.Opt.method_name ^ " realizes target")
+            true
+            (Lattice_synthesis.Validate.realizes impl.Opt.grid effective))
+        (Opt.candidates target))
+    [ xor3; maj3; Tt.create 2 (fun m -> m = 3) ]
+
+let test_candidates_distinct () =
+  let impls = Opt.candidates maj3 in
+  Alcotest.(check bool) "at least two candidates" true (List.length impls >= 2)
+
+let test_estimate_sanity () =
+  List.iter
+    (fun impl ->
+      let m = Opt.estimate impl in
+      Alcotest.(check bool) "positive delay" true (m.Opt.delay > 0.0);
+      Alcotest.(check bool) "positive power" true (m.Opt.static_power > 0.0);
+      Alcotest.(check int) "area = switches" (Lattice_core.Grid.size impl.Opt.grid) m.Opt.area;
+      Alcotest.(check bool) "not spice" false m.Opt.from_spice)
+    (Opt.candidates xor3)
+
+let test_estimate_scales_with_rows () =
+  (* taller lattices have slower falls and lower static power *)
+  let grid_of rows =
+    { Opt.grid = Lattice_core.Grid.generic rows 2; inverted = false; method_name = "test" }
+  in
+  let short = Opt.estimate (grid_of 2) and tall = Opt.estimate (grid_of 6) in
+  Alcotest.(check bool) "taller = slower fall" true (tall.Opt.fall > short.Opt.fall)
+
+let test_optimize_ranking () =
+  let ranked = Opt.optimize maj3 in
+  Alcotest.(check bool) "non-empty" true (ranked <> []);
+  (* scores non-decreasing within the feasible prefix *)
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      if a.Opt.feasible && b.Opt.feasible then
+        Alcotest.(check bool) "sorted by score" true (a.Opt.score <= b.Opt.score);
+      check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted ranked;
+  (* the exhaustive 2x3 majority lattice should beat the dual-based 3x3 on
+     area when present *)
+  match List.find_opt (fun e -> e.Opt.implementation.Opt.method_name = "exhaustive") ranked with
+  | Some e -> Alcotest.(check int) "exhaustive maj3 area" 6 e.Opt.metrics.Opt.area
+  | None -> Alcotest.fail "expected an exhaustive candidate for maj3"
+
+let test_optimize_spec_bounds () =
+  let spec = { Opt.default_spec with Opt.max_area = Some 6 } in
+  let ranked = Opt.optimize ~spec maj3 in
+  (* feasible candidates come first and respect the bound *)
+  (match ranked with
+  | first :: _ ->
+    Alcotest.(check bool) "first is feasible" true first.Opt.feasible;
+    Alcotest.(check bool) "bound respected" true (first.Opt.metrics.Opt.area <= 6)
+  | [] -> Alcotest.fail "no candidates");
+  let impossible = { Opt.default_spec with Opt.max_area = Some 1 } in
+  let ranked = Opt.optimize ~spec:impossible maj3 in
+  Alcotest.(check bool) "all infeasible under area 1" true
+    (List.for_all (fun e -> not e.Opt.feasible) ranked)
+
+let test_optimize_spice_agrees_in_order () =
+  (* spice-based and analytic evaluation should agree on the qualitative
+     facts: positive delays, power within 3x of the estimate *)
+  let and2 = Tt.create 2 (fun m -> m = 3) in
+  let analytic = Opt.optimize and2 in
+  let spiced = Opt.optimize ~use_spice:true and2 in
+  List.iter2
+    (fun a s ->
+      Alcotest.(check bool) "same method order" true
+        (List.exists
+           (fun s' -> s'.Opt.implementation.Opt.method_name = a.Opt.implementation.Opt.method_name)
+           spiced);
+      Alcotest.(check bool) "spice flag" true s.Opt.metrics.Opt.from_spice;
+      let ratio = s.Opt.metrics.Opt.static_power /. Float.max 1e-18 a.Opt.metrics.Opt.static_power in
+      Alcotest.(check bool)
+        (Printf.sprintf "power within 3x (ratio %.2f)" ratio)
+        true
+        (ratio > 0.33 && ratio < 3.0))
+    analytic spiced
+
+let test_describe () =
+  let ranked = Opt.optimize maj3 in
+  match ranked with
+  | e :: _ ->
+    let s = Opt.describe e ~names:Lattice_boolfn.Sop.alpha_names in
+    Alcotest.(check bool) "describe non-empty" true (String.length s > 40)
+  | [] -> Alcotest.fail "no candidates"
+
+(* --- Monte-Carlo --------------------------------------------------------- *)
+
+module Mc = Lattice_flow.Monte_carlo
+
+(* typical local mismatch: the XOR3 lattice should survive *)
+let test_mc_nominal_yield () =
+  let r =
+    Mc.run Lattice_synthesis.Library.xor3_3x3 ~target:Lattice_synthesis.Library.xor3 ~samples:25
+  in
+  Alcotest.(check bool) (Printf.sprintf "yield %.2f >= 0.9" r.Mc.yield) true (r.Mc.yield >= 0.9);
+  Alcotest.(check bool) "v_low near nominal" true
+    (r.Mc.v_low_mean > 0.05 && r.Mc.v_low_mean < 0.35);
+  Alcotest.(check int) "all outcomes recorded" 25 (Array.length r.Mc.outcomes)
+
+let test_mc_zero_variation_is_nominal () =
+  let r =
+    Mc.run Lattice_synthesis.Library.xor3_3x3 ~target:Lattice_synthesis.Library.xor3
+      ~variation:{ Mc.sigma_vth = 0.0; sigma_kp_rel = 0.0 } ~samples:3
+  in
+  Alcotest.(check (float 1e-9)) "yield 1.0" 1.0 r.Mc.yield;
+  Alcotest.(check (float 1e-6)) "no spread" 0.0 r.Mc.v_low_std
+
+let test_mc_extreme_variation_kills_yield () =
+  let nominal =
+    Mc.run Lattice_synthesis.Library.xor3_3x3 ~target:Lattice_synthesis.Library.xor3 ~samples:20
+  in
+  let extreme =
+    Mc.run Lattice_synthesis.Library.xor3_3x3 ~target:Lattice_synthesis.Library.xor3 ~samples:20
+      ~variation:{ Mc.sigma_vth = 0.4; sigma_kp_rel = 0.6 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "extreme %.2f < nominal %.2f" extreme.Mc.yield nominal.Mc.yield)
+    true
+    (extreme.Mc.yield < nominal.Mc.yield)
+
+let test_mc_deterministic_seed () =
+  let run () =
+    Mc.run Lattice_synthesis.Library.maj3_2x3 ~target:(Tt.majority_n 3) ~samples:10 ~seed:7
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 1e-12)) "same yield" a.Mc.yield b.Mc.yield;
+  Alcotest.(check (float 1e-12)) "same mean" a.Mc.v_low_mean b.Mc.v_low_mean
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "monte_carlo",
+        [
+          Alcotest.test_case "nominal yield" `Slow test_mc_nominal_yield;
+          Alcotest.test_case "zero variation" `Quick test_mc_zero_variation_is_nominal;
+          Alcotest.test_case "extreme variation" `Slow test_mc_extreme_variation_kills_yield;
+          Alcotest.test_case "deterministic seed" `Quick test_mc_deterministic_seed;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "candidates are valid" `Quick test_candidates_valid;
+          Alcotest.test_case "multiple candidates" `Quick test_candidates_distinct;
+          Alcotest.test_case "estimate sanity" `Quick test_estimate_sanity;
+          Alcotest.test_case "estimate scaling" `Quick test_estimate_scales_with_rows;
+          Alcotest.test_case "ranking" `Quick test_optimize_ranking;
+          Alcotest.test_case "spec bounds" `Quick test_optimize_spec_bounds;
+          Alcotest.test_case "spice evaluation" `Slow test_optimize_spice_agrees_in_order;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the level-1 MOSFET equations. *)
+
+module L1 = Lattice_mosfet.Level1
+
+let p = { L1.kp = 2e-5; vth = 0.5; lambda = 0.02; w = 700e-9; l = 350e-9 }
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+let test_regions () =
+  Alcotest.(check bool) "cutoff" true (L1.region p ~vgs:0.3 ~vds:1.0 = L1.Cutoff);
+  Alcotest.(check bool) "cutoff at vth" true (L1.region p ~vgs:0.5 ~vds:1.0 = L1.Cutoff);
+  Alcotest.(check bool) "triode" true (L1.region p ~vgs:2.0 ~vds:1.0 = L1.Triode);
+  Alcotest.(check bool) "saturation" true (L1.region p ~vgs:1.0 ~vds:1.0 = L1.Saturation);
+  Alcotest.(check bool) "boundary is triode" true (L1.region p ~vgs:1.5 ~vds:1.0 = L1.Triode)
+
+let test_cutoff_zero () =
+  check_close "no current below vth" 0.0 0.0 (L1.ids p ~vgs:0.4 ~vds:3.0)
+
+let test_known_values () =
+  (* beta = kp W/L = 2e-5 * 2 = 4e-5 *)
+  check_close "beta" 1e-12 4e-5 (L1.beta p);
+  (* saturation: 0.5 * beta * vov^2 * (1 + lambda vds) *)
+  let vgs = 1.5 and vds = 2.0 in
+  let expected = 0.5 *. 4e-5 *. 1.0 *. (1.0 +. 0.04) in
+  check_close "sat current" 1e-12 expected (L1.ids p ~vgs ~vds);
+  (* triode at vds = 0.5, vov = 1 *)
+  let expected_triode = 4e-5 *. ((1.0 *. 0.5) -. 0.125) *. 1.01 in
+  check_close "triode current" 1e-12 expected_triode (L1.ids p ~vgs:1.5 ~vds:0.5)
+
+let test_continuity_at_vdsat () =
+  (* triode and saturation formulas agree at vds = vov *)
+  let vgs = 2.1 in
+  let vov = vgs -. p.L1.vth in
+  let below = L1.ids p ~vgs ~vds:(vov -. 1e-9) in
+  let above = L1.ids p ~vgs ~vds:(vov +. 1e-9) in
+  check_close "continuity" 1e-10 below above
+
+let test_monotonicity () =
+  (* ids non-decreasing in vgs and in vds *)
+  let prev = ref (-1.0) in
+  for i = 0 to 50 do
+    let vgs = float_of_int i /. 10.0 in
+    let ids = L1.ids p ~vgs ~vds:5.0 in
+    if ids < !prev -. 1e-15 then Alcotest.failf "not monotone in vgs at %.2f" vgs;
+    prev := ids
+  done;
+  prev := -1.0;
+  for i = 0 to 50 do
+    let vds = float_of_int i /. 10.0 in
+    let ids = L1.ids p ~vgs:3.0 ~vds in
+    if ids < !prev -. 1e-15 then Alcotest.failf "not monotone in vds at %.2f" vds;
+    prev := ids
+  done
+
+let test_ids_signed_antisymmetry () =
+  (* swapping drain and source negates the current *)
+  List.iter
+    (fun (vg, vd, vs) ->
+      let fwd = L1.ids_signed p ~vg ~vd ~vs in
+      let rev = L1.ids_signed p ~vg ~vd:vs ~vs:vd in
+      check_close (Printf.sprintf "antisym %g %g %g" vg vd vs) 1e-15 fwd (-.rev))
+    [ (2.0, 1.0, 0.0); (2.0, 0.0, 1.0); (1.0, 0.3, 0.7); (3.0, 2.0, 2.0) ]
+
+let test_ids_signed_source_reference () =
+  (* with vd < vs the gate drive references the lower terminal *)
+  let i = L1.ids_signed p ~vg:1.0 ~vd:0.0 ~vs:5.0 in
+  (* effective vgs = 1.0 - 0.0 = 1.0 > vth: conducting, negative at vd *)
+  Alcotest.(check bool) "reverse conduction" true (i < 0.0)
+
+let numeric_derivative f x =
+  let h = 1e-6 in
+  (f (x +. h) -. f (x -. h)) /. (2.0 *. h)
+
+let test_gm_matches_numeric () =
+  List.iter
+    (fun (vgs, vds) ->
+      let analytic = L1.gm p ~vgs ~vds in
+      let numeric = numeric_derivative (fun vgs -> L1.ids p ~vgs ~vds) vgs in
+      check_close (Printf.sprintf "gm at %g %g" vgs vds) 1e-9 numeric analytic)
+    [ (1.5, 0.5); (1.5, 3.0); (2.5, 1.0); (3.0, 0.2) ]
+
+let test_gds_matches_numeric () =
+  List.iter
+    (fun (vgs, vds) ->
+      let analytic = L1.gds p ~vgs ~vds in
+      let numeric = numeric_derivative (fun vds -> L1.ids p ~vgs ~vds) vds in
+      check_close (Printf.sprintf "gds at %g %g" vgs vds) 1e-9 numeric analytic)
+    [ (1.5, 0.5); (1.5, 3.0); (2.5, 1.0); (3.0, 0.2) ]
+
+let test_negative_vds_rejected () =
+  Alcotest.check_raises "vds < 0" (Invalid_argument "Level1: vds must be >= 0 (use ids_signed)")
+    (fun () -> ignore (L1.ids p ~vgs:1.0 ~vds:(-0.1)))
+
+let test_depletion_device () =
+  (* negative vth conducts at vgs = 0 *)
+  let dep = { p with L1.vth = -0.57 } in
+  Alcotest.(check bool) "on at vgs=0" true (L1.ids dep ~vgs:0.0 ~vds:1.0 > 0.0);
+  Alcotest.(check bool) "off below vth" true (L1.ids dep ~vgs:(-1.0) ~vds:1.0 = 0.0)
+
+let test_vdsat () =
+  check_close "vdsat" 1e-12 1.5 (L1.vdsat p ~vgs:2.0);
+  check_close "vdsat clamped" 1e-12 0.0 (L1.vdsat p ~vgs:0.1)
+
+let prop_ids_nonnegative =
+  QCheck2.Test.make ~name:"ids >= 0 for vds >= 0" ~count:500
+    QCheck2.Gen.(pair (float_range (-2.0) 6.0) (float_range 0.0 6.0))
+    (fun (vgs, vds) -> L1.ids p ~vgs ~vds >= 0.0)
+
+let prop_gm_nonnegative =
+  QCheck2.Test.make ~name:"gm >= 0" ~count:500
+    QCheck2.Gen.(pair (float_range (-2.0) 6.0) (float_range 0.0 6.0))
+    (fun (vgs, vds) -> L1.gm p ~vgs ~vds >= 0.0)
+
+(* --- Level 3 ---------------------------------------------------------- *)
+
+module L3 = Lattice_mosfet.Level3
+module Model = Lattice_mosfet.Model
+
+let test_level3_reduces_to_level1 () =
+  (* theta = 0 and a huge vmax recover level 1 *)
+  let p3 = L3.of_level1 ~theta:0.0 ~vmax:1e12 ~mu:0.05 p in
+  List.iter
+    (fun (vgs, vds) ->
+      check_close
+        (Printf.sprintf "agree at %g %g" vgs vds)
+        (1e-6 *. Float.max 1e-9 (L1.ids p ~vgs ~vds))
+        (L1.ids p ~vgs ~vds) (L3.ids p3 ~vgs ~vds))
+    [ (0.2, 1.0); (1.0, 0.3); (2.0, 3.0); (3.0, 0.5); (5.0, 5.0) ]
+
+let test_level3_reduces_current () =
+  (* short-channel effects only ever lower the current *)
+  let p3 = L3.of_level1 ~theta:0.3 ~vmax:5e4 p in
+  List.iter
+    (fun (vgs, vds) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lower at %g %g" vgs vds)
+        true
+        (L3.ids p3 ~vgs ~vds <= L1.ids p ~vgs ~vds +. 1e-15))
+    [ (1.0, 0.5); (2.0, 2.0); (3.0, 5.0); (5.0, 1.0) ]
+
+let test_level3_vdsat_capped () =
+  let p3 = L3.of_level1 ~theta:0.1 ~vmax:1e5 ~mu:0.05 p in
+  let vgs = 3.0 in
+  let vov = vgs -. p.L1.vth in
+  Alcotest.(check bool) "vdsat below vov" true (L3.vdsat p3 ~vgs < vov);
+  Alcotest.(check bool) "vdsat positive" true (L3.vdsat p3 ~vgs > 0.0);
+  check_close "vdsat formula" 1e-9
+    (vov *. p3.L3.vc /. (vov +. p3.L3.vc))
+    (L3.vdsat p3 ~vgs)
+
+let test_level3_continuity () =
+  let p3 = L3.of_level1 ~theta:0.2 ~vmax:8e4 p in
+  let vgs = 2.5 in
+  let vsat = L3.vdsat p3 ~vgs in
+  let below = L3.ids p3 ~vgs ~vds:(vsat -. 1e-9) in
+  let above = L3.ids p3 ~vgs ~vds:(vsat +. 1e-9) in
+  check_close "continuous at vdsat" 1e-9 below above
+
+let test_level3_monotone () =
+  let p3 = L3.of_level1 ~theta:0.15 ~vmax:1e5 p in
+  let prev = ref (-1.0) in
+  for i = 0 to 50 do
+    let vds = float_of_int i /. 10.0 in
+    let ids = L3.ids p3 ~vgs:3.0 ~vds in
+    if ids < !prev -. 1e-15 then Alcotest.failf "level3 not monotone in vds at %.2f" vds;
+    prev := ids
+  done
+
+let test_level3_validation () =
+  Alcotest.(check bool) "negative theta rejected" true
+    (match L3.of_level1 ~theta:(-0.1) p with exception Invalid_argument _ -> true | _ -> false);
+  Alcotest.(check bool) "zero vmax rejected" true
+    (match L3.of_level1 ~vmax:0.0 p with exception Invalid_argument _ -> true | _ -> false)
+
+let test_model_dispatch () =
+  let m1 = Model.L1 p in
+  let m3 = Model.L3 (L3.of_level1 ~theta:0.0 ~vmax:1e12 ~mu:0.05 p) in
+  check_close "same vth" 1e-12 (Model.vth m1) (Model.vth m3);
+  check_close "same W/L" 1e-12 (Model.w_over_l m1) (Model.w_over_l m3);
+  check_close "ids agrees" 1e-9 (Model.ids m1 ~vgs:2.0 ~vds:1.0) (Model.ids m3 ~vgs:2.0 ~vds:1.0);
+  Alcotest.(check bool) "on conductance positive" true (Model.on_conductance m1 ~vdd:1.2 > 0.0)
+
+let test_model_gm_numeric () =
+  let m3 = Model.L3 (L3.of_level1 ~theta:0.2 ~vmax:8e4 p) in
+  let analytic = Model.gm m3 ~vgs:2.0 ~vds:1.0 in
+  let h = 1e-5 in
+  let numeric =
+    (Model.ids m3 ~vgs:(2.0 +. h) ~vds:1.0 -. Model.ids m3 ~vgs:(2.0 -. h) ~vds:1.0) /. (2.0 *. h)
+  in
+  check_close "level3 gm consistent" (Float.abs numeric *. 1e-2) numeric analytic
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mosfet"
+    [
+      ( "level1",
+        [
+          Alcotest.test_case "region classification" `Quick test_regions;
+          Alcotest.test_case "cutoff" `Quick test_cutoff_zero;
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "continuity at vdsat" `Quick test_continuity_at_vdsat;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+          Alcotest.test_case "signed antisymmetry" `Quick test_ids_signed_antisymmetry;
+          Alcotest.test_case "source reference on reversal" `Quick test_ids_signed_source_reference;
+          Alcotest.test_case "gm vs numeric derivative" `Quick test_gm_matches_numeric;
+          Alcotest.test_case "gds vs numeric derivative" `Quick test_gds_matches_numeric;
+          Alcotest.test_case "negative vds rejected" `Quick test_negative_vds_rejected;
+          Alcotest.test_case "depletion device" `Quick test_depletion_device;
+          Alcotest.test_case "vdsat" `Quick test_vdsat;
+          qc prop_ids_nonnegative;
+          qc prop_gm_nonnegative;
+        ] );
+      ( "level3",
+        [
+          Alcotest.test_case "reduces to level 1" `Quick test_level3_reduces_to_level1;
+          Alcotest.test_case "short-channel lowers current" `Quick test_level3_reduces_current;
+          Alcotest.test_case "vdsat capped" `Quick test_level3_vdsat_capped;
+          Alcotest.test_case "continuity at vdsat" `Quick test_level3_continuity;
+          Alcotest.test_case "monotone in vds" `Quick test_level3_monotone;
+          Alcotest.test_case "parameter validation" `Quick test_level3_validation;
+          Alcotest.test_case "model dispatch" `Quick test_model_dispatch;
+          Alcotest.test_case "level3 gm numeric consistency" `Quick test_model_gm_numeric;
+        ] );
+    ]

@@ -1,0 +1,327 @@
+(* Unit and property tests for the numerical substrate. *)
+
+module Vec = Lattice_numerics.Vec
+module Matrix = Lattice_numerics.Matrix
+module Lu = Lattice_numerics.Lu
+module Cg = Lattice_numerics.Cg
+module Stats = Lattice_numerics.Stats
+module Interp = Lattice_numerics.Interp
+module Optimize = Lattice_numerics.Optimize
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+(* --- Vec --------------------------------------------------------------- *)
+
+let test_vec_dot () =
+  check_float "dot" 32.0 (Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |]);
+  check_float "dot empty" 0.0 (Vec.dot [||] [||])
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy 2.0 [| 3.0; 4.0 |] y;
+  check_float "axpy 0" 7.0 y.(0);
+  check_float "axpy 1" 9.0 y.(1)
+
+let test_vec_norms () =
+  check_float "norm2" 5.0 (Vec.norm2 [| 3.0; 4.0 |]);
+  check_float "norm_inf" 4.0 (Vec.norm_inf [| 3.0; -4.0 |]);
+  check_float "max_abs_diff" 2.0 (Vec.max_abs_diff [| 1.0; 5.0 |] [| 3.0; 5.0 |])
+
+let test_vec_linspace () =
+  let v = Vec.linspace 0.0 5.0 11 in
+  check_float "first" 0.0 v.(0);
+  check_float "last" 5.0 v.(10);
+  check_float "middle" 2.5 v.(5);
+  Alcotest.check_raises "linspace n=1" (Invalid_argument "Vec.linspace: need at least 2 points")
+    (fun () -> ignore (Vec.linspace 0.0 1.0 1))
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: length mismatch (2 vs 3)")
+    (fun () -> ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let float_array_gen =
+  QCheck2.Gen.(array_size (int_range 1 20) (float_range (-100.0) 100.0))
+
+let prop_dot_symmetric =
+  QCheck2.Test.make ~name:"Vec.dot is symmetric" ~count:200 float_array_gen (fun a ->
+      let b = Array.map (fun x -> x +. 1.0) a in
+      Float.abs (Vec.dot a b -. Vec.dot b a) < 1e-6)
+
+let prop_triangle_inequality =
+  QCheck2.Test.make ~name:"Vec triangle inequality" ~count:200 float_array_gen (fun a ->
+      let b = Array.map (fun x -> (2.0 *. x) -. 3.0) a in
+      Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-6)
+
+(* --- Matrix ------------------------------------------------------------ *)
+
+let test_matrix_identity () =
+  let i3 = Matrix.identity 3 in
+  let v = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-12))) "I v = v" v (Matrix.mat_vec i3 v)
+
+let test_matrix_mul () =
+  let a = Matrix.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  let b = Matrix.of_rows [ [| 5.0; 6.0 |]; [| 7.0; 8.0 |] ] in
+  let c = Matrix.mat_mul a b in
+  check_float "c00" 19.0 (Matrix.get c 0 0);
+  check_float "c01" 22.0 (Matrix.get c 0 1);
+  check_float "c10" 43.0 (Matrix.get c 1 0);
+  check_float "c11" 50.0 (Matrix.get c 1 1)
+
+let test_matrix_transpose () =
+  let a = Matrix.of_rows [ [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] ] in
+  let t = Matrix.transpose a in
+  check_float "t(0,1)" 4.0 (Matrix.get t 0 1);
+  check_float "t(2,0)" 3.0 (Matrix.get t 2 0);
+  let tt = Matrix.transpose t in
+  Alcotest.(check bool) "involution" true (tt.Matrix.data = a.Matrix.data)
+
+let test_matrix_stamp () =
+  let m = Matrix.create 2 2 in
+  Matrix.add_to m 0 0 1.5;
+  Matrix.add_to m 0 0 2.5;
+  check_float "accumulated" 4.0 (Matrix.get m 0 0)
+
+(* --- Lu ----------------------------------------------------------------- *)
+
+let random_dd_matrix rng n =
+  (* random diagonally dominant matrix: always well conditioned *)
+  let m = Matrix.init n n (fun _ _ -> Random.State.float rng 2.0 -. 1.0) in
+  for i = 0 to n - 1 do
+    let rowsum = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then rowsum := !rowsum +. Float.abs (Matrix.get m i j)
+    done;
+    Matrix.set m i i (!rowsum +. 1.0)
+  done;
+  m
+
+let test_lu_solve () =
+  let rng = Random.State.make [| 42 |] in
+  for n = 1 to 12 do
+    let a = random_dd_matrix rng n in
+    let x_true = Array.init n (fun i -> float_of_int (i + 1)) in
+    let b = Matrix.mat_vec a x_true in
+    let x = Lu.solve_dense a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "solve %dx%d" n n)
+      true
+      (Vec.max_abs_diff x x_true < 1e-8)
+  done
+
+let test_lu_determinant () =
+  let a = Matrix.of_rows [ [| 2.0; 0.0 |]; [| 1.0; 3.0 |] ] in
+  check_float "det" 6.0 (Lu.determinant (Lu.factor a));
+  let perm = Matrix.of_rows [ [| 0.0; 1.0 |]; [| 1.0; 0.0 |] ] in
+  check_float "det of swap" (-1.0) (Lu.determinant (Lu.factor perm))
+
+let test_lu_singular () =
+  let a = Matrix.of_rows [ [| 1.0; 2.0 |]; [| 2.0; 4.0 |] ] in
+  Alcotest.(check bool) "raises Singular" true
+    (match Lu.factor a with exception Lu.Singular _ -> true | _ -> false)
+
+let test_lu_not_square () =
+  let a = Matrix.create 2 3 in
+  Alcotest.check_raises "not square" (Invalid_argument "Lu.factor: matrix not square") (fun () ->
+      ignore (Lu.factor a))
+
+let prop_lu_roundtrip =
+  QCheck2.Test.make ~name:"Lu: A (A^-1 b) = b" ~count:100
+    QCheck2.Gen.(pair (int_range 1 10) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_dd_matrix rng n in
+      let b = Array.init n (fun i -> Random.State.float rng 10.0 -. 5.0 +. float_of_int i) in
+      let x = Lu.solve_dense a b in
+      Vec.max_abs_diff (Matrix.mat_vec a x) b < 1e-7)
+
+(* --- Cg ----------------------------------------------------------------- *)
+
+let test_cg_laplacian () =
+  (* 1-D Poisson with unit load: tridiagonal [-1 2 -1] *)
+  let n = 50 in
+  let apply x out =
+    for i = 0 to n - 1 do
+      let left = if i > 0 then x.(i - 1) else 0.0 in
+      let right = if i < n - 1 then x.(i + 1) else 0.0 in
+      out.(i) <- (2.0 *. x.(i)) -. left -. right
+    done
+  in
+  let b = Array.make n 1.0 in
+  let r = Cg.solve ~apply ~b () in
+  Alcotest.(check bool) "converged" true r.Cg.converged;
+  (* verify residual directly *)
+  let ax = Array.make n 0.0 in
+  apply r.Cg.solution ax;
+  Alcotest.(check bool) "residual small" true (Vec.max_abs_diff ax b < 1e-7)
+
+let test_cg_matches_lu () =
+  let rng = Random.State.make [| 7 |] in
+  let n = 8 in
+  let base = random_dd_matrix rng n in
+  (* symmetrize while keeping diagonal dominance *)
+  let a = Matrix.init n n (fun i j -> 0.5 *. (Matrix.get base i j +. Matrix.get base j i)) in
+  let b = Array.init n (fun i -> float_of_int (i - 3)) in
+  let x_lu = Lu.solve_dense a b in
+  let apply x out =
+    let y = Matrix.mat_vec a x in
+    Array.blit y 0 out 0 n
+  in
+  let r = Cg.solve ~apply ~b () in
+  Alcotest.(check bool) "CG = LU" true (Vec.max_abs_diff r.Cg.solution x_lu < 1e-6)
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_basics () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "variance" (2.0 /. 3.0) (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  check_float "stddev of constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check_float "rmse equal" 0.0 (Stats.rmse [| 1.0; 2.0 |] [| 1.0; 2.0 |]);
+  check_float "rmse" (sqrt 0.5) (Stats.rmse [| 1.0; 2.0 |] [| 2.0; 2.0 |] *. sqrt 1.0);
+  check_float "max_abs_error" 3.0 (Stats.max_abs_error [| 0.0; 1.0 |] [| 3.0; 1.0 |])
+
+let test_stats_regression () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let slope, intercept = Stats.linear_regression xs ys in
+  check_float "slope" 2.0 slope;
+  check_float "intercept" 1.0 intercept;
+  check_float "r2 perfect" 1.0 (Stats.r_squared ys ys)
+
+let test_stats_relative_error () =
+  check_float "rel" 0.1 (Stats.relative_error ~expected:10.0 11.0);
+  check_float "rel at zero" 3.0 (Stats.relative_error ~expected:0.0 3.0)
+
+(* --- Interp ------------------------------------------------------------- *)
+
+let test_interp_lookup () =
+  let xs = [| 0.0; 1.0; 2.0 |] and ys = [| 0.0; 10.0; 0.0 |] in
+  check_float "node" 10.0 (Interp.lookup xs ys 1.0);
+  check_float "mid" 5.0 (Interp.lookup xs ys 0.5);
+  check_float "clamp low" 0.0 (Interp.lookup xs ys (-1.0));
+  check_float "clamp high" 0.0 (Interp.lookup xs ys 3.0)
+
+let test_interp_crossings () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] and ys = [| 0.0; 2.0; 0.0; 2.0 |] in
+  match Interp.crossings xs ys 1.0 with
+  | [ a; b; c ] ->
+    check_float "c1" 0.5 a;
+    check_float "c2" 1.5 b;
+    check_float "c3" 2.5 c
+  | other -> Alcotest.failf "expected 3 crossings, got %d" (List.length other)
+
+let test_interp_first_crossing_after () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] and ys = [| 0.0; 2.0; 0.0; 2.0 |] in
+  (match Interp.first_crossing_after xs ys ~after:1.0 1.0 with
+  | Some t -> check_float "after" 1.5 t
+  | None -> Alcotest.fail "expected a crossing");
+  Alcotest.(check bool) "none left" true
+    (Interp.first_crossing_after xs ys ~after:3.0 1.0 = None)
+
+let test_interp_bisect () =
+  let root = Interp.bisect (fun x -> (x *. x) -. 2.0) 0.0 2.0 ~tol:1e-10 in
+  check_close "sqrt 2" 1e-8 (sqrt 2.0) root;
+  Alcotest.check_raises "no bracket" (Invalid_argument "Interp.bisect: no sign change in bracket")
+    (fun () -> ignore (Interp.bisect (fun x -> x +. 10.0) 0.0 1.0 ~tol:1e-3))
+
+let prop_lookup_exact_at_samples =
+  QCheck2.Test.make ~name:"Interp.lookup exact at sample points" ~count:100
+    QCheck2.Gen.(array_size (int_range 2 20) (float_range (-5.0) 5.0))
+    (fun ys ->
+      let xs = Array.init (Array.length ys) float_of_int in
+      Array.for_all
+        (fun i -> Float.abs (Interp.lookup xs ys xs.(i) -. ys.(i)) < 1e-9)
+        (Array.init (Array.length ys) Fun.id))
+
+(* --- Optimize ----------------------------------------------------------- *)
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. ((x.(1) +. 1.0) ** 2.0) in
+  let r = Optimize.nelder_mead f [| 0.0; 0.0 |] ~max_iter:5000 () in
+  Alcotest.(check bool) "converged" true r.Optimize.converged;
+  check_close "x0" 1e-4 3.0 r.Optimize.x.(0);
+  check_close "x1" 1e-4 (-1.0) r.Optimize.x.(1)
+
+let test_nelder_mead_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let r = Optimize.nelder_mead f [| -1.2; 1.0 |] ~max_iter:10000 ~tol:1e-16 () in
+  check_close "rosenbrock x" 1e-3 1.0 r.Optimize.x.(0);
+  check_close "rosenbrock y" 1e-3 1.0 r.Optimize.x.(1)
+
+let test_lm_line_fit () =
+  let xs = Array.init 20 (fun i -> float_of_int i /. 2.0) in
+  let data = Array.map (fun x -> (3.0 *. x) -. 7.0) xs in
+  let residuals p = Array.mapi (fun i x -> (p.(0) *. x) +. p.(1) -. data.(i)) xs in
+  let r = Optimize.levenberg_marquardt ~residuals ~x0:[| 0.0; 0.0 |] () in
+  check_close "slope" 1e-6 3.0 r.Optimize.params.(0);
+  check_close "offset" 1e-6 (-7.0) r.Optimize.params.(1);
+  Alcotest.(check bool) "rmse tiny" true (r.Optimize.rmse < 1e-8)
+
+let test_lm_exponential_fit () =
+  let xs = Array.init 30 (fun i -> float_of_int i /. 10.0) in
+  let data = Array.map (fun x -> 2.5 *. exp (-1.3 *. x)) xs in
+  let residuals p = Array.mapi (fun i x -> (p.(0) *. exp (p.(1) *. x)) -. data.(i)) xs in
+  let r = Optimize.levenberg_marquardt ~residuals ~x0:[| 1.0; -0.5 |] () in
+  check_close "amplitude" 1e-5 2.5 r.Optimize.params.(0);
+  check_close "rate" 1e-5 (-1.3) r.Optimize.params.(1)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "numerics"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick test_vec_dot;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "norms" `Quick test_vec_norms;
+          Alcotest.test_case "linspace" `Quick test_vec_linspace;
+          Alcotest.test_case "length mismatch" `Quick test_vec_mismatch;
+          qc prop_dot_symmetric;
+          qc prop_triangle_inequality;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "identity" `Quick test_matrix_identity;
+          Alcotest.test_case "mat_mul" `Quick test_matrix_mul;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "add_to stamps" `Quick test_matrix_stamp;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve sizes 1..12" `Quick test_lu_solve;
+          Alcotest.test_case "determinant" `Quick test_lu_determinant;
+          Alcotest.test_case "singular detection" `Quick test_lu_singular;
+          Alcotest.test_case "rejects non-square" `Quick test_lu_not_square;
+          qc prop_lu_roundtrip;
+        ] );
+      ( "cg",
+        [
+          Alcotest.test_case "1-D laplacian" `Quick test_cg_laplacian;
+          Alcotest.test_case "matches LU on SPD" `Quick test_cg_matches_lu;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "linear regression" `Quick test_stats_regression;
+          Alcotest.test_case "relative error" `Quick test_stats_relative_error;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "lookup" `Quick test_interp_lookup;
+          Alcotest.test_case "crossings" `Quick test_interp_crossings;
+          Alcotest.test_case "first_crossing_after" `Quick test_interp_first_crossing_after;
+          Alcotest.test_case "bisect" `Quick test_interp_bisect;
+          qc prop_lookup_exact_at_samples;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
+          Alcotest.test_case "nelder-mead rosenbrock" `Quick test_nelder_mead_rosenbrock;
+          Alcotest.test_case "LM line fit" `Quick test_lm_line_fit;
+          Alcotest.test_case "LM exponential fit" `Quick test_lm_exponential_fit;
+        ] );
+    ]

@@ -1,0 +1,804 @@
+(* Tests for the SPICE-like circuit engine. *)
+
+module Sp = Lattice_spice
+module L1 = Lattice_mosfet.Level1
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+let nmos = { L1.kp = 2e-5; vth = 0.4; lambda = 0.02; w = 700e-9; l = 350e-9 }
+
+(* --- Units ------------------------------------------------------------- *)
+
+let test_units_parse () =
+  check_close "500k" 1e-6 500e3 (Sp.Units.parse "500k");
+  check_close "1f" 1e-21 1e-15 (Sp.Units.parse "1f");
+  check_close "10n" 1e-14 10e-9 (Sp.Units.parse "10n");
+  check_close "2.5u" 1e-12 2.5e-6 (Sp.Units.parse "2.5u");
+  check_close "3meg" 1.0 3e6 (Sp.Units.parse "3MEG");
+  check_close "plain" 1e-9 42.0 (Sp.Units.parse "42");
+  check_close "negative" 1e-9 (-3e-3) (Sp.Units.parse "-3m");
+  Alcotest.(check bool) "garbage rejected" true
+    (match Sp.Units.parse "abc" with exception Invalid_argument _ -> true | _ -> false)
+
+let test_units_format () =
+  Alcotest.(check string) "500k" "500k" (Sp.Units.format 500e3);
+  Alcotest.(check string) "1f" "1f" (Sp.Units.format 1e-15);
+  Alcotest.(check string) "zero" "0" (Sp.Units.format 0.0);
+  Alcotest.(check string) "10n" "10n" (Sp.Units.format 10e-9)
+
+let test_units_roundtrip () =
+  List.iter
+    (fun x ->
+      check_close (Printf.sprintf "roundtrip %g" x) (Float.abs x *. 1e-6) x
+        (Sp.Units.parse (Sp.Units.format x)))
+    [ 1.0; 1e-15; 2.2e-12; 500e3; 1.2; 3.3e6; -4.7e-9 ]
+
+(* --- Source ------------------------------------------------------------- *)
+
+let test_source_dc () =
+  check_close "dc" 1e-12 3.3 (Sp.Source.value (Sp.Source.Dc 3.3) 1.0)
+
+let test_source_pulse () =
+  let p =
+    Sp.Source.Pulse
+      { v1 = 0.0; v2 = 1.0; delay = 10e-9; rise = 1e-9; fall = 1e-9; width = 8e-9; period = 20e-9 }
+  in
+  check_close "before delay" 1e-12 0.0 (Sp.Source.value p 5e-9);
+  check_close "mid rise" 1e-6 0.5 (Sp.Source.value p 10.5e-9);
+  check_close "high" 1e-12 1.0 (Sp.Source.value p 15e-9);
+  check_close "mid fall" 1e-6 0.5 (Sp.Source.value p 19.5e-9);
+  check_close "next period high" 1e-12 1.0 (Sp.Source.value p 35e-9)
+
+let test_source_square_starts_low () =
+  let w = Sp.Source.square_wave ~low:0.0 ~high:1.2 ~period:100e-9 () in
+  check_close "t=0" 1e-12 0.0 (Sp.Source.value w 0.0);
+  check_close "first half low" 1e-12 0.0 (Sp.Source.value w 25e-9);
+  check_close "second half high" 1e-12 1.2 (Sp.Source.value w 75e-9);
+  check_close "third half low" 1e-12 0.0 (Sp.Source.value w 125e-9)
+
+let test_source_bit_clock_counter () =
+  (* driving bits 0..2 walks through the 8 combinations in order *)
+  let bit_time = 10e-9 in
+  for slot = 0 to 7 do
+    for bit = 0 to 2 do
+      let w = Sp.Source.bit_clock ~vdd:1.0 ~bit_time ~bit_index:bit () in
+      let t = (float_of_int slot +. 0.5) *. bit_time in
+      let expect = if (slot lsr bit) land 1 = 1 then 1.0 else 0.0 in
+      check_close (Printf.sprintf "slot %d bit %d" slot bit) 1e-9 expect (Sp.Source.value w t)
+    done
+  done
+
+let test_source_pwl () =
+  let w = Sp.Source.Pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, 2.0); (4.0, 0.0) ] in
+  check_close "interp" 1e-12 1.0 (Sp.Source.value w 0.5);
+  check_close "plateau" 1e-12 2.0 (Sp.Source.value w 2.0);
+  check_close "tail clamp" 1e-12 0.0 (Sp.Source.value w 10.0);
+  check_close "head clamp" 1e-12 0.0 (Sp.Source.value w (-1.0))
+
+let test_source_complement () =
+  let w = Sp.Source.square_wave ~low:0.0 ~high:1.2 ~period:100e-9 () in
+  let wb = Sp.Lattice_circuit.complement ~vdd:1.2 w in
+  check_close "complement of low" 1e-12 1.2 (Sp.Source.value wb 25e-9);
+  check_close "complement of high" 1e-12 0.0 (Sp.Source.value wb 75e-9)
+
+(* --- Netlist ------------------------------------------------------------- *)
+
+let test_netlist_nodes () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" in
+  let a' = Sp.Netlist.node ckt "a" in
+  Alcotest.(check int) "interned" a a';
+  Alcotest.(check int) "ground is 0" 0 (Sp.Netlist.node ckt "0");
+  Alcotest.(check int) "gnd alias" 0 (Sp.Netlist.node ckt "gnd");
+  Alcotest.(check string) "name back" "a" (Sp.Netlist.node_name ckt a);
+  let f1 = Sp.Netlist.fresh_node ckt "x" in
+  let f2 = Sp.Netlist.fresh_node ckt "x" in
+  Alcotest.(check bool) "fresh distinct" true (f1 <> f2)
+
+let test_netlist_counts () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" and b = Sp.Netlist.node ckt "b" in
+  Sp.Netlist.resistor ckt "R1" a b 1e3;
+  Sp.Netlist.capacitor ckt "C1" b Sp.Netlist.ground 1e-12;
+  Sp.Netlist.vsource ckt "V1" a Sp.Netlist.ground (Sp.Source.Dc 1.0);
+  Sp.Netlist.mosfet ckt "M1" ~drain:b ~gate:a ~source:Sp.Netlist.ground nmos;
+  Alcotest.(check int) "nodes" 2 (Sp.Netlist.num_nodes ckt);
+  Alcotest.(check int) "vsources" 1 (Sp.Netlist.num_vsources ckt);
+  Alcotest.(check int) "unknowns" 3 (Sp.Netlist.unknowns ckt);
+  Alcotest.(check int) "elements" 4 (List.length (Sp.Netlist.elements ckt))
+
+let test_netlist_rejects_bad_values () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" in
+  Alcotest.(check bool) "zero resistance" true
+    (match Sp.Netlist.resistor ckt "R" a Sp.Netlist.ground 0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative capacitance" true
+    (match Sp.Netlist.capacitor ckt "C" a Sp.Netlist.ground (-1e-15) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_netlist_spice_export () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" and out = Sp.Netlist.node ckt "out" in
+  Sp.Netlist.vsource ckt "DD" a Sp.Netlist.ground (Sp.Source.Dc 1.2);
+  Sp.Netlist.resistor ckt "L" a out 500e3;
+  Sp.Netlist.capacitor ckt "O" out Sp.Netlist.ground 10e-15;
+  Sp.Netlist.mosfet ckt "1" ~drain:out ~gate:a ~source:Sp.Netlist.ground nmos;
+  Sp.Netlist.mosfet_model ckt "2" ~drain:out ~gate:a ~source:Sp.Netlist.ground
+    (Lattice_mosfet.Model.L3 (Lattice_mosfet.Level3.of_level1 nmos));
+  let deck = Sp.Netlist.to_spice_string ckt ~title:"test deck" in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "deck contains %S" frag) true (contains deck frag))
+    [
+      "* test deck"; "VDD a 0 DC 1.2"; "RL a out 500k"; "CO out 0 10f"; "M1 out a 0 0 NMOD";
+      "LEVEL=1"; "LEVEL=3"; "THETA"; ".END";
+    ]
+
+let test_spice_export_of_lattice () =
+  (* the full XOR3 circuit exports without raising and mentions all 54 FETs *)
+  let lc =
+    Sp.Lattice_circuit.build Lattice_synthesis.Library.xor3_3x3
+      ~stimulus:(fun _ -> Sp.Source.Dc 0.0)
+  in
+  let deck = Sp.Netlist.to_spice_string lc.Sp.Lattice_circuit.netlist ~title:"xor3" in
+  let count_lines prefix =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && String.get l 0 = prefix)
+         (String.split_on_char '\n' deck))
+  in
+  Alcotest.(check int) "54 M-cards" 54 (count_lines 'M');
+  Alcotest.(check bool) "one model card" true (contains deck ".MODEL")
+
+(* --- Dcop ---------------------------------------------------------------- *)
+
+let test_dcop_divider () =
+  let ckt = Sp.Netlist.create () in
+  let top = Sp.Netlist.node ckt "top" and mid = Sp.Netlist.node ckt "mid" in
+  Sp.Netlist.vsource ckt "V" top Sp.Netlist.ground (Sp.Source.Dc 10.0);
+  Sp.Netlist.resistor ckt "R1" top mid 1e3;
+  Sp.Netlist.resistor ckt "R2" mid Sp.Netlist.ground 3e3;
+  let x = Sp.Dcop.solve ckt in
+  check_close "mid" 1e-9 7.5 (Sp.Mna.voltage x mid)
+
+let test_dcop_branch_current () =
+  let ckt = Sp.Netlist.create () in
+  let top = Sp.Netlist.node ckt "top" in
+  Sp.Netlist.vsource ckt "V" top Sp.Netlist.ground (Sp.Source.Dc 10.0);
+  Sp.Netlist.resistor ckt "R" top Sp.Netlist.ground 2e3;
+  let x = Sp.Dcop.solve ckt in
+  (* positive branch current flows into the + terminal of the source *)
+  check_close "branch current" 1e-12 (-5e-3) x.(Sp.Netlist.vsource_row ckt 0)
+
+let test_dcop_isource () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" in
+  Sp.Netlist.isource ckt "I" Sp.Netlist.ground a (Sp.Source.Dc 1e-3);
+  Sp.Netlist.resistor ckt "R" a Sp.Netlist.ground 4e3;
+  let x = Sp.Dcop.solve ckt in
+  check_close "1mA * 4k" 1e-9 4.0 (Sp.Mna.voltage x a)
+
+let test_dcop_diode_connected_fet () =
+  (* diode-connected NMOS with a resistor from a 3V rail; verify against
+     the analytic operating point *)
+  let ckt = Sp.Netlist.create () in
+  let vdd = Sp.Netlist.node ckt "vdd" and d = Sp.Netlist.node ckt "d" in
+  Sp.Netlist.vsource ckt "V" vdd Sp.Netlist.ground (Sp.Source.Dc 3.0);
+  Sp.Netlist.resistor ckt "R" vdd d 100e3;
+  let p = { nmos with L1.lambda = 0.0 } in
+  Sp.Netlist.mosfet ckt "M" ~drain:d ~gate:d ~source:Sp.Netlist.ground p;
+  let x = Sp.Dcop.solve ckt in
+  let v = Sp.Mna.voltage x d in
+  (* diode-connected => saturation: (3 - v)/R = beta/2 (v - vth)^2 *)
+  let beta = L1.beta p in
+  let residual = ((3.0 -. v) /. 100e3) -. (0.5 *. beta *. ((v -. p.L1.vth) ** 2.0)) in
+  check_close "KCL at drain" 1e-9 0.0 residual;
+  Alcotest.(check bool) "above vth" true (v > p.L1.vth)
+
+let test_dcop_inverter_transfer () =
+  (* resistor-load inverter: output near VDD at low input, near 0 at high *)
+  let run vin =
+    let ckt = Sp.Netlist.create () in
+    let vdd = Sp.Netlist.node ckt "vdd" and g = Sp.Netlist.node ckt "g" and out = Sp.Netlist.node ckt "out" in
+    Sp.Netlist.vsource ckt "VDD" vdd Sp.Netlist.ground (Sp.Source.Dc 1.2);
+    Sp.Netlist.vsource ckt "VG" g Sp.Netlist.ground (Sp.Source.Dc vin);
+    Sp.Netlist.resistor ckt "RL" vdd out 500e3;
+    Sp.Netlist.mosfet ckt "M" ~drain:out ~gate:g ~source:Sp.Netlist.ground nmos;
+    let x = Sp.Dcop.solve ckt in
+    Sp.Mna.voltage x out
+  in
+  Alcotest.(check bool) "low in, high out" true (run 0.0 > 1.19);
+  Alcotest.(check bool) "high in, low out" true (run 1.2 < 0.2);
+  Alcotest.(check bool) "monotone transfer" true (run 0.6 > run 0.9)
+
+let test_dcop_floating_through_fets () =
+  (* chain with internal nodes connected only via FETs: gmin keeps the
+     system solvable even with every gate off *)
+  let ckt = Sp.Netlist.create () in
+  let top = Sp.Netlist.node ckt "top" and mid = Sp.Netlist.node ckt "mid" in
+  Sp.Netlist.vsource ckt "V" top Sp.Netlist.ground (Sp.Source.Dc 1.0);
+  Sp.Netlist.mosfet ckt "M1" ~drain:top ~gate:Sp.Netlist.ground ~source:mid nmos;
+  Sp.Netlist.mosfet ckt "M2" ~drain:mid ~gate:Sp.Netlist.ground ~source:Sp.Netlist.ground nmos;
+  let x = Sp.Dcop.solve ckt in
+  let v = Sp.Mna.voltage x mid in
+  Alcotest.(check bool) "mid between rails" true (v >= -1e-6 && v <= 1.0 +. 1e-6)
+
+(* --- Transient -------------------------------------------------------------- *)
+
+let rc_circuit () =
+  (* series RC driven by a 1 V step (via pulse with tiny rise) *)
+  let ckt = Sp.Netlist.create () in
+  let inn = Sp.Netlist.node ckt "in" and out = Sp.Netlist.node ckt "out" in
+  Sp.Netlist.vsource ckt "V" inn Sp.Netlist.ground
+    (Sp.Source.Pulse
+       { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 1e-12; fall = 1e-12; width = 1.0; period = 2.0 });
+  Sp.Netlist.resistor ckt "R" inn out 1e3;
+  Sp.Netlist.capacitor ckt "C" out Sp.Netlist.ground 1e-9;
+  ckt
+
+let test_transient_rc_charge () =
+  (* tau = 1 us; compare V(out) with the analytic exponential *)
+  let ckt = rc_circuit () in
+  let r = Sp.Transient.run ckt ~h:20e-9 ~t_stop:5e-6 ~record:[ "out" ] () in
+  let out = Sp.Transient.signal r "out" in
+  let tau = 1e-6 in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      let analytic = 1.0 -. exp (-.t /. tau) in
+      worst := Float.max !worst (Float.abs (out.(i) -. analytic)))
+    r.Sp.Transient.times;
+  Alcotest.(check bool) (Printf.sprintf "max error %.2g < 2%%" !worst) true (!worst < 0.02)
+
+let test_transient_trap_beats_be () =
+  (* the trapezoidal rule is second order: with the same step it must beat
+     backward Euler on the RC charge curve (the DESIGN.md ablation) *)
+  let error integrator =
+    let ckt = rc_circuit () in
+    let options = { Sp.Transient.default_options with Sp.Transient.integrator } in
+    let r = Sp.Transient.run ~options ckt ~h:100e-9 ~t_stop:3e-6 ~record:[ "out" ] () in
+    let out = Sp.Transient.signal r "out" in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i t -> acc := Float.max !acc (Float.abs (out.(i) -. (1.0 -. exp (-.t /. 1e-6)))))
+      r.Sp.Transient.times;
+    !acc
+  in
+  let e_be = error Sp.Transient.Backward_euler in
+  let e_trap = error Sp.Transient.Trapezoidal in
+  Alcotest.(check bool)
+    (Printf.sprintf "trap %.3g < BE %.3g" e_trap e_be)
+    true (e_trap < e_be)
+
+let test_transient_records_input () =
+  let ckt = rc_circuit () in
+  let r = Sp.Transient.run ckt ~h:50e-9 ~t_stop:1e-6 ~record:[ "in"; "out" ] () in
+  let vin = Sp.Transient.signal r "in" in
+  check_close "input recorded" 1e-9 1.0 vin.(Array.length vin - 1);
+  Alcotest.(check bool) "unknown signal raises" true
+    (match Sp.Transient.signal r "nope" with exception Not_found -> true | _ -> false)
+
+let test_transient_conserves_dc () =
+  (* a circuit already at its operating point stays there *)
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" in
+  Sp.Netlist.vsource ckt "V" a Sp.Netlist.ground (Sp.Source.Dc 2.0);
+  Sp.Netlist.resistor ckt "R" a Sp.Netlist.ground 1e3;
+  let r = Sp.Transient.run ckt ~h:1e-9 ~t_stop:50e-9 ~record:[ "a" ] () in
+  let va = Sp.Transient.signal r "a" in
+  Array.iter (fun v -> check_close "steady" 1e-9 2.0 v) va
+
+(* --- Measure ------------------------------------------------------------- *)
+
+let test_measure_edges () =
+  (* synthetic trapezoid: rise 10 ns, flat, fall 20 ns *)
+  let times = Array.init 101 (fun i -> float_of_int i *. 1e-9) in
+  let values =
+    Array.map
+      (fun t ->
+        let tn = t /. 1e-9 in
+        if tn <= 10.0 then tn /. 10.0
+        else if tn <= 60.0 then 1.0
+        else if tn <= 80.0 then 1.0 -. ((tn -. 60.0) /. 20.0)
+        else 0.0)
+      times
+  in
+  (match Sp.Measure.rise_time times values ~low:0.0 ~high:1.0 with
+  | Some t -> check_close "rise = 80% of 10ns" 1e-10 8e-9 t
+  | None -> Alcotest.fail "no rise");
+  match Sp.Measure.fall_time times values ~low:0.0 ~high:1.0 with
+  | Some t -> check_close "fall = 80% of 20ns" 1e-10 16e-9 t
+  | None -> Alcotest.fail "no fall"
+
+let test_measure_levels () =
+  let times = Array.init 100 (fun i -> float_of_int i) in
+  let values = Array.init 100 (fun i -> if i mod 2 = 0 then 0.1 else 0.9) in
+  let low, high = Sp.Measure.steady_levels times values ~settle:0.0 in
+  check_close "low" 1e-9 0.1 low;
+  check_close "high" 1e-9 0.9 high
+
+let test_measure_plot () =
+  let times = Array.init 10 (fun i -> float_of_int i) in
+  let values = Array.map (fun t -> sin t) times in
+  let s = Sp.Measure.ascii_plot ~width:40 ~height:8 ~label:"sine" times values in
+  Alcotest.(check bool) "plot non-empty" true (String.length s > 100)
+
+(* --- Ac --------------------------------------------------------------------- *)
+
+let rc_lowpass () =
+  let ckt = Sp.Netlist.create () in
+  let inn = Sp.Netlist.node ckt "in" and out = Sp.Netlist.node ckt "out" in
+  Sp.Netlist.vsource ckt "VIN" inn Sp.Netlist.ground (Sp.Source.Dc 0.0);
+  Sp.Netlist.resistor ckt "R" inn out 1e3;
+  Sp.Netlist.capacitor ckt "C" out Sp.Netlist.ground 1e-9;
+  ckt
+
+let test_ac_rc_corner () =
+  let r =
+    Sp.Ac.sweep (rc_lowpass ()) ~source:"VIN" ~output:"out" ~f_start:1e3 ~f_stop:1e8
+      ~points_per_decade:20
+  in
+  check_close "dc gain 1" 1e-3 1.0 r.Sp.Ac.dc_gain;
+  match Sp.Ac.f_3db r with
+  | Some f ->
+    let expect = 1.0 /. (2.0 *. Float.pi *. 1e3 *. 1e-9) in
+    Alcotest.(check bool)
+      (Printf.sprintf "f3db %.4g ~ %.4g" f expect)
+      true
+      (Float.abs (f -. expect) /. expect < 0.02);
+    check_close "phase -45 deg at corner" 1.0 (-45.0) (Sp.Ac.phase_at r f)
+  | None -> Alcotest.fail "no corner found"
+
+let test_ac_rolloff () =
+  (* single pole: one decade above the corner the gain is ~ -20 dB/dec *)
+  let r =
+    Sp.Ac.sweep (rc_lowpass ()) ~source:"VIN" ~output:"out" ~f_start:1e3 ~f_stop:1e8
+      ~points_per_decade:20
+  in
+  let g1 = Sp.Ac.magnitude_at r 1.59e6 and g2 = Sp.Ac.magnitude_at r 1.59e7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rolloff ratio %.2f ~ 10" (g1 /. g2))
+    true
+    (g1 /. g2 > 8.0 && g1 /. g2 < 12.0)
+
+let test_ac_errors () =
+  Alcotest.(check bool) "unknown source" true
+    (match
+       Sp.Ac.sweep (rc_lowpass ()) ~source:"NOPE" ~output:"out" ~f_start:1e3 ~f_stop:1e6
+         ~points_per_decade:5
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad range" true
+    (match
+       Sp.Ac.sweep (rc_lowpass ()) ~source:"VIN" ~output:"out" ~f_start:1e6 ~f_stop:1e3
+         ~points_per_decade:5
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ac_divider_flat () =
+  (* purely resistive circuits are frequency-flat *)
+  let ckt = Sp.Netlist.create () in
+  let inn = Sp.Netlist.node ckt "in" and out = Sp.Netlist.node ckt "out" in
+  Sp.Netlist.vsource ckt "VIN" inn Sp.Netlist.ground (Sp.Source.Dc 1.0);
+  Sp.Netlist.resistor ckt "R1" inn out 1e3;
+  Sp.Netlist.resistor ckt "R2" out Sp.Netlist.ground 3e3;
+  let r =
+    Sp.Ac.sweep ckt ~source:"VIN" ~output:"out" ~f_start:1e3 ~f_stop:1e9 ~points_per_decade:5
+  in
+  List.iter (fun p -> check_close "flat 0.75" 1e-9 0.75 p.Sp.Ac.magnitude) r.Sp.Ac.points
+
+let test_measure_integral () =
+  let times = [| 0.0; 1.0; 2.0; 3.0 |] in
+  check_close "constant" 1e-12 6.0 (Sp.Measure.integral times [| 2.0; 2.0; 2.0; 2.0 |]);
+  check_close "ramp" 1e-12 4.5 (Sp.Measure.integral times [| 0.0; 1.0; 2.0; 3.0 |])
+
+let test_energy_from_supply () =
+  (* 2 V across 1 kOhm for 20 ns: E = V^2/R * t = 80 pJ *)
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" in
+  Sp.Netlist.vsource ckt "V1" a Sp.Netlist.ground (Sp.Source.Dc 2.0);
+  Sp.Netlist.resistor ckt "R" a Sp.Netlist.ground 1e3;
+  let r = Sp.Transient.run ckt ~h:1e-9 ~t_stop:20e-9 ~record:[] ~record_currents:[ "V1" ] () in
+  let e = Sp.Measure.energy_from_supply ~vdd:2.0 r.Sp.Transient.times (Sp.Transient.branch_current r "V1") in
+  check_close "80 pJ" 1e-15 80e-12 e
+
+(* --- Fts ------------------------------------------------------------------ *)
+
+let switch_resistance gate_v =
+  (* measure the N-S resistance of a single switch *)
+  let ckt = Sp.Netlist.create () in
+  let n = Sp.Netlist.node ckt "n" and g = Sp.Netlist.node ckt "g" in
+  Sp.Netlist.vsource ckt "VN" n Sp.Netlist.ground (Sp.Source.Dc 0.1) |> ignore;
+  Sp.Netlist.vsource ckt "VG" g Sp.Netlist.ground (Sp.Source.Dc gate_v) |> ignore;
+  Sp.Fts.instantiate ckt ~name:"X" ~north:n
+    ~east:(Sp.Netlist.node ckt "e")
+    ~south:Sp.Netlist.ground
+    ~west:(Sp.Netlist.node ckt "w")
+    ~gate:g Sp.Fts.default_types;
+  let x = Sp.Dcop.solve ckt in
+  let i = -.x.(Sp.Netlist.vsource_row ckt 0) in
+  0.1 /. i
+
+let test_fts_switching () =
+  let r_on = switch_resistance 1.2 in
+  let r_off = switch_resistance 0.0 in
+  Alcotest.(check bool) (Printf.sprintf "on %.3g << off %.3g" r_on r_off) true
+    (r_off > 1e4 *. r_on);
+  Alcotest.(check bool) "on resistance is tens of kOhm" true (r_on > 1e3 && r_on < 1e6)
+
+let test_fts_element_count () =
+  let ckt = Sp.Netlist.create () in
+  Sp.Fts.instantiate ckt ~name:"X"
+    ~north:(Sp.Netlist.node ckt "n")
+    ~east:(Sp.Netlist.node ckt "e")
+    ~south:(Sp.Netlist.node ckt "s")
+    ~west:(Sp.Netlist.node ckt "w")
+    ~gate:(Sp.Netlist.node ckt "g")
+    Sp.Fts.default_types;
+  let fets, caps =
+    List.fold_left
+      (fun (m, c) e ->
+        match e with
+        | Sp.Netlist.Mosfet _ -> (m + 1, c)
+        | Sp.Netlist.Capacitor _ -> (m, c + 1)
+        | Sp.Netlist.Resistor _ | Sp.Netlist.Vsource _ | Sp.Netlist.Isource _ -> (m, c))
+      (0, 0) (Sp.Netlist.elements ckt)
+  in
+  Alcotest.(check int) "six transistors" 6 fets;
+  Alcotest.(check int) "four terminal caps" 4 caps
+
+let test_fts_no_caps_option () =
+  let ckt = Sp.Netlist.create () in
+  Sp.Fts.instantiate ckt ~name:"X"
+    ~north:(Sp.Netlist.node ckt "n")
+    ~east:(Sp.Netlist.node ckt "e")
+    ~south:(Sp.Netlist.node ckt "s")
+    ~west:(Sp.Netlist.node ckt "w")
+    ~gate:(Sp.Netlist.node ckt "g")
+    ~terminal_cap:0.0 Sp.Fts.default_types;
+  Alcotest.(check int) "no caps" 6 (List.length (Sp.Netlist.elements ckt))
+
+let test_fts_terminal_symmetry () =
+  (* conduct N->S and W->E: same resistance by symmetry of the 6-FET model *)
+  let resistance ~from_t ~to_t =
+    let ckt = Sp.Netlist.create () in
+    let drive = Sp.Netlist.node ckt "drive" and g = Sp.Netlist.node ckt "g" in
+    Sp.Netlist.vsource ckt "VD" drive Sp.Netlist.ground (Sp.Source.Dc 0.1);
+    Sp.Netlist.vsource ckt "VG" g Sp.Netlist.ground (Sp.Source.Dc 1.2);
+    let nodes = Array.init 4 (fun i ->
+        if i = from_t then drive
+        else if i = to_t then Sp.Netlist.ground
+        else Sp.Netlist.node ckt (Printf.sprintf "f%d" i))
+    in
+    Sp.Fts.instantiate ckt ~name:"X" ~north:nodes.(0) ~east:nodes.(1) ~south:nodes.(2)
+      ~west:nodes.(3) ~gate:g Sp.Fts.default_types;
+    let x = Sp.Dcop.solve ckt in
+    0.1 /. -.x.(Sp.Netlist.vsource_row ckt 0)
+  in
+  let r_ns = resistance ~from_t:0 ~to_t:2 in
+  let r_we = resistance ~from_t:3 ~to_t:1 in
+  check_close "N-S = W-E" (r_ns *. 1e-6) r_ns r_we;
+  let r_ne = resistance ~from_t:0 ~to_t:1 in
+  let r_sw = resistance ~from_t:2 ~to_t:3 in
+  check_close "N-E = S-W" (r_ne *. 1e-6) r_ne r_sw
+
+(* --- Lattice_circuit -------------------------------------------------------- *)
+
+let test_lattice_circuit_xor3_dc () =
+  (* every input combination at DC: output = NOT XOR3 *)
+  let grid = Lattice_synthesis.Library.xor3_3x3 in
+  for m = 0 to 7 do
+    let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0) in
+    let lc = Sp.Lattice_circuit.build grid ~stimulus in
+    let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+    let out = Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out" in
+    let v = Sp.Mna.voltage x out in
+    let xor3 = (m land 1) lxor ((m lsr 1) land 1) lxor ((m lsr 2) land 1) = 1 in
+    if xor3 then
+      Alcotest.(check bool) (Printf.sprintf "combo %d low" m) true (v < 0.3)
+    else Alcotest.(check bool) (Printf.sprintf "combo %d high" m) true (v > 1.0)
+  done
+
+let test_lattice_circuit_structure () =
+  let grid = Lattice_synthesis.Library.xor3_3x3 in
+  let lc = Sp.Lattice_circuit.build grid ~stimulus:(fun _ -> Sp.Source.Dc 0.0) in
+  let ckt = lc.Sp.Lattice_circuit.netlist in
+  (* 9 switches x 6 FETs *)
+  let fets =
+    List.length
+      (List.filter
+         (function Sp.Netlist.Mosfet _ -> true | _ -> false)
+         (Sp.Netlist.elements ckt))
+  in
+  Alcotest.(check int) "54 transistors" 54 fets;
+  Alcotest.(check int) "3 inputs" 3 (Array.length lc.Sp.Lattice_circuit.input_nodes)
+
+let test_lattice_circuit_const_grid () =
+  (* an always-on 1x1 lattice pulls the output low; always-off stays high *)
+  let low_grid, _ = Lattice_core.Grid.of_strings [ [ "1" ] ] in
+  let lc = Sp.Lattice_circuit.build low_grid ~stimulus:(fun _ -> Sp.Source.Dc 0.0) in
+  let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+  let v = Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out") in
+  Alcotest.(check bool) "const 1 pulls low" true (v < 0.3);
+  let high_grid, _ = Lattice_core.Grid.of_strings [ [ "0" ] ] in
+  let lc = Sp.Lattice_circuit.build high_grid ~stimulus:(fun _ -> Sp.Source.Dc 0.0) in
+  let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+  let v = Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out") in
+  Alcotest.(check bool) "const 0 stays high" true (v > 1.1)
+
+let test_lattice_circuit_maj3 () =
+  (* second workload: majority gate *)
+  let grid = Lattice_synthesis.Library.maj3_2x3 in
+  for m = 0 to 7 do
+    let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0) in
+    let lc = Sp.Lattice_circuit.build grid ~stimulus in
+    let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+    let v = Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out") in
+    let ones = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1) in
+    if ones >= 2 then Alcotest.(check bool) (Printf.sprintf "maj %d low" m) true (v < 0.3)
+    else Alcotest.(check bool) (Printf.sprintf "maj %d high" m) true (v > 1.0)
+  done
+
+let test_lattice_circuit_complementary_dc () =
+  (* pull-up XNOR3 + pull-down XOR3: output = XNOR3, strong low, degraded
+     high (n-type pass), and negligible supply current in every state *)
+  for m = 0 to 7 do
+    let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0) in
+    let lc =
+      Sp.Lattice_circuit.build_complementary ~pull_up:Lattice_synthesis.Library.xnor3_3x3
+        ~pull_down:Lattice_synthesis.Library.xor3_3x3 ~stimulus ()
+    in
+    let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+    let v = Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out") in
+    let xor3 = (m land 1) lxor ((m lsr 1) land 1) lxor ((m lsr 2) land 1) = 1 in
+    if xor3 then Alcotest.(check bool) (Printf.sprintf "combo %d low" m) true (v < 0.1)
+    else
+      Alcotest.(check bool)
+        (Printf.sprintf "combo %d high (degraded)" m)
+        true (v > 0.9 && v <= 1.2);
+    (* static supply current: leakage only *)
+    (match Sp.Netlist.vsource_index lc.Sp.Lattice_circuit.netlist "VDD" with
+    | Some idx ->
+      let i = Float.abs x.(Sp.Netlist.vsource_row lc.Sp.Lattice_circuit.netlist idx) in
+      Alcotest.(check bool) (Printf.sprintf "combo %d leakage only" m) true (i < 1e-7)
+    | None -> Alcotest.fail "VDD source missing")
+  done
+
+let test_transient_current_recording () =
+  (* supply current of a resistor across a DC source: constant V/R *)
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" in
+  Sp.Netlist.vsource ckt "V1" a Sp.Netlist.ground (Sp.Source.Dc 2.0);
+  Sp.Netlist.resistor ckt "R" a Sp.Netlist.ground 1e3;
+  let r = Sp.Transient.run ckt ~h:1e-9 ~t_stop:20e-9 ~record:[ "a" ] ~record_currents:[ "V1" ] () in
+  let i = Sp.Transient.branch_current r "V1" in
+  Array.iter (fun x -> check_close "constant -2mA" 1e-9 (-2e-3) x) i;
+  Alcotest.(check bool) "unknown source rejected" true
+    (match
+       Sp.Transient.run ckt ~h:1e-9 ~t_stop:2e-9 ~record:[] ~record_currents:[ "nope" ] ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fts_gate_cap () =
+  let count_caps ckt =
+    List.length
+      (List.filter (function Sp.Netlist.Capacitor _ -> true | _ -> false) (Sp.Netlist.elements ckt))
+  in
+  let build gate_cap =
+    let ckt = Sp.Netlist.create () in
+    Sp.Fts.instantiate ckt ~name:"X"
+      ~north:(Sp.Netlist.node ckt "n")
+      ~east:(Sp.Netlist.node ckt "e")
+      ~south:(Sp.Netlist.node ckt "s")
+      ~west:(Sp.Netlist.node ckt "w")
+      ~gate:(Sp.Netlist.node ckt "g")
+      ~gate_cap Sp.Fts.default_types;
+    ckt
+  in
+  Alcotest.(check int) "no gate caps by default" 4 (count_caps (build 0.0));
+  Alcotest.(check int) "four gate caps" 8 (count_caps (build 4e-15))
+
+let test_gate_cap_slows_input_edge () =
+  (* with gate capacitance, the XOR3 transient still passes functionally *)
+  let config =
+    { Sp.Lattice_circuit.default_config with Sp.Lattice_circuit.gate_cap = 4e-15 }
+  in
+  let lc =
+    Sp.Lattice_circuit.build ~config Lattice_synthesis.Library.xor3_3x3
+      ~stimulus:(Sp.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:50e-9)
+  in
+  let r = Sp.Transient.run lc.Sp.Lattice_circuit.netlist ~h:1e-9 ~t_stop:400e-9 ~record:[ "out" ] () in
+  let out = Sp.Transient.signal r "out" in
+  let ok = ref true in
+  for k = 0 to 7 do
+    let t = (float_of_int k +. 0.95) *. 50e-9 in
+    let v = Sp.Measure.value_at r.Sp.Transient.times out t in
+    let parity = (k land 1) lxor ((k lsr 1) land 1) lxor ((k lsr 2) land 1) in
+    if not (Bool.equal (v > 0.6) (parity = 0)) then ok := false
+  done;
+  Alcotest.(check bool) "functional with gate caps" true !ok
+
+(* end-to-end property: for random small assigned lattices and every input
+   combination, the transistor circuit's DC output is low exactly when the
+   abstract lattice model says the lattice conducts *)
+let prop_circuit_matches_connectivity =
+  let grid_gen =
+    let open QCheck2.Gen in
+    let entry_gen =
+      frequency
+        [
+          (6, (let* v = int_range 0 2 and* p = bool in
+               return (Lattice_core.Grid.Lit (v, p))));
+          (1, return (Lattice_core.Grid.Const true));
+          (1, return (Lattice_core.Grid.Const false));
+        ]
+    in
+    let* rows = int_range 1 3 and* cols = int_range 1 3 in
+    let* entries = array_size (return (rows * cols)) entry_gen in
+    return (Lattice_core.Grid.create rows cols entries)
+  in
+  QCheck2.Test.make ~name:"DC circuit = lattice connectivity" ~count:40 grid_gen (fun grid ->
+      let ok = ref true in
+      for m = 0 to 7 do
+        let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0) in
+        let lc = Sp.Lattice_circuit.build grid ~stimulus in
+        let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+        let v = Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out") in
+        let conducts = Lattice_core.Connectivity.eval grid m in
+        if not (Bool.equal (v < 0.6) conducts) then ok := false
+      done;
+      !ok)
+
+let test_lattice_circuit_level3_model () =
+  (* with the level-3 switch models the XOR3 lattice still computes NOT
+     XOR3 at DC, at a (weakly) higher V_OL since short-channel effects
+     reduce the drive *)
+  let config =
+    { Sp.Lattice_circuit.default_config with
+      Sp.Lattice_circuit.types = Sp.Fts.level3_types () }
+  in
+  let v_ol_l3 = ref 0.0 and v_ol_l1 = ref 0.0 in
+  for m = 0 to 7 do
+    let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0) in
+    let solve config =
+      let lc = Sp.Lattice_circuit.build ~config Lattice_synthesis.Library.xor3_3x3 ~stimulus in
+      let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+      Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out")
+    in
+    let v3 = solve config and v1 = solve Sp.Lattice_circuit.default_config in
+    let xor3 = (m land 1) lxor ((m lsr 1) land 1) lxor ((m lsr 2) land 1) = 1 in
+    if xor3 then begin
+      Alcotest.(check bool) (Printf.sprintf "combo %d low" m) true (v3 < 0.6);
+      v_ol_l3 := Float.max !v_ol_l3 v3;
+      v_ol_l1 := Float.max !v_ol_l1 v1
+    end
+    else Alcotest.(check bool) (Printf.sprintf "combo %d high" m) true (v3 > 1.0)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "level3 V_OL %.3f >= level1 V_OL %.3f" !v_ol_l3 !v_ol_l1)
+    true
+    (!v_ol_l3 >= !v_ol_l1 -. 1e-9)
+
+(* --- Series_chain ------------------------------------------------------------ *)
+
+let test_series_monotone_decrease () =
+  let prev = ref infinity in
+  for n = 1 to 8 do
+    let i = Sp.Series_chain.current ~n ~v_top:1.2 () in
+    Alcotest.(check bool) (Printf.sprintf "I(%d) < I(%d)" n (n - 1)) true (i < !prev);
+    Alcotest.(check bool) "positive" true (i > 0.0);
+    prev := i
+  done
+
+let test_series_voltage_monotone () =
+  let v5 = Sp.Series_chain.voltage_for_current ~n:5 ~i_target:5.5e-6 () in
+  let v10 = Sp.Series_chain.voltage_for_current ~n:10 ~i_target:5.5e-6 () in
+  Alcotest.(check bool) "more switches need more voltage" true (v10 > v5)
+
+let test_series_off_gate () =
+  let i = Sp.Series_chain.current ~n:3 ~gate_v:0.0 ~v_top:1.2 () in
+  Alcotest.(check bool) "off chain leaks only" true (i < 1e-8)
+
+let test_series_build_validates () =
+  Alcotest.(check bool) "n = 0 rejected" true
+    (match Sp.Series_chain.build ~n:0 ~v_top:1.0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "spice"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "parse" `Quick test_units_parse;
+          Alcotest.test_case "format" `Quick test_units_format;
+          Alcotest.test_case "roundtrip" `Quick test_units_roundtrip;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "dc" `Quick test_source_dc;
+          Alcotest.test_case "pulse" `Quick test_source_pulse;
+          Alcotest.test_case "square wave phase" `Quick test_source_square_starts_low;
+          Alcotest.test_case "bit clock counter" `Quick test_source_bit_clock_counter;
+          Alcotest.test_case "pwl" `Quick test_source_pwl;
+          Alcotest.test_case "complement driver" `Quick test_source_complement;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "node interning" `Quick test_netlist_nodes;
+          Alcotest.test_case "counts" `Quick test_netlist_counts;
+          Alcotest.test_case "value validation" `Quick test_netlist_rejects_bad_values;
+          Alcotest.test_case "SPICE deck export" `Quick test_netlist_spice_export;
+          Alcotest.test_case "lattice deck export" `Quick test_spice_export_of_lattice;
+        ] );
+      ( "dcop",
+        [
+          Alcotest.test_case "voltage divider" `Quick test_dcop_divider;
+          Alcotest.test_case "branch current" `Quick test_dcop_branch_current;
+          Alcotest.test_case "current source" `Quick test_dcop_isource;
+          Alcotest.test_case "diode-connected FET" `Quick test_dcop_diode_connected_fet;
+          Alcotest.test_case "inverter transfer" `Quick test_dcop_inverter_transfer;
+          Alcotest.test_case "floating nodes via gmin" `Quick test_dcop_floating_through_fets;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "RC charge vs analytic" `Quick test_transient_rc_charge;
+          Alcotest.test_case "trapezoidal beats backward Euler" `Quick test_transient_trap_beats_be;
+          Alcotest.test_case "recording" `Quick test_transient_records_input;
+          Alcotest.test_case "steady state stays put" `Quick test_transient_conserves_dc;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "rise/fall of trapezoid" `Quick test_measure_edges;
+          Alcotest.test_case "steady levels" `Quick test_measure_levels;
+          Alcotest.test_case "ascii plot" `Quick test_measure_plot;
+          Alcotest.test_case "integral" `Quick test_measure_integral;
+          Alcotest.test_case "supply energy" `Quick test_energy_from_supply;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "RC corner frequency" `Quick test_ac_rc_corner;
+          Alcotest.test_case "single-pole rolloff" `Quick test_ac_rolloff;
+          Alcotest.test_case "input validation" `Quick test_ac_errors;
+          Alcotest.test_case "resistive circuits are flat" `Quick test_ac_divider_flat;
+        ] );
+      ( "fts",
+        [
+          Alcotest.test_case "switch on/off" `Quick test_fts_switching;
+          Alcotest.test_case "element count" `Quick test_fts_element_count;
+          Alcotest.test_case "cap suppression" `Quick test_fts_no_caps_option;
+          Alcotest.test_case "terminal symmetry" `Quick test_fts_terminal_symmetry;
+        ] );
+      ( "lattice_circuit",
+        [
+          Alcotest.test_case "XOR3 DC truth table" `Quick test_lattice_circuit_xor3_dc;
+          Alcotest.test_case "structure" `Quick test_lattice_circuit_structure;
+          Alcotest.test_case "constant grids" `Quick test_lattice_circuit_const_grid;
+          Alcotest.test_case "majority gate" `Quick test_lattice_circuit_maj3;
+          Alcotest.test_case "complementary structure DC" `Quick
+            test_lattice_circuit_complementary_dc;
+          Alcotest.test_case "current recording" `Quick test_transient_current_recording;
+          Alcotest.test_case "gate capacitance option" `Quick test_fts_gate_cap;
+          Alcotest.test_case "functional with gate caps" `Slow test_gate_cap_slows_input_edge;
+          Alcotest.test_case "level-3 switch models" `Quick test_lattice_circuit_level3_model;
+          QCheck_alcotest.to_alcotest prop_circuit_matches_connectivity;
+        ] );
+      ( "series_chain",
+        [
+          Alcotest.test_case "current decreases with N" `Quick test_series_monotone_decrease;
+          Alcotest.test_case "voltage increases with N" `Quick test_series_voltage_monotone;
+          Alcotest.test_case "off chain" `Quick test_series_off_gate;
+          Alcotest.test_case "build validation" `Quick test_series_build_validates;
+        ] );
+    ]

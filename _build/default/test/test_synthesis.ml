@@ -1,0 +1,308 @@
+(* Tests for lattice synthesis: validation, the dual-based construction,
+   exhaustive search and the library lattices. *)
+
+module S = Lattice_synthesis
+module Tt = Lattice_boolfn.Truthtable
+module Grid = Lattice_core.Grid
+
+(* --- Validate ------------------------------------------------------------ *)
+
+let test_validate_positive () =
+  Alcotest.(check bool) "xor3 3x3" true (S.Validate.realizes S.Library.xor3_3x3 S.Library.xor3)
+
+let test_validate_negative () =
+  let not_xor, _ = Grid.of_strings [ [ "a" ]; [ "b" ]; [ "c" ] ] in
+  Alcotest.(check bool) "abc is not xor3" false (S.Validate.realizes not_xor S.Library.xor3);
+  match S.Validate.counterexample not_xor S.Library.xor3 with
+  | Some m -> Alcotest.(check bool) "counterexample disagrees" true
+                (not (Bool.equal (Lattice_core.Connectivity.eval not_xor m) (Tt.eval S.Library.xor3 m)))
+  | None -> Alcotest.fail "expected a counterexample"
+
+(* --- Altun-Riedel ---------------------------------------------------------- *)
+
+let test_ar_all_3var_functions () =
+  (* exhaustively synthesize and validate every 3-variable function *)
+  for bits = 0 to 255 do
+    let t = Tt.create 3 (fun m -> bits land (1 lsl m) <> 0) in
+    let r = S.Altun_riedel.synthesize t in
+    if not (S.Validate.realizes r.S.Altun_riedel.grid t) then
+      Alcotest.failf "function %d not realized" bits
+  done
+
+let test_ar_4var_sample () =
+  let rng = Random.State.make [| 2024 |] in
+  for _ = 1 to 50 do
+    let bits = Random.State.bits rng land 0xFFFF in
+    let t = Tt.create 4 (fun m -> bits land (1 lsl m) <> 0) in
+    let r = S.Altun_riedel.synthesize t in
+    if not (S.Validate.realizes r.S.Altun_riedel.grid t) then
+      Alcotest.failf "4-var function %d not realized" bits
+  done
+
+let test_ar_dimensions () =
+  (* lattice size = (dual products) x (function products) *)
+  let r = S.Altun_riedel.synthesize S.Library.xor3 in
+  Alcotest.(check int) "rows" 4 r.S.Altun_riedel.grid.Grid.rows;
+  Alcotest.(check int) "cols" 4 r.S.Altun_riedel.grid.Grid.cols;
+  Alcotest.(check int) "f products" 4 (Lattice_boolfn.Sop.product_count r.S.Altun_riedel.f_sop);
+  Alcotest.(check int) "fD products" 4
+    (Lattice_boolfn.Sop.product_count r.S.Altun_riedel.dual_sop)
+
+let test_ar_constants () =
+  let zero = Tt.create 2 (fun _ -> false) in
+  let one = Tt.create 2 (fun _ -> true) in
+  let rz = S.Altun_riedel.synthesize zero and ro = S.Altun_riedel.synthesize one in
+  Alcotest.(check bool) "constant 0" true (S.Validate.realizes rz.S.Altun_riedel.grid zero);
+  Alcotest.(check bool) "constant 1" true (S.Validate.realizes ro.S.Altun_riedel.grid one)
+
+let test_ar_single_literal () =
+  let t = Tt.create 2 (fun m -> m land 1 <> 0) in
+  let r = S.Altun_riedel.synthesize t in
+  Alcotest.(check bool) "f = a" true (S.Validate.realizes r.S.Altun_riedel.grid t);
+  Alcotest.(check int) "1x1 lattice" 1 (Grid.size r.S.Altun_riedel.grid)
+
+let test_ar_rejects_non_dual () =
+  (* feeding f twice (f is not self-dual here) must fail the shared-literal
+     property somewhere *)
+  let t = Tt.create 2 (fun m -> m = 3) in
+  (* f = ab *)
+  let f_sop = Lattice_boolfn.Qm.cover t in
+  Alcotest.(check bool) "and2 with itself is fine (shares literals)" true
+    (match S.Altun_riedel.of_sops ~f_sop ~dual_sop:f_sop with
+    | _ -> true
+    | exception S.Altun_riedel.No_shared_literal _ -> false);
+  (* f = a, g = b share nothing *)
+  let fa = Lattice_boolfn.Qm.cover (Tt.create 2 (fun m -> m land 1 <> 0)) in
+  let fb = Lattice_boolfn.Qm.cover (Tt.create 2 (fun m -> m land 2 <> 0)) in
+  Alcotest.(check bool) "disjoint literals rejected" true
+    (match S.Altun_riedel.of_sops ~f_sop:fa ~dual_sop:fb with
+    | exception S.Altun_riedel.No_shared_literal _ -> true
+    | _ -> false)
+
+let test_ar_self_dual_square () =
+  (* self-dual functions synthesize to square lattices *)
+  let maj = Tt.majority_n 3 in
+  let r = S.Altun_riedel.synthesize maj in
+  Alcotest.(check int) "maj3 rows" r.S.Altun_riedel.grid.Grid.cols r.S.Altun_riedel.grid.Grid.rows;
+  Alcotest.(check bool) "maj3 valid" true (S.Validate.realizes r.S.Altun_riedel.grid maj)
+
+(* --- Exhaustive ------------------------------------------------------------ *)
+
+let test_exhaustive_xor2 () =
+  let xor2 = Tt.xor_n 2 in
+  match S.Exhaustive.minimal xor2 with
+  | Some (g, rows, cols) ->
+    Alcotest.(check int) "area 4" 4 (rows * cols);
+    Alcotest.(check bool) "valid" true (S.Validate.realizes g xor2)
+  | None -> Alcotest.fail "xor2 should be realizable"
+
+let test_exhaustive_and_or () =
+  let and2 = Tt.create 2 (fun m -> m = 3) in
+  (match S.Exhaustive.minimal and2 with
+  | Some (g, rows, cols) ->
+    Alcotest.(check int) "and2 area 2" 2 (rows * cols);
+    Alcotest.(check int) "and2 is a column" 2 rows;
+    Alcotest.(check bool) "valid" true (S.Validate.realizes g and2)
+  | None -> Alcotest.fail "and2 should be realizable");
+  let or2 = Tt.create 2 (fun m -> m <> 0) in
+  match S.Exhaustive.minimal or2 with
+  | Some (g, rows, cols) ->
+    Alcotest.(check int) "or2 area 2" 2 (rows * cols);
+    Alcotest.(check int) "or2 is a row" 1 rows;
+    Alcotest.(check bool) "valid" true (S.Validate.realizes g or2)
+  | None -> Alcotest.fail "or2 should be realizable"
+
+let test_exhaustive_maj3 () =
+  match S.Exhaustive.minimal (Tt.majority_n 3) with
+  | Some (g, rows, cols) ->
+    Alcotest.(check int) "maj3 minimal area 6" 6 (rows * cols);
+    Alcotest.(check bool) "valid" true (S.Validate.realizes g (Tt.majority_n 3))
+  | None -> Alcotest.fail "maj3 should be realizable"
+
+let test_exhaustive_xor3_needs_constants () =
+  (* XOR3 has no literal-only 3x3 realization but has one with constants *)
+  Alcotest.(check bool) "no literal-only 3x3" true
+    (S.Exhaustive.find ~rows:3 ~cols:3 S.Library.xor3 = None);
+  match
+    S.Exhaustive.find ~rows:3 ~cols:3 ~alphabet:S.Exhaustive.Literals_and_constants S.Library.xor3
+  with
+  | Some g -> Alcotest.(check bool) "found with constants" true (S.Validate.realizes g S.Library.xor3)
+  | None -> Alcotest.fail "expected a 3x3 XOR3 with constants"
+
+let test_defect_aware_mapping () =
+  let maj3 = Tt.majority_n 3 in
+  (* the minimal 2x3 has no slack: a dead corner kills it *)
+  Alcotest.(check bool) "2x3 with dead corner: unmappable" true
+    (S.Exhaustive.find_with_pins ~rows:2 ~cols:3
+       ~pins:[ (0, Lattice_core.Grid.Const false) ]
+       maj3
+    = None);
+  (* one spare column restores mappability around the defect *)
+  match
+    S.Exhaustive.find_with_pins ~rows:2 ~cols:4 ~pins:[ (0, Lattice_core.Grid.Const false) ] maj3
+  with
+  | Some g ->
+    Alcotest.(check bool) "remap realizes maj3" true (S.Validate.realizes g maj3);
+    (match Lattice_core.Grid.entry g 0 0 with
+    | Lattice_core.Grid.Const false -> ()
+    | _ -> Alcotest.fail "pin not respected")
+  | None -> Alcotest.fail "expected a 2x4 remap"
+
+let test_defect_pin_stuck_on () =
+  (* stuck-ON pins are usable too *)
+  let or2 = Tt.create 2 (fun m -> m <> 0) in
+  match
+    S.Exhaustive.find_with_pins ~rows:1 ~cols:3 ~pins:[ (1, Lattice_core.Grid.Const true) ] or2
+  with
+  | Some g -> Alcotest.(check bool) "hmm: stuck-on middle of an OR row" true
+                (S.Validate.realizes g or2)
+  | None ->
+    (* a stuck-ON site in a 1-row lattice conducts always, so OR cannot be
+       realized there; acceptable outcome *)
+    ()
+
+let test_pin_out_of_range () =
+  Alcotest.(check bool) "bad pin rejected" true
+    (match
+       S.Exhaustive.find_with_pins ~rows:2 ~cols:2 ~pins:[ (9, Lattice_core.Grid.Const true) ]
+         (Tt.xor_n 2)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_exhaustive_count () =
+  let and2 = Tt.create 2 (fun m -> m = 3) in
+  let n = S.Exhaustive.count_solutions ~rows:2 ~cols:1 and2 in
+  (* column entries (a,b) and (b,a) *)
+  Alcotest.(check int) "two orderings" 2 n;
+  let capped = S.Exhaustive.count_solutions ~rows:2 ~cols:1 ~limit:1 and2 in
+  Alcotest.(check int) "limit respected" 1 capped
+
+(* --- Faults ------------------------------------------------------------------ *)
+
+let test_faults_enumeration () =
+  let grid = S.Library.xor3_3x3 in
+  let faults = S.Faults.all_faults grid in
+  Alcotest.(check int) "two faults per site" 18 (List.length faults)
+
+let test_faults_injection () =
+  let grid = S.Library.xor3_3x3 in
+  let f = { S.Faults.row = 0; col = 0; kind = S.Faults.Stuck_off } in
+  let faulty = S.Faults.inject grid f in
+  (match Lattice_core.Grid.entry faulty 0 0 with
+  | Lattice_core.Grid.Const false -> ()
+  | _ -> Alcotest.fail "expected constant 0");
+  (* injection does not mutate the original *)
+  match Lattice_core.Grid.entry grid 0 0 with
+  | Lattice_core.Grid.Lit (0, true) -> ()
+  | _ -> Alcotest.fail "original grid mutated"
+
+let test_faults_center_const_masked () =
+  (* the 3x3 XOR3 centre is a constant 1: stuck-ON there is no change *)
+  let grid = S.Library.xor3_3x3 in
+  let f = { S.Faults.row = 1; col = 1; kind = S.Faults.Stuck_on } in
+  Alcotest.(check bool) "masked" false (S.Faults.is_detectable grid f);
+  let f_off = { f with S.Faults.kind = S.Faults.Stuck_off } in
+  Alcotest.(check bool) "stuck-off detectable" true (S.Faults.is_detectable grid f_off)
+
+let test_faults_analysis_xor3 () =
+  let a = S.Faults.analyze S.Library.xor3_3x3 in
+  Alcotest.(check int) "total" 18 a.S.Faults.total;
+  Alcotest.(check int) "one masked fault" 17 a.S.Faults.detectable;
+  (* the greedy test set must reach full coverage of detectable faults *)
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (S.Faults.coverage S.Library.xor3_3x3 ~vectors:a.S.Faults.test_set)
+
+let test_faults_partial_coverage () =
+  let grid = S.Library.xor3_3x3 in
+  let c = S.Faults.coverage grid ~vectors:[ 0 ] in
+  Alcotest.(check bool) "single vector covers some but not all" true (c > 0.0 && c < 1.0)
+
+let test_faults_detecting_vectors_semantics () =
+  (* on each detecting vector the faulty and fault-free outputs differ *)
+  let grid = S.Library.maj3_2x3 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun v ->
+          let faulty = S.Faults.inject grid f in
+          Alcotest.(check bool) "disagreement" false
+            (Bool.equal
+               (Lattice_core.Connectivity.eval grid v)
+               (Lattice_core.Connectivity.eval faulty v)))
+        (S.Faults.detecting_vectors grid f))
+    (S.Faults.all_faults grid)
+
+(* --- Library --------------------------------------------------------------- *)
+
+let test_library_grids () =
+  Alcotest.(check bool) "xor3 3x3" true (S.Validate.realizes S.Library.xor3_3x3 S.Library.xor3);
+  Alcotest.(check bool) "xnor3 3x3" true
+    (S.Validate.realizes S.Library.xnor3_3x3 (Tt.complement S.Library.xor3));
+  Alcotest.(check bool) "xor3 3x4" true (S.Validate.realizes S.Library.xor3_3x4 S.Library.xor3);
+  Alcotest.(check bool) "maj3 2x3" true
+    (S.Validate.realizes S.Library.maj3_2x3 (Tt.majority_n 3));
+  Alcotest.(check bool) "xor3 SOP" true
+    (Tt.equal (Tt.of_sop S.Library.xor3_sop) S.Library.xor3)
+
+let test_library_sizes () =
+  Alcotest.(check int) "3x3 size" 9 (Grid.size S.Library.xor3_3x3);
+  Alcotest.(check int) "3x4 size" 12 (Grid.size S.Library.xor3_3x4);
+  Alcotest.(check int) "xor3 sop products" 4
+    (Lattice_boolfn.Sop.product_count S.Library.xor3_sop)
+
+let prop_ar_random_functions =
+  QCheck2.Test.make ~name:"Altun-Riedel valid on random 4-var functions" ~count:60
+    QCheck2.Gen.(int_bound 0xFFFF)
+    (fun bits ->
+      let t = Tt.create 4 (fun m -> bits land (1 lsl m) <> 0) in
+      let r = S.Altun_riedel.synthesize t in
+      S.Validate.realizes r.S.Altun_riedel.grid t)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "synthesis"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "positive" `Quick test_validate_positive;
+          Alcotest.test_case "negative + counterexample" `Quick test_validate_negative;
+        ] );
+      ( "altun_riedel",
+        [
+          Alcotest.test_case "all 256 3-var functions" `Quick test_ar_all_3var_functions;
+          Alcotest.test_case "random 4-var functions" `Quick test_ar_4var_sample;
+          Alcotest.test_case "xor3 dimensions" `Quick test_ar_dimensions;
+          Alcotest.test_case "constants" `Quick test_ar_constants;
+          Alcotest.test_case "single literal" `Quick test_ar_single_literal;
+          Alcotest.test_case "non-dual covers rejected" `Quick test_ar_rejects_non_dual;
+          Alcotest.test_case "self-dual gives square" `Quick test_ar_self_dual_square;
+          qc prop_ar_random_functions;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "xor2 minimal" `Quick test_exhaustive_xor2;
+          Alcotest.test_case "and2 / or2 minimal" `Quick test_exhaustive_and_or;
+          Alcotest.test_case "maj3 minimal" `Quick test_exhaustive_maj3;
+          Alcotest.test_case "xor3 needs constants at 3x3" `Slow
+            test_exhaustive_xor3_needs_constants;
+          Alcotest.test_case "solution counting" `Quick test_exhaustive_count;
+          Alcotest.test_case "defect-aware mapping" `Quick test_defect_aware_mapping;
+          Alcotest.test_case "stuck-on pins" `Quick test_defect_pin_stuck_on;
+          Alcotest.test_case "pin validation" `Quick test_pin_out_of_range;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "enumeration" `Quick test_faults_enumeration;
+          Alcotest.test_case "injection" `Quick test_faults_injection;
+          Alcotest.test_case "masked constant site" `Quick test_faults_center_const_masked;
+          Alcotest.test_case "XOR3 campaign" `Quick test_faults_analysis_xor3;
+          Alcotest.test_case "partial coverage" `Quick test_faults_partial_coverage;
+          Alcotest.test_case "vector semantics" `Quick test_faults_detecting_vectors_semantics;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "grids realize their targets" `Quick test_library_grids;
+          Alcotest.test_case "sizes" `Quick test_library_sizes;
+        ] );
+    ]
