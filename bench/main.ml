@@ -170,6 +170,47 @@ let bench_integrator_trap =
   Test.make ~name:"ablation: transient trapezoidal" (Staged.stage (fun () ->
       transient_once Lattice_spice.Transient.Trapezoidal))
 
+(* --- sparse vs dense MNA engine (DESIGN.md, "Sparse MNA engine") ------ *)
+
+let lattice_6x6_grid =
+  let entries =
+    Array.init 36 (fun i ->
+        let r = i / 6 and c = i mod 6 in
+        Lattice_core.Grid.Lit ((r + c) mod 3, (r * c) mod 2 = 0))
+  in
+  Lattice_core.Grid.create 6 6 entries
+
+let transient_with_engine engine grid ~t_stop =
+  let lc =
+    Lattice_spice.Lattice_circuit.build grid
+      ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:50e-9)
+  in
+  let options =
+    { Lattice_spice.Transient.default_options with
+      Lattice_spice.Transient.dc = { Lattice_spice.Dcop.default_options with engine } }
+  in
+  ignore
+    (Lattice_spice.Transient.run ~options lc.Lattice_spice.Lattice_circuit.netlist ~h:1e-9
+       ~t_stop ~record:[ "out" ] ())
+
+let bench_engine_xor3_dense =
+  Test.make ~name:"ablation: XOR3 transient 100ns, dense engine" (Staged.stage (fun () ->
+      transient_with_engine Lattice_spice.Dcop.Dense Lattice_synthesis.Library.xor3_3x3
+        ~t_stop:100e-9))
+
+let bench_engine_xor3_sparse =
+  Test.make ~name:"ablation: XOR3 transient 100ns, sparse engine" (Staged.stage (fun () ->
+      transient_with_engine Lattice_spice.Dcop.Sparse Lattice_synthesis.Library.xor3_3x3
+        ~t_stop:100e-9))
+
+let bench_engine_6x6_dense =
+  Test.make ~name:"ablation: 6x6 lattice transient 50ns, dense engine" (Staged.stage (fun () ->
+      transient_with_engine Lattice_spice.Dcop.Dense lattice_6x6_grid ~t_stop:50e-9))
+
+let bench_engine_6x6_sparse =
+  Test.make ~name:"ablation: 6x6 lattice transient 50ns, sparse engine" (Staged.stage (fun () ->
+      transient_with_engine Lattice_spice.Dcop.Sparse lattice_6x6_grid ~t_stop:50e-9))
+
 let all_tests =
   [
     bench_table1;
@@ -189,6 +230,10 @@ let all_tests =
     bench_paths_brute;
     bench_integrator_be;
     bench_integrator_trap;
+    bench_engine_xor3_dense;
+    bench_engine_xor3_sparse;
+    bench_engine_6x6_dense;
+    bench_engine_6x6_sparse;
     bench_model_level1;
     bench_model_level3;
     bench_complementary_dc;
@@ -199,21 +244,59 @@ let all_tests =
     bench_compose;
   ]
 
+(* Gc-based proof that the sparse Newton inner loop allocates nothing
+   once the plan's LU is warm (DESIGN.md, "Sparse MNA engine"). *)
+let allocation_check () =
+  print_endline "==================================================================";
+  print_endline " Newton inner-loop allocation check (Gc.minor_words delta)";
+  print_endline "==================================================================";
+  let lc =
+    Lattice_spice.Lattice_circuit.build Lattice_synthesis.Library.xor3_3x3
+      ~stimulus:(fun _ -> Lattice_spice.Source.Dc 1.2)
+  in
+  let netlist = lc.Lattice_spice.Lattice_circuit.netlist in
+  let options =
+    { Lattice_spice.Dcop.default_options with
+      Lattice_spice.Dcop.engine = Lattice_spice.Dcop.Sparse }
+  in
+  let plan = Lattice_spice.Dcop.plan_for options netlist in
+  let x0 = Lattice_spice.Dcop.solve ~options ?plan netlist in
+  let dst = Array.make (Array.length x0) 0.0 in
+  let solve () =
+    ignore
+      (Lattice_spice.Dcop.newton_into ?plan netlist ~options ~x0 ~dst ~time:0.0
+         ~gmin:options.Lattice_spice.Dcop.gmin_final ~source_scale:1.0 ~caps:None)
+  in
+  (* warm-up: first factorization runs the symbolic analysis *)
+  solve ();
+  let runs = 100 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to runs do
+    solve ()
+  done;
+  let per_solve = (Gc.minor_words () -. w0) /. float_of_int runs in
+  Printf.printf "  %.1f minor words per warm Newton solve (%d unknowns) -> %s\n%!" per_solve
+    (Lattice_spice.Netlist.unknowns netlist)
+    (if per_solve < 16.0 then "allocation-free" else "ALLOCATING");
+  per_solve < 16.0
+
 let run_benchmarks () =
   print_endline "==================================================================";
   print_endline " Kernel timings (Bechamel, monotonic clock)";
   print_endline "==================================================================";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = ref [] in
   List.iter
     (fun test ->
       List.iter
         (fun elt ->
           let name = Test.Elt.name elt in
-          let results = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
-          let est = Analyze.one ols Toolkit.Instance.monotonic_clock results in
+          let run_results = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock run_results in
           match Analyze.OLS.estimates est with
           | Some [ ns_per_run ] ->
+            results := (name, ns_per_run) :: !results;
             let value, unit_ =
               if ns_per_run >= 1e9 then (ns_per_run /. 1e9, "s")
               else if ns_per_run >= 1e6 then (ns_per_run /. 1e6, "ms")
@@ -223,8 +306,36 @@ let run_benchmarks () =
             Printf.printf "  %-48s %10.2f %s/run\n%!" name value unit_
           | Some _ | None -> Printf.printf "  %-48s (no estimate)\n%!" name)
         (Test.elements test))
-    all_tests
+    all_tests;
+  List.rev !results
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~newton_allocation_free results =
+  let oc = open_out path in
+  output_string oc "{\n  \"newton_inner_loop_allocation_free\": ";
+  output_string oc (if newton_allocation_free then "true" else "false");
+  output_string oc ",\n  \"kernels_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) ns
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d kernels)\n%!" path (List.length results)
 
 let () =
-  experiments ();
-  run_benchmarks ()
+  let json = Array.exists (String.equal "--json") Sys.argv in
+  if not json then experiments ();
+  let allocation_free = allocation_check () in
+  let results = run_benchmarks () in
+  if json then write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free results

@@ -2,18 +2,19 @@ type params = { kp : float; vth : float; lambda : float; w : float; l : float }
 
 type region = Cutoff | Triode | Saturation
 
-let beta p = p.kp *. p.w /. p.l
+let[@inline] beta p = p.kp *. p.w /. p.l
 
 let vdsat p ~vgs = Float.max 0.0 (vgs -. p.vth)
 
-let check_vds vds = if vds < 0.0 then invalid_arg "Level1: vds must be >= 0 (use ids_signed)"
+let[@inline] check_vds vds =
+  if vds < 0.0 then invalid_arg "Level1: vds must be >= 0 (use ids_signed)"
 
-let region p ~vgs ~vds =
+let[@inline] region p ~vgs ~vds =
   check_vds vds;
   let vov = vgs -. p.vth in
   if vov <= 0.0 then Cutoff else if vds <= vov then Triode else Saturation
 
-let ids p ~vgs ~vds =
+let[@inline] ids p ~vgs ~vds =
   match region p ~vgs ~vds with
   | Cutoff -> 0.0
   | Triode ->
@@ -27,7 +28,7 @@ let ids_signed p ~vg ~vd ~vs =
   if vd >= vs then ids p ~vgs:(vg -. vs) ~vds:(vd -. vs)
   else -.ids p ~vgs:(vg -. vd) ~vds:(vs -. vd)
 
-let gm p ~vgs ~vds =
+let[@inline] gm p ~vgs ~vds =
   match region p ~vgs ~vds with
   | Cutoff -> 0.0
   | Triode -> beta p *. vds *. (1.0 +. (p.lambda *. vds))
@@ -35,7 +36,7 @@ let gm p ~vgs ~vds =
     let vov = vgs -. p.vth in
     beta p *. vov *. (1.0 +. (p.lambda *. vds))
 
-let gds p ~vgs ~vds =
+let[@inline] gds p ~vgs ~vds =
   match region p ~vgs ~vds with
   | Cutoff -> 0.0
   | Triode ->
@@ -46,6 +47,47 @@ let gds p ~vgs ~vds =
   | Saturation ->
     let vov = vgs -. p.vth in
     0.5 *. beta p *. vov *. vov *. p.lambda
+
+(* All-float workspace so inputs and outputs cross function boundaries as
+   unboxed record fields instead of boxed float arguments: the circuit
+   engine's Newton inner loop runs linearization allocation-free. The
+   bodies below restate ids/gm/gds with identical expressions (same
+   operation order, so results are bit-identical to the functions above);
+   the unit tests pin the equivalence. *)
+type workspace = {
+  mutable w_vgs : float;
+  mutable w_vds : float;
+  mutable w_ids : float;
+  mutable w_gm : float;
+  mutable w_gds : float;
+}
+
+let workspace_create () = { w_vgs = 0.0; w_vds = 0.0; w_ids = 0.0; w_gm = 0.0; w_gds = 0.0 }
+
+let linearize (w : workspace) p =
+  let vgs = w.w_vgs and vds = w.w_vds in
+  if vds < 0.0 then invalid_arg "Level1: vds must be >= 0 (use ids_signed)";
+  let vov = vgs -. p.vth in
+  if vov <= 0.0 then begin
+    w.w_ids <- 0.0;
+    w.w_gm <- 0.0;
+    w.w_gds <- 0.0
+  end
+  else begin
+    let b = p.kp *. p.w /. p.l in
+    if vds <= vov then begin
+      w.w_ids <- b *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. (1.0 +. (p.lambda *. vds));
+      w.w_gm <- b *. vds *. (1.0 +. (p.lambda *. vds));
+      w.w_gds <-
+        (b *. (vov -. vds) *. (1.0 +. (p.lambda *. vds)))
+        +. (b *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. p.lambda)
+    end
+    else begin
+      w.w_ids <- 0.5 *. b *. vov *. vov *. (1.0 +. (p.lambda *. vds));
+      w.w_gm <- b *. vov *. (1.0 +. (p.lambda *. vds));
+      w.w_gds <- 0.5 *. b *. vov *. vov *. p.lambda
+    end
+  end
 
 let pp_params fmt p =
   Format.fprintf fmt "{kp=%.4g A/V^2; vth=%.4g V; lambda=%.4g 1/V; W=%.3g m; L=%.3g m}" p.kp p.vth

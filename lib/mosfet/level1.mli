@@ -47,6 +47,25 @@ val gds : params -> vgs:float -> vds:float -> float
 (** [beta p] is the gain factor [Kp * W / L], A/V^2. *)
 val beta : params -> float
 
+(** All-float linearization workspace: write [w_vgs]/[w_vds], call
+    {!linearize}, read [w_ids]/[w_gm]/[w_gds]. Passing operands through
+    unboxed record fields (instead of boxed float arguments) lets the
+    circuit engine's Newton inner loop run without allocating. *)
+type workspace = {
+  mutable w_vgs : float;
+  mutable w_vds : float;
+  mutable w_ids : float;  (** = [ids p ~vgs ~vds], bit-identical *)
+  mutable w_gm : float;  (** = [gm p ~vgs ~vds], bit-identical *)
+  mutable w_gds : float;  (** = [gds p ~vgs ~vds], bit-identical *)
+}
+
+val workspace_create : unit -> workspace
+
+(** [linearize w p] evaluates ids/gm/gds at ([w.w_vgs], [w.w_vds]) into
+    the output fields, allocation-free. Raises [Invalid_argument] on
+    negative [w_vds]. *)
+val linearize : workspace -> params -> unit
+
 (** [vdsat p ~vgs] is the saturation voltage [max 0 (vgs - vth)]. *)
 val vdsat : params -> vgs:float -> float
 

@@ -10,6 +10,11 @@ val ids : t -> vgs:float -> vds:float -> float
 val gm : t -> vgs:float -> vds:float -> float
 val gds : t -> vgs:float -> vds:float -> float
 
+(** [linearize w m] evaluates ids/gm/gds at ([w.w_vgs], [w.w_vds]) into
+    [w]'s output fields — results identical to the functions above.
+    Allocation-free for level-1 models (see {!Level1.workspace}). *)
+val linearize : Level1.workspace -> t -> unit
+
 (** [vth m] — the model's threshold voltage. *)
 val vth : t -> float
 

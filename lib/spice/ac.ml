@@ -1,5 +1,6 @@
 module Matrix = Lattice_numerics.Matrix
 module Lu = Lattice_numerics.Lu
+module Sparse = Lattice_numerics.Sparse
 
 type point = { freq_hz : float; magnitude : float; phase_deg : float }
 
@@ -13,25 +14,29 @@ let cap_stamps netlist =
       | Netlist.Resistor _ | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Mosfet _ -> None)
     (Netlist.elements netlist)
 
-let sweep netlist ~source ~output ~f_start ~f_stop ~points_per_decade =
-  if f_start <= 0.0 || f_stop <= f_start then invalid_arg "Ac.sweep: bad frequency range";
-  if points_per_decade < 1 then invalid_arg "Ac.sweep: need at least 1 point per decade";
-  let source_row =
-    match Netlist.vsource_index netlist source with
-    | Some idx -> Netlist.vsource_row netlist idx
-    | None -> invalid_arg ("Ac.sweep: unknown source " ^ source)
-  in
-  let out_index = Netlist.node_index (Netlist.node netlist output) in
-  if out_index < 0 then invalid_arg "Ac.sweep: output is ground";
-  let x_op = Dcop.solve netlist in
+(* Susceptance entries of the cap list as flat (row, col, farads) triples,
+   with the signs of the usual conductance stamp folded in. *)
+let b_entries caps =
+  let out = ref [] in
+  List.iter
+    (fun (i1, i2, f) ->
+      let add r c coef = if r >= 0 && c >= 0 then out := (r, c, coef) :: !out in
+      add i1 i1 f;
+      add i2 i2 f;
+      add i1 i2 (-.f);
+      add i2 i1 (-.f))
+    caps;
+  !out
+
+(* Dense reference path: rebuild and factor the full 2n x 2n augmented
+   system at every frequency. *)
+let solver_dense netlist ~x_op ~caps =
   let g_matrix, _ =
     Mna.stamp netlist ~x:x_op ~time:0.0 ~gmin:Dcop.default_options.Dcop.gmin_final ~gshunt:0.0
       ~source_scale:1.0 ~caps:None
   in
   let n = Netlist.unknowns netlist in
-  let caps = cap_stamps netlist in
-  let solve_at freq =
-    let w = 2.0 *. Float.pi *. freq in
+  fun ~w ~source_row ->
     (* real augmented system [[G, -B]; [B, G]] *)
     let a = Matrix.create (2 * n) (2 * n) in
     for r = 0 to n - 1 do
@@ -41,25 +46,107 @@ let sweep netlist ~source ~output ~f_start ~f_stop ~points_per_decade =
         Matrix.set a (n + r) (n + c) g
       done
     done;
-    let add_b r c v =
-      if r >= 0 && c >= 0 then begin
-        Matrix.add_to a r (n + c) (-.v);
-        Matrix.add_to a (n + r) c v
-      end
-    in
     List.iter
-      (fun (i1, i2, farads) ->
-        let y = w *. farads in
-        if i1 >= 0 then add_b i1 i1 y;
-        if i2 >= 0 then add_b i2 i2 y;
-        if i1 >= 0 && i2 >= 0 then begin
-          add_b i1 i2 (-.y);
-          add_b i2 i1 (-.y)
-        end)
-      caps;
+      (fun (r, c, coef) ->
+        let y = w *. coef in
+        Matrix.add_to a r (n + c) (-.y);
+        Matrix.add_to a (n + r) c y)
+      (b_entries caps);
     let b = Array.make (2 * n) 0.0 in
     b.(source_row) <- 1.0;
-    let x = Lu.solve_dense a b in
+    Lu.solve_dense a b
+
+(* Compiled path: the augmented pattern is built once; each frequency
+   blits the cached G blocks, writes the scaled B slots, and reuses the
+   elimination pattern of the first factorization (numeric refactor). *)
+let solver_sparse plan ~x_op ~caps =
+  let n = Stamp_plan.n plan in
+  Stamp_plan.set_linear plan ~time:0.0 ~gmin:Dcop.default_options.Dcop.gmin_final ~gshunt:0.0
+    ~source_scale:1.0 ~caps:None;
+  Stamp_plan.assemble plan ~x:x_op;
+  let g = Stamp_plan.matrix plan in
+  let builder = Sparse.Builder.create (2 * n) in
+  Sparse.iteri g (fun _ r c _ ->
+      Sparse.Builder.add builder r c;
+      Sparse.Builder.add builder (n + r) (n + c));
+  let bents = Array.of_list (b_entries caps) in
+  Array.iter
+    (fun (r, c, _) ->
+      Sparse.Builder.add builder r (n + c);
+      Sparse.Builder.add builder (n + r) c)
+    bents;
+  let pat = Sparse.Builder.compile builder in
+  let aug = Sparse.create pat in
+  Sparse.iteri g (fun _ r c v ->
+      Sparse.add aug r c v;
+      Sparse.add aug (n + r) (n + c) v);
+  (* template holding the two G blocks with every B slot at zero *)
+  let aug0 = Array.copy aug.Sparse.values in
+  let nb = Array.length bents in
+  let bslot_top = Array.make nb 0 in
+  let bslot_bot = Array.make nb 0 in
+  let bcoef = Array.make nb 0.0 in
+  Array.iteri
+    (fun k (r, c, coef) ->
+      bslot_top.(k) <- Sparse.slot pat ~row:r ~col:(n + c);
+      bslot_bot.(k) <- Sparse.slot pat ~row:(n + r) ~col:c;
+      bcoef.(k) <- coef)
+    bents;
+  let lu = ref None in
+  let rhs = Array.make (2 * n) 0.0 in
+  fun ~w ~source_row ->
+    let values = aug.Sparse.values in
+    Array.blit aug0 0 values 0 (Array.length aug0);
+    for k = 0 to nb - 1 do
+      let y = bcoef.(k) *. w in
+      values.(bslot_top.(k)) <- values.(bslot_top.(k)) -. y;
+      values.(bslot_bot.(k)) <- values.(bslot_bot.(k)) +. y
+    done;
+    Array.fill rhs 0 (2 * n) 0.0;
+    rhs.(source_row) <- 1.0;
+    let f =
+      match !lu with
+      | None ->
+        let f = Sparse.factorize aug in
+        lu := Some f;
+        f
+      | Some f -> (
+        (* the frozen pivot order can go numerically stale as w grows;
+           re-analyze rather than fail *)
+        try
+          Sparse.refactor f aug;
+          f
+        with Sparse.Singular _ ->
+          let f = Sparse.factorize aug in
+          lu := Some f;
+          f)
+    in
+    Sparse.solve_in_place f rhs;
+    rhs
+
+let sweep ?(engine = Dcop.Auto) netlist ~source ~output ~f_start ~f_stop ~points_per_decade =
+  if f_start <= 0.0 || f_stop <= f_start then invalid_arg "Ac.sweep: bad frequency range";
+  if points_per_decade < 1 then invalid_arg "Ac.sweep: need at least 1 point per decade";
+  let source_row =
+    match Netlist.vsource_index netlist source with
+    | Some idx -> Netlist.vsource_row netlist idx
+    | None -> invalid_arg ("Ac.sweep: unknown source " ^ source)
+  in
+  let out_index = Netlist.node_index (Netlist.node netlist output) in
+  if out_index < 0 then invalid_arg "Ac.sweep: output is ground";
+  let options = { Dcop.default_options with engine } in
+  let plan = Dcop.plan_for options netlist in
+  let x_op = Dcop.solve ~options ?plan netlist in
+  let n = Netlist.unknowns netlist in
+  let caps = cap_stamps netlist in
+  let solver =
+    match plan with
+    | Some plan -> solver_sparse plan ~x_op ~caps
+    | None -> solver_dense netlist ~x_op ~caps
+  in
+  let solve_at freq =
+    let w = 2.0 *. Float.pi *. freq in
+    let x = solver ~w ~source_row in
     let re = x.(out_index) and im = x.(n + out_index) in
     {
       freq_hz = freq;

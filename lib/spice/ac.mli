@@ -6,8 +6,10 @@
     capacitor by its admittance [j w C], applies a unit AC excitation to
     one voltage source and solves the complex MNA system
     [(G + j B) x = b] over a frequency sweep. The complex system is solved
-    as the equivalent real block system [[G, -B; B, G]], reusing the dense
-    LU factorization.
+    as the equivalent real block system [[G, -B; B, G]]. On the compiled
+    sparse engine the augmented pattern and its symbolic analysis are
+    built once; each frequency only rewrites the [B] slots and runs a
+    numeric-only refactorization.
 
     Measurements on the transfer function: the -3 dB corner ([f_3db], the
     maximum-frequency proxy) and the phase at any frequency. *)
@@ -23,12 +25,15 @@ type response = {
   dc_gain : float;  (** magnitude of the lowest swept frequency *)
 }
 
-(** [sweep netlist ~source ~output ~f_start ~f_stop ~points_per_decade]
-    runs the sweep (log-spaced). [source] names the excited voltage source
-    (its DC value sets the operating point; the AC excitation is 1 V),
-    [output] the observed node. Raises [Invalid_argument] for unknown
-    names, [Dcop.Convergence_failure] if the operating point fails. *)
+(** [sweep ?engine netlist ~source ~output ~f_start ~f_stop
+    ~points_per_decade] runs the sweep (log-spaced). [source] names the
+    excited voltage source (its DC value sets the operating point; the AC
+    excitation is 1 V), [output] the observed node. [engine] selects the
+    linear-solver backend for both the operating point and the sweep
+    (default [Auto]). Raises [Invalid_argument] for unknown names,
+    [Dcop.Convergence_failure] if the operating point fails. *)
 val sweep :
+  ?engine:Dcop.engine ->
   Netlist.t ->
   source:string ->
   output:string ->

@@ -1,7 +1,10 @@
 module Vec = Lattice_numerics.Vec
 module Lu = Lattice_numerics.Lu
+module Sparse = Lattice_numerics.Sparse
 
 exception Convergence_failure of string
+
+type engine = Auto | Dense | Sparse
 
 type options = {
   max_iterations : int;
@@ -11,6 +14,7 @@ type options = {
   gmin_steps : float list;
   source_steps : int;
   damping : float;
+  engine : engine;
 }
 
 let default_options =
@@ -22,7 +26,21 @@ let default_options =
     gmin_steps = [ 1e-3; 1e-5; 1e-7; 1e-9; 1e-12 ];
     source_steps = 10;
     damping = 1.0;
+    engine = Auto;
   }
+
+(* Below this many unknowns the dense path wins: the compiled plan and
+   symbolic analysis don't pay for themselves, and dense LU on a handful
+   of rows is cache-resident anyway. *)
+let sparse_threshold = 16
+
+let plan_for options netlist =
+  match options.engine with
+  | Dense -> None
+  | Sparse -> Some (Stamp_plan.compile netlist)
+  | Auto ->
+    if Netlist.unknowns netlist >= sparse_threshold then Some (Stamp_plan.compile netlist)
+    else None
 
 let converged options x_old x_new =
   let n = Array.length x_old in
@@ -34,11 +52,51 @@ let converged options x_old x_new =
   in
   go 0
 
-let newton ?(gshunt = 0.0) netlist ~options ~x0 ~time ~gmin ~source_scale ~caps =
+let bump = function None -> () | Some r -> incr r
+
+(* Newton over the compiled sparse plan: allocation-free after the
+   plan's first factorization (all buffers are plan-owned). *)
+let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
+    ~nnodes =
+  let n = Stamp_plan.n plan in
+  let x = Stamp_plan.x_buffer plan and x_new = Stamp_plan.x_new_buffer plan in
+  Array.blit x0 0 x 0 n;
+  Stamp_plan.set_linear plan ~time ~gmin ~gshunt ~source_scale ~caps;
+  let k = ref 0 in
+  let done_ = ref false in
+  while not !done_ do
+    if !k >= options.max_iterations then
+      raise
+        (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" !k));
+    bump iter_count;
+    Stamp_plan.assemble plan ~x;
+    (try Stamp_plan.factor_and_solve plan
+     with Sparse.Singular col ->
+       raise (Convergence_failure (Printf.sprintf "singular MNA matrix at column %d" col)));
+    Array.blit (Stamp_plan.rhs plan) 0 x_new 0 n;
+    (* limit per-step voltage change to keep the level-1 model in range *)
+    for i = 0 to nnodes - 1 do
+      let d = x_new.(i) -. x.(i) in
+      if Float.abs d > options.damping then x_new.(i) <- x.(i) +. Float.copy_sign options.damping d
+    done;
+    incr k;
+    if converged options x x_new then begin
+      Array.blit x_new 0 dst 0 n;
+      done_ := true
+    end
+    else Array.blit x_new 0 x 0 n
+  done;
+  !k
+
+(* the dense reference engine: rebuilds the full matrix each iteration *)
+let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
+    ~nnodes =
+  let n = Netlist.unknowns netlist in
   let x = Vec.copy x0 in
   let rec iterate k =
     if k >= options.max_iterations then
       raise (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" k));
+    bump iter_count;
     let a, b = Mna.stamp netlist ~x ~time ~gmin ~gshunt ~source_scale ~caps in
     let x_new =
       match Lu.factor a with
@@ -46,13 +104,14 @@ let newton ?(gshunt = 0.0) netlist ~options ~x0 ~time ~gmin ~source_scale ~caps 
       | exception Lu.Singular col ->
         raise (Convergence_failure (Printf.sprintf "singular MNA matrix at column %d" col))
     in
-    (* limit per-step voltage change to keep the level-1 model in range *)
-    let nnodes = Netlist.num_nodes netlist in
     for i = 0 to nnodes - 1 do
       let d = x_new.(i) -. x.(i) in
-      if Float.abs d > options.damping then x_new.(i) <- x.(i) +. (Float.copy_sign options.damping d)
+      if Float.abs d > options.damping then x_new.(i) <- x.(i) +. Float.copy_sign options.damping d
     done;
-    if converged options x x_new then x_new
+    if converged options x x_new then begin
+      Array.blit x_new 0 dst 0 n;
+      k + 1
+    end
     else begin
       Array.blit x_new 0 x 0 (Array.length x);
       iterate (k + 1)
@@ -60,28 +119,50 @@ let newton ?(gshunt = 0.0) netlist ~options ~x0 ~time ~gmin ~source_scale ~caps 
   in
   iterate 0
 
-let solve ?(options = default_options) ?x0 ?(time = 0.0) netlist =
+let newton_into ?(gshunt = 0.0) ?plan ?iter_count netlist ~options ~x0 ~dst ~time ~gmin
+    ~source_scale ~caps =
+  let nnodes = Netlist.num_nodes netlist in
+  let plan = match plan with Some _ as p -> p | None -> plan_for options netlist in
+  match plan with
+  | Some plan ->
+    newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
+      ~nnodes
+  | None ->
+    newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
+      ~nnodes
+
+let newton ?gshunt ?plan ?iter_count netlist ~options ~x0 ~time ~gmin ~source_scale ~caps =
+  let dst = Array.make (Array.length x0) 0.0 in
+  let iters =
+    newton_into ?gshunt ?plan ?iter_count netlist ~options ~x0 ~dst ~time ~gmin ~source_scale
+      ~caps
+  in
+  (dst, iters)
+
+let solve ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
   let n = Netlist.unknowns netlist in
   if n = 0 then [||]
   else begin
+    let plan = match plan with Some _ as p -> p | None -> plan_for options netlist in
     let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.zeros n in
+    let newton ?gshunt netlist ~options ~x0 ~gmin ~source_scale =
+      fst (newton ?gshunt ?plan netlist ~options ~x0 ~time ~gmin ~source_scale ~caps:None)
+    in
     let attempt_plain options () =
-      newton netlist ~options ~x0 ~time ~gmin:options.gmin_final ~source_scale:1.0 ~caps:None
+      newton netlist ~options ~x0 ~gmin:options.gmin_final ~source_scale:1.0
     in
     let attempt_gmin options () =
       let x = ref (Vec.copy x0) in
       List.iter
-        (fun gmin -> x := newton netlist ~options ~x0:!x ~time ~gmin ~source_scale:1.0 ~caps:None)
+        (fun gmin -> x := newton netlist ~options ~x0:!x ~gmin ~source_scale:1.0)
         options.gmin_steps;
-      newton netlist ~options ~x0:!x ~time ~gmin:options.gmin_final ~source_scale:1.0 ~caps:None
+      newton netlist ~options ~x0:!x ~gmin:options.gmin_final ~source_scale:1.0
     in
     let attempt_source options () =
       let x = ref (Vec.copy x0) in
       for k = 1 to options.source_steps do
         let scale = float_of_int k /. float_of_int options.source_steps in
-        x :=
-          newton netlist ~options ~x0:!x ~time ~gmin:options.gmin_final ~source_scale:scale
-            ~caps:None
+        x := newton netlist ~options ~x0:!x ~gmin:options.gmin_final ~source_scale:scale
       done;
       !x
     in
@@ -99,9 +180,7 @@ let solve ?(options = default_options) ?x0 ?(time = 0.0) netlist =
       let x = ref (Vec.copy x0) in
       List.iter
         (fun gshunt ->
-          x :=
-            newton ~gshunt netlist ~options ~x0:!x ~time ~gmin:options.gmin_final
-              ~source_scale:1.0 ~caps:None)
+          x := newton ~gshunt netlist ~options ~x0:!x ~gmin:options.gmin_final ~source_scale:1.0)
         [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; 1e-12 ];
       !x
     in

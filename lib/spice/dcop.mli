@@ -1,7 +1,15 @@
 (** DC operating-point analysis: damped Newton-Raphson with gmin stepping
-    and a source-stepping fallback. *)
+    and a source-stepping fallback, over either the compiled sparse MNA
+    engine ({!Stamp_plan}) or the dense reference engine. *)
 
 exception Convergence_failure of string
+
+(** Which linear-algebra backend drives Newton. [Auto] (the default)
+    compiles a sparse stamp plan when the system has at least
+    {!sparse_threshold} unknowns and falls back to the dense engine
+    below that; [Dense] and [Sparse] force a backend (the dense path is
+    the correctness oracle for the sparse one). *)
+type engine = Auto | Dense | Sparse
 
 type options = {
   max_iterations : int;  (** Newton iterations per continuation step (default 200) *)
@@ -11,16 +19,32 @@ type options = {
   gmin_steps : float list;  (** continuation ladder, largest first *)
   source_steps : int;  (** ramp points for the source-stepping fallback (default 10) *)
   damping : float;  (** max voltage change per Newton step, V (default 1.0) *)
+  engine : engine;  (** linear-solver backend (default [Auto]) *)
 }
 
 val default_options : options
 
-(** [newton netlist ~options ~x0 ~time ~gmin ~source_scale ~caps] runs plain
-    Newton at a fixed continuation point ([gshunt] adds a node-to-ground
-    conductance, default 0); returns the solution or raises
-    [Convergence_failure]. Exposed for the convergence-aid ablation. *)
+val sparse_threshold : int
+(** Unknown-count at which [Auto] switches from dense LU to the compiled
+    sparse engine. *)
+
+val plan_for : options -> Netlist.t -> Stamp_plan.t option
+(** The stamp plan the given options would use for this netlist (compiled
+    fresh), or [None] for the dense engine. Callers running many solves
+    (transient, sweeps) compile once and pass the plan back in. *)
+
+(** [newton netlist ~options ~x0 ~time ~gmin ~source_scale ~caps] runs
+    plain Newton at a fixed continuation point ([gshunt] adds a
+    node-to-ground conductance, default 0); returns the solution and the
+    number of Newton iterations spent, or raises [Convergence_failure].
+    [plan] supplies a precompiled sparse stamp plan (overrides
+    [options.engine]); [iter_count] is incremented once per iteration as
+    it happens, so iterations spent in attempts that end in
+    [Convergence_failure] are still counted. *)
 val newton :
   ?gshunt:float ->
+  ?plan:Stamp_plan.t ->
+  ?iter_count:int ref ->
   Netlist.t ->
   options:options ->
   x0:Lattice_numerics.Vec.t ->
@@ -28,11 +52,34 @@ val newton :
   gmin:float ->
   source_scale:float ->
   caps:Mna.cap_companion option ->
-  Lattice_numerics.Vec.t
+  Lattice_numerics.Vec.t * int
 
-(** [solve ?options ?x0 ?time netlist] computes the operating point at
-    [time] (default 0). Strategy ladder: plain Newton, gmin stepping,
+(** [newton_into ... ~x0 ~dst ...] is {!newton} writing the solution into
+    the caller-supplied [dst] (length = unknowns; may alias [x0]) and
+    returning only the iteration count. With a warm [plan] this performs
+    no allocation at all — the transient inner loop runs on it. *)
+val newton_into :
+  ?gshunt:float ->
+  ?plan:Stamp_plan.t ->
+  ?iter_count:int ref ->
+  Netlist.t ->
+  options:options ->
+  x0:Lattice_numerics.Vec.t ->
+  dst:Lattice_numerics.Vec.t ->
+  time:float ->
+  gmin:float ->
+  source_scale:float ->
+  caps:Mna.cap_companion option ->
+  int
+
+(** [solve ?options ?plan ?x0 ?time netlist] computes the operating point
+    at [time] (default 0). Strategy ladder: plain Newton, gmin stepping,
     source stepping, the same three heavily damped, then a node-shunt
     continuation. Raises [Convergence_failure] if everything fails. *)
 val solve :
-  ?options:options -> ?x0:Lattice_numerics.Vec.t -> ?time:float -> Netlist.t -> Lattice_numerics.Vec.t
+  ?options:options ->
+  ?plan:Stamp_plan.t ->
+  ?x0:Lattice_numerics.Vec.t ->
+  ?time:float ->
+  Netlist.t ->
+  Lattice_numerics.Vec.t

@@ -35,18 +35,48 @@ let stamp_current b n1 n2 i =
   if i1 >= 0 then b.(i1) <- b.(i1) -. i;
   if i2 >= 0 then b.(i2) <- b.(i2) +. i
 
+(* Scratch for the linearized companion model of one MOSFET. All-float
+   (inputs AND outputs) so every operand crosses the call as an unboxed
+   record field rather than a boxed float argument: the sparse stamp plan
+   reuses one scratch across its whole Newton loop without allocating. *)
+type fet_lin = {
+  mutable vd : float;
+  mutable vg : float;
+  mutable vs : float;
+  mutable gm : float;
+  mutable gds : float;
+  mutable ieq : float;
+}
+
+let fet_lin_create () = { vd = 0.0; vg = 0.0; vs = 0.0; gm = 0.0; gds = 0.0; ieq = 0.0 }
+
+(* Linearize the (source/drain-normalized) drain current at the terminal
+   voltages [out.vd], [out.vg], [out.vs]: i_dn = gm vgs' + gds vds' + ieq.
+   Shared by the dense stamp and the compiled stamp plan so both engines
+   produce identical device stamps. *)
+let linearize_fet (w : Level1.workspace) (out : fet_lin) (m : Lattice_mosfet.Model.t) =
+  let vd = out.vd and vg = out.vg and vs = out.vs in
+  let v_dn = if vd >= vs then vd else vs and v_sn = if vd >= vs then vs else vd in
+  let vgs = vg -. v_sn and vds = v_dn -. v_sn in
+  w.Level1.w_vgs <- vgs;
+  w.Level1.w_vds <- vds;
+  Lattice_mosfet.Model.linearize w m;
+  let gm = w.Level1.w_gm and gds = w.Level1.w_gds in
+  out.gm <- gm;
+  out.gds <- gds;
+  out.ieq <- w.Level1.w_ids -. (gm *. vgs) -. (gds *. vds)
+
 let stamp_mosfet a b x ~gmin (m : Lattice_mosfet.Model.t) ~drain ~gate ~source =
   let vd = voltage x drain and vg = voltage x gate and vs = voltage x source in
   (* source/drain swap: the terminal at the lower potential acts as source *)
   let reversed = vd < vs in
   let dn, sn = if reversed then (source, drain) else (drain, source) in
-  let v_dn = Float.max vd vs and v_sn = Float.min vd vs in
-  let vgs = vg -. v_sn and vds = v_dn -. v_sn in
-  let i = Lattice_mosfet.Model.ids m ~vgs ~vds in
-  let gm = Lattice_mosfet.Model.gm m ~vgs ~vds in
-  let gds = Lattice_mosfet.Model.gds m ~vgs ~vds in
-  (* linearized drain current: i_dn = gm vgs' + gds vds' + ieq *)
-  let ieq = i -. (gm *. vgs) -. (gds *. vds) in
+  let lin = fet_lin_create () in
+  lin.vd <- vd;
+  lin.vg <- vg;
+  lin.vs <- vs;
+  linearize_fet (Level1.workspace_create ()) lin m;
+  let gm = lin.gm and gds = lin.gds and ieq = lin.ieq in
   let idn = Netlist.node_index dn
   and isn = Netlist.node_index sn
   and ig = Netlist.node_index gate in

@@ -24,6 +24,29 @@ val voltage : Lattice_numerics.Vec.t -> Netlist.node -> float
 (** [cap_voltage netlist x] is the per-capacitor branch voltage vector. *)
 val cap_voltages : Netlist.t -> Lattice_numerics.Vec.t -> float array
 
+(** Mutable scratch for one MOSFET's linearized companion model. All
+    fields are float — inputs included — so operands cross the call as
+    unboxed record fields, keeping hot Newton loops allocation-free. *)
+type fet_lin = {
+  mutable vd : float;  (** input: drain node voltage *)
+  mutable vg : float;  (** input: gate node voltage *)
+  mutable vs : float;  (** input: source node voltage *)
+  mutable gm : float;
+  mutable gds : float;
+  mutable ieq : float;
+}
+
+val fet_lin_create : unit -> fet_lin
+
+(** [linearize_fet w out m] writes the small-signal companion of the
+    source/drain-normalized drain current at ([out.vd], [out.vg],
+    [out.vs]) into [out]: [i_dn = gm vgs' + gds vds' + ieq]. The caller
+    decides orientation via [vd < vs]. Shared by the dense stamp
+    ({!stamp}) and the compiled stamp plan so both engines produce
+    identical stamps; allocation-free for level-1 models. *)
+val linearize_fet :
+  Lattice_mosfet.Level1.workspace -> fet_lin -> Lattice_mosfet.Model.t -> unit
+
 (** [stamp netlist ~x ~time ~gmin ~source_scale ~caps] assembles and
     returns [(a, b)]. [caps = None] means DC (capacitors open).
     [gmin] is stamped drain-source across every MOSFET; [gshunt] adds a conductance from every node to ground — the continuation

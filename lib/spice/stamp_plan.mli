@@ -1,0 +1,73 @@
+(** A netlist compiled into a sparse MNA stamping plan.
+
+    [compile] walks the element list {e once}, resolves every node to its
+    MNA row/column, reserves every matrix entry any element can ever
+    touch in a frozen {!Lattice_numerics.Sparse.pattern}, and splits the
+    stamps into three tiers:
+
+    - {b constant} (resistor conductances, voltage-source incidence
+      entries) — accumulated into a cached value array at compile time;
+    - {b linear-per-solve} (gmin, the continuation shunt, capacitor
+      companion conductances, source values at the solve's timepoint) —
+      folded over the constant tier once per Newton {e solve} by
+      {!set_linear};
+    - {b nonlinear} (MOSFET companion models) — restamped on every
+      Newton {e iteration} by {!assemble}, which just blits the cached
+      linear tier and updates the MOSFET slots.
+
+    All buffers (matrix values, RHS, iterate vectors, the sparse LU) are
+    owned by the plan and reused, so {!assemble} + {!factor_and_solve}
+    allocate nothing after the first factorization. A plan is therefore
+    not reentrant: one Newton solve at a time per plan. *)
+
+type t
+
+val compile : Netlist.t -> t
+(** Compile the netlist's current element list. The plan does not track
+    later mutations of the netlist. *)
+
+val n : t -> int
+(** Number of MNA unknowns. *)
+
+val matrix : t -> Lattice_numerics.Sparse.t
+(** The plan's matrix buffer (valid after {!assemble}); exposed for the
+    AC sweep, which reads the assembled conductance pattern. *)
+
+val rhs : t -> float array
+(** The plan's RHS buffer: filled by {!assemble}, overwritten with the
+    solution by {!factor_and_solve}. *)
+
+val x_buffer : t -> float array
+(** Plan-owned iterate buffer for allocation-free Newton loops. *)
+
+val x_new_buffer : t -> float array
+
+val set_linear :
+  t ->
+  time:float ->
+  gmin:float ->
+  gshunt:float ->
+  source_scale:float ->
+  caps:Mna.cap_companion option ->
+  unit
+(** Rebuild the cached linear tier (matrix values and RHS) for one
+    Newton solve. Mirrors the semantics of {!Mna.stamp} for everything
+    except MOSFETs. Allocation-free. *)
+
+val assemble : t -> x:float array -> unit
+(** Load the cached linear tier into the matrix/RHS buffers and stamp
+    the MOSFET companion models linearized at [x]. Allocation-free. *)
+
+val factor_and_solve : t -> unit
+(** Factor the assembled matrix and overwrite {!rhs} with the solution.
+    The first call runs the full symbolic analysis; later calls reuse
+    the elimination pattern (numeric-only refactorization) and fall back
+    to a fresh analysis if the frozen pivot order goes stale. Raises
+    [Lattice_numerics.Sparse.Singular] if the matrix is singular. *)
+
+val cap_voltages_into : t -> x:float array -> float array -> unit
+(** Per-capacitor branch voltages (netlist order) written into a
+    caller-supplied array, without walking the element list. *)
+
+val lu_stats : t -> (int * int) option
+(** [(nnz L, nnz U)] of the current factorization, if any. *)

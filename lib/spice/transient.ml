@@ -1,5 +1,3 @@
-module Vec = Lattice_numerics.Vec
-
 type integrator = Backward_euler | Trapezoidal
 
 type options = { integrator : integrator; dc : Dcop.options; max_step_halvings : int }
@@ -16,33 +14,37 @@ type result = {
   newton_iterations_total : int;
 }
 
-let lookup_series names series name =
+let lookup_series ~fn ~kind names series name =
   let rec find i =
-    if i >= Array.length names then raise Not_found
+    if i >= Array.length names then
+      let recorded =
+        if Array.length names = 0 then "none"
+        else String.concat ", " (Array.to_list names)
+      in
+      invalid_arg
+        (Printf.sprintf "Transient.%s: unknown %s %S (recorded: %s)" fn kind name recorded)
     else if names.(i) = name then series.(i)
     else find (i + 1)
   in
   find 0
 
-let signal result name = lookup_series result.node_names result.voltages name
-let branch_current result name = lookup_series result.current_names result.currents name
+let signal result name =
+  lookup_series ~fn:"signal" ~kind:"signal" result.node_names result.voltages name
 
-type cap_state = { farads : float array; mutable v_prev : float array; mutable i_prev : float array }
+let branch_current result name =
+  lookup_series ~fn:"branch_current" ~kind:"voltage source" result.current_names result.currents
+    name
 
-let companion state ~dt ~use_trap =
-  let n = Array.length state.farads in
-  let geq = Array.make n 0.0 and ieq = Array.make n 0.0 in
-  for k = 0 to n - 1 do
-    if use_trap then begin
-      geq.(k) <- 2.0 *. state.farads.(k) /. dt;
-      ieq.(k) <- -.((geq.(k) *. state.v_prev.(k)) +. state.i_prev.(k))
-    end
-    else begin
-      geq.(k) <- state.farads.(k) /. dt;
-      ieq.(k) <- -.(geq.(k) *. state.v_prev.(k))
-    end
-  done;
-  { Mna.geq; ieq }
+let cap_nodes netlist =
+  let out = ref [] in
+  List.iter
+    (function
+      | Netlist.Capacitor { n1; n2; _ } ->
+        out := (Netlist.node_index n1, Netlist.node_index n2) :: !out
+      | Netlist.Resistor _ | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Mosfet _ -> ())
+    (Netlist.elements netlist);
+  let pairs = Array.of_list (List.rev !out) in
+  (Array.map fst pairs, Array.map snd pairs)
 
 let cap_farads netlist =
   let out = ref [] in
@@ -55,43 +57,66 @@ let cap_farads netlist =
 
 let run ?(options = default_options) netlist ~h ~t_stop ~record ?(record_currents = []) () =
   if h <= 0.0 || t_stop <= 0.0 then invalid_arg "Transient.run: h and t_stop must be positive";
-  let record_nodes = List.map (fun name -> Netlist.node netlist name) record in
+  let record_nodes = Array.of_list (List.map (fun name -> Netlist.node netlist name) record) in
   let record_rows =
-    List.map
-      (fun name ->
-        match Netlist.vsource_index netlist name with
-        | Some idx -> Netlist.vsource_row netlist idx
-        | None -> invalid_arg ("Transient.run: unknown voltage source " ^ name))
-      record_currents
+    Array.of_list
+      (List.map
+         (fun name ->
+           match Netlist.vsource_index netlist name with
+           | Some idx -> Netlist.vsource_row netlist idx
+           | None -> invalid_arg ("Transient.run: unknown voltage source " ^ name))
+         record_currents)
   in
-  let x = ref (Dcop.solve ~options:options.dc ~time:0.0 netlist) in
-  let caps =
-    {
-      farads = cap_farads netlist;
-      v_prev = Mna.cap_voltages netlist !x;
-      i_prev = Array.make (Mna.cap_count netlist) 0.0;
-    }
-  in
+  (* one compiled plan (or none, for the dense engine) reused by the DC
+     solve and by every Newton solve of every step *)
+  let plan = Dcop.plan_for options.dc netlist in
+  let x_cur = ref (Dcop.solve ~options:options.dc ?plan ~time:0.0 netlist) in
+  let x_next = ref (Array.make (Array.length !x_cur) 0.0) in
+  let farads = cap_farads netlist in
+  let cap_n1, cap_n2 = cap_nodes netlist in
+  let ncaps = Array.length farads in
+  let v_prev = Array.make ncaps 0.0 in
+  let i_prev = Array.make ncaps 0.0 in
+  for k = 0 to ncaps - 1 do
+    let v1 = if cap_n1.(k) < 0 then 0.0 else !x_cur.(cap_n1.(k)) in
+    let v2 = if cap_n2.(k) < 0 then 0.0 else !x_cur.(cap_n2.(k)) in
+    v_prev.(k) <- v1 -. v2
+  done;
+  let comp = { Mna.geq = Array.make ncaps 0.0; ieq = Array.make ncaps 0.0 } in
+  let caps_opt = Some comp in
   let newton_total = ref 0 in
+  let iter_count = Some newton_total in
   let first_step = ref true in
   (* advance from [t] by [dt]; recursive halving on Newton failure *)
   let rec advance t dt halvings =
     let use_trap = options.integrator = Trapezoidal && not !first_step in
-    let comp = companion caps ~dt ~use_trap in
+    for k = 0 to ncaps - 1 do
+      if use_trap then begin
+        comp.Mna.geq.(k) <- 2.0 *. farads.(k) /. dt;
+        comp.Mna.ieq.(k) <- -.((comp.Mna.geq.(k) *. v_prev.(k)) +. i_prev.(k))
+      end
+      else begin
+        comp.Mna.geq.(k) <- farads.(k) /. dt;
+        comp.Mna.ieq.(k) <- -.(comp.Mna.geq.(k) *. v_prev.(k))
+      end
+    done;
     match
-      Dcop.newton netlist ~options:options.dc ~x0:!x ~time:(t +. dt) ~gmin:options.dc.Dcop.gmin_final
-        ~source_scale:1.0 ~caps:(Some comp)
+      Dcop.newton_into ?plan ?iter_count netlist ~options:options.dc ~x0:!x_cur ~dst:!x_next
+        ~time:(t +. dt) ~gmin:options.dc.Dcop.gmin_final ~source_scale:1.0 ~caps:caps_opt
     with
-    | x_new ->
-      let v_new = Mna.cap_voltages netlist x_new in
-      let i_new =
-        Array.mapi (fun k g -> (g *. v_new.(k)) +. comp.Mna.ieq.(k)) comp.Mna.geq
-      in
-      caps.v_prev <- v_new;
-      caps.i_prev <- i_new;
-      x := x_new;
-      first_step := false;
-      incr newton_total
+    | _iters ->
+      let x = !x_next in
+      for k = 0 to ncaps - 1 do
+        let v1 = if cap_n1.(k) < 0 then 0.0 else x.(cap_n1.(k)) in
+        let v2 = if cap_n2.(k) < 0 then 0.0 else x.(cap_n2.(k)) in
+        let v_new = v1 -. v2 in
+        i_prev.(k) <- (comp.Mna.geq.(k) *. v_new) +. comp.Mna.ieq.(k);
+        v_prev.(k) <- v_new
+      done;
+      let tmp = !x_cur in
+      x_cur := !x_next;
+      x_next := tmp;
+      first_step := false
     | exception Dcop.Convergence_failure msg ->
       if halvings >= options.max_step_halvings then
         raise (Dcop.Convergence_failure (Printf.sprintf "transient at t=%.4g: %s" t msg));
@@ -102,11 +127,16 @@ let run ?(options = default_options) netlist ~h ~t_stop ~record ?(record_current
   let nsteps = int_of_float (Float.round (t_stop /. h)) in
   let nsteps = Int.max 1 nsteps in
   let times = Array.make (nsteps + 1) 0.0 in
-  let voltages = Array.map (fun _ -> Array.make (nsteps + 1) 0.0) (Array.of_list record) in
-  let currents = Array.map (fun _ -> Array.make (nsteps + 1) 0.0) (Array.of_list record_currents) in
+  let voltages = Array.map (fun _ -> Array.make (nsteps + 1) 0.0) record_nodes in
+  let currents = Array.map (fun _ -> Array.make (nsteps + 1) 0.0) record_rows in
   let sample k =
-    List.iteri (fun idx node -> voltages.(idx).(k) <- Mna.voltage !x node) record_nodes;
-    List.iteri (fun idx row -> currents.(idx).(k) <- !x.(row)) record_rows;
+    let x = !x_cur in
+    for idx = 0 to Array.length record_nodes - 1 do
+      voltages.(idx).(k) <- Mna.voltage x record_nodes.(idx)
+    done;
+    for idx = 0 to Array.length record_rows - 1 do
+      currents.(idx).(k) <- x.(record_rows.(idx))
+    done;
     times.(k) <- float_of_int k *. h
   in
   sample 0;

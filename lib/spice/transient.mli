@@ -25,14 +25,16 @@ type result = {
   currents : float array array;
       (** branch currents, positive into the source's + terminal *)
   newton_iterations_total : int;
+      (** Newton iterations spent across every step, including iterations
+          inside attempts that failed and were retried at a halved step. *)
 }
 
-(** [signal result name] fetches a recorded node waveform.
-    Raises [Not_found]. *)
+(** [signal result name] fetches a recorded node waveform. Raises
+    [Invalid_argument] naming the unknown signal and the recorded names. *)
 val signal : result -> string -> float array
 
-(** [branch_current result name] fetches a recorded source current.
-    Raises [Not_found]. *)
+(** [branch_current result name] fetches a recorded source current. Raises
+    [Invalid_argument] naming the unknown source and the recorded names. *)
 val branch_current : result -> string -> float array
 
 (** [run ?options netlist ~h ~t_stop ~record ?record_currents ()] simulates

@@ -3,6 +3,7 @@
 module Vec = Lattice_numerics.Vec
 module Matrix = Lattice_numerics.Matrix
 module Lu = Lattice_numerics.Lu
+module Sparse = Lattice_numerics.Sparse
 module Cg = Lattice_numerics.Cg
 module Stats = Lattice_numerics.Stats
 module Interp = Lattice_numerics.Interp
@@ -134,6 +135,126 @@ let prop_lu_roundtrip =
       let a = random_dd_matrix rng n in
       let b = Array.init n (fun i -> Random.State.float rng 10.0 -. 5.0 +. float_of_int i) in
       let x = Lu.solve_dense a b in
+      Vec.max_abs_diff (Matrix.mat_vec a x) b < 1e-7)
+
+(* --- Sparse ------------------------------------------------------------- *)
+
+(* a sparse-ish diagonally dominant matrix: diagonal + a few off-diagonals *)
+let random_sparse_matrix rng n =
+  let a = Matrix.create n n in
+  for i = 0 to n - 1 do
+    let fill = 1 + Random.State.int rng 3 in
+    for _ = 1 to fill do
+      let j = Random.State.int rng n in
+      if j <> i then Matrix.add_to a i j (Random.State.float rng 4.0 -. 2.0)
+    done
+  done;
+  for i = 0 to n - 1 do
+    let rowsum = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then rowsum := !rowsum +. Float.abs (Matrix.get a i j)
+    done;
+    Matrix.set a i i (!rowsum +. 1.0 +. Random.State.float rng 1.0)
+  done;
+  a
+
+let test_sparse_pattern () =
+  let b = Sparse.Builder.create 3 in
+  Sparse.Builder.add b 0 0;
+  Sparse.Builder.add b 2 1;
+  Sparse.Builder.add b 2 1;
+  (* duplicate merges *)
+  Sparse.Builder.add b 1 2;
+  let pat = Sparse.Builder.compile b in
+  Alcotest.(check int) "dim" 3 (Sparse.dim pat);
+  Alcotest.(check int) "nnz (duplicates merged)" 3 (Sparse.nnz pat);
+  Alcotest.(check bool) "mem reserved" true (Sparse.mem pat ~row:2 ~col:1);
+  Alcotest.(check bool) "mem unreserved" false (Sparse.mem pat ~row:1 ~col:1);
+  Alcotest.(check bool) "slot of unreserved raises" true
+    (match Sparse.slot pat ~row:1 ~col:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let m = Sparse.create pat in
+  Sparse.add m 2 1 5.0;
+  Sparse.add m 2 1 2.5;
+  check_float "accumulates" 7.5 (Sparse.get m 2 1);
+  check_float "outside pattern reads 0" 0.0 (Sparse.get m 0 1);
+  m.Sparse.values.(Sparse.slot pat ~row:2 ~col:1) <- 9.0;
+  check_float "slot write visible" 9.0 (Sparse.get m 2 1)
+
+let test_sparse_matches_lu () =
+  let rng = Random.State.make [| 11 |] in
+  for n = 1 to 15 do
+    let a = random_sparse_matrix rng n in
+    let b = Array.init n (fun i -> Random.State.float rng 10.0 -. 5.0 +. float_of_int i) in
+    let x_dense = Lu.solve_dense a b in
+    let sp = Sparse.of_matrix a in
+    let x_sparse = Sparse.solve (Sparse.factorize sp) b in
+    Alcotest.(check bool)
+      (Printf.sprintf "sparse = dense at n=%d" n)
+      true
+      (Vec.max_abs_diff x_sparse x_dense < 1e-9)
+  done
+
+let test_sparse_zero_diagonal () =
+  (* MNA voltage-source rows have structural zeros on the diagonal: the
+     factorization must pivot, not fall over *)
+  let a = Matrix.of_rows [ [| 0.0; 1.0 |]; [| 1.0; 1e-3 |] ] in
+  let sp = Sparse.of_matrix a in
+  let x = Sparse.solve (Sparse.factorize sp) [| 2.0; 3.0 |] in
+  let ax = Matrix.mat_vec a x in
+  Alcotest.(check bool) "pivoted solve" true (Vec.max_abs_diff ax [| 2.0; 3.0 |] < 1e-9)
+
+let test_sparse_refactor () =
+  let rng = Random.State.make [| 23 |] in
+  let n = 12 in
+  let a = random_sparse_matrix rng n in
+  let sp = Sparse.of_matrix a in
+  let lu = Sparse.factorize sp in
+  let b = Array.init n (fun i -> float_of_int (i - 4)) in
+  (* perturb every value in place, keeping the pattern, then refactor *)
+  for pass = 1 to 3 do
+    Sparse.iteri sp (fun slot r c v ->
+        ignore r;
+        ignore c;
+        sp.Sparse.values.(slot) <- v *. (1.0 +. (0.05 *. float_of_int pass)));
+    Sparse.refactor lu sp;
+    let x = Array.copy b in
+    Sparse.solve_in_place lu x;
+    let ax = Matrix.mat_vec (Sparse.to_matrix sp) x in
+    Alcotest.(check bool)
+      (Printf.sprintf "refactor pass %d" pass)
+      true
+      (Vec.max_abs_diff ax b < 1e-8)
+  done
+
+let test_sparse_singular_parity () =
+  let a = Matrix.of_rows [ [| 1.0; 2.0 |]; [| 2.0; 4.0 |] ] in
+  Alcotest.(check bool) "dense raises" true
+    (match Lu.factor a with exception Lu.Singular _ -> true | _ -> false);
+  Alcotest.(check bool) "sparse raises" true
+    (match Sparse.factorize (Sparse.of_matrix a) with
+    | exception Sparse.Singular _ -> true
+    | _ -> false)
+
+let test_sparse_lu_nnz () =
+  let rng = Random.State.make [| 31 |] in
+  let n = 10 in
+  let a = random_sparse_matrix rng n in
+  let sp = Sparse.of_matrix a in
+  let lu = Sparse.factorize sp in
+  let lnnz, unnz = Sparse.lu_nnz lu in
+  Alcotest.(check bool) "L nnz sane" true (lnnz >= 0 && lnnz <= n * n);
+  Alcotest.(check bool) "U nnz covers diagonal" true (unnz >= n && unnz <= n * n)
+
+let prop_sparse_roundtrip =
+  QCheck2.Test.make ~name:"Sparse: A (A^-1 b) = b" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_sparse_matrix rng n in
+      let b = Array.init n (fun i -> Random.State.float rng 10.0 -. 5.0 +. float_of_int i) in
+      let x = Sparse.solve (Sparse.factorize (Sparse.of_matrix a)) b in
       Vec.max_abs_diff (Matrix.mat_vec a x) b < 1e-7)
 
 (* --- Cg ----------------------------------------------------------------- *)
@@ -297,6 +418,16 @@ let () =
           Alcotest.test_case "singular detection" `Quick test_lu_singular;
           Alcotest.test_case "rejects non-square" `Quick test_lu_not_square;
           qc prop_lu_roundtrip;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "pattern build" `Quick test_sparse_pattern;
+          Alcotest.test_case "matches dense LU" `Quick test_sparse_matches_lu;
+          Alcotest.test_case "pivots past zero diagonal" `Quick test_sparse_zero_diagonal;
+          Alcotest.test_case "refactor after value change" `Quick test_sparse_refactor;
+          Alcotest.test_case "singular parity with Lu" `Quick test_sparse_singular_parity;
+          Alcotest.test_case "fill-in stats" `Quick test_sparse_lu_nnz;
+          qc prop_sparse_roundtrip;
         ] );
       ( "cg",
         [

@@ -283,8 +283,11 @@ let test_transient_records_input () =
   let r = Sp.Transient.run ckt ~h:50e-9 ~t_stop:1e-6 ~record:[ "in"; "out" ] () in
   let vin = Sp.Transient.signal r "in" in
   check_close "input recorded" 1e-9 1.0 vin.(Array.length vin - 1);
-  Alcotest.(check bool) "unknown signal raises" true
-    (match Sp.Transient.signal r "nope" with exception Not_found -> true | _ -> false)
+  Alcotest.(check bool) "unknown signal raises with names" true
+    (match Sp.Transient.signal r "nope" with
+    | exception Invalid_argument msg ->
+      contains msg "nope" && contains msg "in" && contains msg "out"
+    | _ -> false)
 
 let test_transient_conserves_dc () =
   (* a circuit already at its operating point stays there *)
@@ -690,6 +693,160 @@ let test_lattice_circuit_level3_model () =
     true
     (!v_ol_l3 >= !v_ol_l1 -. 1e-9)
 
+(* --- Sparse engine parity ------------------------------------------------ *)
+
+(* Tightened solver tolerances so both engines converge to well below the
+   1e-9 comparison threshold; only the linear-algebra backend differs. *)
+let tight_options engine =
+  { Sp.Dcop.default_options with Sp.Dcop.reltol = 1e-9; abstol = 1e-12; engine }
+
+(* A random mixed netlist: a grid of nodes joined by random resistors,
+   MOSFET switches and capacitors, every node bled to ground so the DC
+   operating point exists. *)
+let random_mixed_netlist seed =
+  let rng = Random.State.make [| seed; 0x5EED |] in
+  let ckt = Sp.Netlist.create () in
+  let rows = 2 + Random.State.int rng 3 in
+  let cols = 2 + Random.State.int rng 3 in
+  let node r c = Sp.Netlist.node ckt (Printf.sprintf "n%d_%d" r c) in
+  let vin = Sp.Netlist.node ckt "in" in
+  Sp.Netlist.vsource ckt "VDD" (node 0 0) Sp.Netlist.ground (Sp.Source.Dc 1.2);
+  Sp.Netlist.vsource ckt "VIN" vin Sp.Netlist.ground
+    (Sp.Source.Pulse
+       { v1 = 0.0; v2 = 1.2; delay = 5e-9; rise = 2e-9; fall = 2e-9; width = 15e-9; period = 40e-9 });
+  let nmos = { L1.kp = 2e-5; vth = 0.4; lambda = 0.02; w = 700e-9; l = 350e-9 } in
+  let id = ref 0 in
+  let fresh prefix = incr id; Printf.sprintf "%s%d" prefix !id in
+  let connect a b =
+    match Random.State.int rng 3 with
+    | 0 -> Sp.Netlist.resistor ckt (fresh "R") a b (1e3 +. Random.State.float rng 1e5)
+    | 1 ->
+      let gate = if Random.State.bool rng then vin else node 0 0 in
+      Sp.Netlist.mosfet ckt (fresh "M") ~drain:a ~gate ~source:b nmos
+    | _ ->
+      Sp.Netlist.resistor ckt (fresh "R") a b (1e3 +. Random.State.float rng 1e4);
+      Sp.Netlist.capacitor ckt (fresh "C") a b (1e-15 +. Random.State.float rng 9e-15)
+  in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c < cols - 1 then connect (node r c) (node r (c + 1));
+      if r < rows - 1 then connect (node r c) (node (r + 1) c);
+      (* bleed + load keep every node biased *)
+      Sp.Netlist.resistor ckt (fresh "RB") (node r c) Sp.Netlist.ground 1e6;
+      Sp.Netlist.capacitor ckt (fresh "CB") (node r c) Sp.Netlist.ground
+        (1e-15 +. Random.State.float rng 4e-15)
+    done
+  done;
+  if Random.State.bool rng then
+    Sp.Netlist.isource ckt "IB" (node (rows - 1) (cols - 1)) Sp.Netlist.ground
+      (Sp.Source.Dc 1e-6);
+  (ckt, Printf.sprintf "n%d_%d" (rows - 1) (cols - 1))
+
+let test_sparse_dense_dcop_parity () =
+  for seed = 0 to 11 do
+    let ckt, _ = random_mixed_netlist seed in
+    let x_dense = Sp.Dcop.solve ~options:(tight_options Sp.Dcop.Dense) ckt in
+    let x_sparse = Sp.Dcop.solve ~options:(tight_options Sp.Dcop.Sparse) ckt in
+    let d = Lattice_numerics.Vec.max_abs_diff x_dense x_sparse in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: |dense - sparse| = %.3g < 1e-9" seed d)
+      true (d < 1e-9)
+  done
+
+let test_sparse_dense_transient_parity () =
+  for seed = 0 to 5 do
+    let ckt, out_name = random_mixed_netlist seed in
+    let run engine =
+      let options =
+        { Sp.Transient.default_options with Sp.Transient.dc = tight_options engine }
+      in
+      Sp.Transient.run ~options ckt ~h:1e-9 ~t_stop:60e-9 ~record:[ out_name; "in" ]
+        ~record_currents:[ "VDD" ] ()
+    in
+    let rd = run Sp.Dcop.Dense and rs = run Sp.Dcop.Sparse in
+    let worst = ref 0.0 in
+    List.iter
+      (fun name ->
+        let a = Sp.Transient.signal rd name and b = Sp.Transient.signal rs name in
+        worst := Float.max !worst (Lattice_numerics.Vec.max_abs_diff a b))
+      [ out_name; "in" ];
+    let ia = Sp.Transient.branch_current rd "VDD"
+    and ib = Sp.Transient.branch_current rs "VDD" in
+    worst := Float.max !worst (Lattice_numerics.Vec.max_abs_diff ia ib);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: transient |dense - sparse| = %.3g < 1e-9" seed !worst)
+      true (!worst < 1e-9);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: newton iterations counted" seed)
+      true
+      (rd.Sp.Transient.newton_iterations_total >= 60
+      && rs.Sp.Transient.newton_iterations_total >= 60)
+  done
+
+(* a fixed 6x6 lattice (36 four-terminal switches) driven through its
+   input combinations: the sparse engine must match the dense one on the
+   full transient *)
+let lattice_6x6_grid () =
+  let entries =
+    Array.init 36 (fun i ->
+        let r = i / 6 and c = i mod 6 in
+        Lattice_core.Grid.Lit ((r + c) mod 3, (r * c) mod 2 = 0))
+  in
+  Lattice_core.Grid.create 6 6 entries
+
+let test_lattice_6x6_sparse_matches_dense () =
+  let lc =
+    Sp.Lattice_circuit.build (lattice_6x6_grid ())
+      ~stimulus:(Sp.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:10e-9)
+  in
+  let ckt = lc.Sp.Lattice_circuit.netlist in
+  Alcotest.(check bool) "big enough to exercise sparse auto-dispatch" true
+    (Sp.Netlist.unknowns ckt >= Sp.Dcop.sparse_threshold);
+  let run engine =
+    let options =
+      { Sp.Transient.default_options with Sp.Transient.dc = tight_options engine }
+    in
+    Sp.Transient.run ~options ckt ~h:1e-9 ~t_stop:40e-9 ~record:[ "out" ] ()
+  in
+  let rd = run Sp.Dcop.Dense and rs = run Sp.Dcop.Sparse in
+  let d =
+    Lattice_numerics.Vec.max_abs_diff
+      (Sp.Transient.signal rd "out")
+      (Sp.Transient.signal rs "out")
+  in
+  Alcotest.(check bool) (Printf.sprintf "6x6 transient diff %.3g < 1e-9" d) true (d < 1e-9)
+
+let test_ac_sparse_matches_dense () =
+  (* RC low-pass plus a FET load: sweep both engines over 4 decades *)
+  let ckt = Sp.Netlist.create () in
+  let vin = Sp.Netlist.node ckt "in" and out = Sp.Netlist.node ckt "out" in
+  Sp.Netlist.vsource ckt "V1" vin Sp.Netlist.ground (Sp.Source.Dc 0.6);
+  Sp.Netlist.resistor ckt "R1" vin out 10e3;
+  Sp.Netlist.capacitor ckt "C1" out Sp.Netlist.ground 1e-12;
+  Sp.Netlist.mosfet ckt "M1" ~drain:out ~gate:vin ~source:Sp.Netlist.ground nmos;
+  (* pad with a resistor ladder so the sparse threshold is crossed *)
+  let prev = ref out in
+  for k = 1 to 20 do
+    let n = Sp.Netlist.node ckt (Printf.sprintf "pad%d" k) in
+    Sp.Netlist.resistor ckt (Printf.sprintf "RP%d" k) !prev n 1e3;
+    Sp.Netlist.capacitor ckt (Printf.sprintf "CP%d" k) n Sp.Netlist.ground 1e-13;
+    prev := n
+  done;
+  let sweep engine =
+    Sp.Ac.sweep ~engine ckt ~source:"V1" ~output:"out" ~f_start:1e3 ~f_stop:1e7
+      ~points_per_decade:5
+  in
+  let rd = sweep Sp.Dcop.Dense and rs = sweep Sp.Dcop.Sparse in
+  List.iter2
+    (fun (pd : Sp.Ac.point) (ps : Sp.Ac.point) ->
+      check_close
+        (Printf.sprintf "magnitude at %.3g Hz" pd.Sp.Ac.freq_hz)
+        1e-9 pd.Sp.Ac.magnitude ps.Sp.Ac.magnitude;
+      check_close
+        (Printf.sprintf "phase at %.3g Hz" pd.Sp.Ac.freq_hz)
+        1e-7 pd.Sp.Ac.phase_deg ps.Sp.Ac.phase_deg)
+    rd.Sp.Ac.points rs.Sp.Ac.points
+
 (* --- Series_chain ------------------------------------------------------------ *)
 
 let test_series_monotone_decrease () =
@@ -793,6 +950,15 @@ let () =
           Alcotest.test_case "functional with gate caps" `Slow test_gate_cap_slows_input_edge;
           Alcotest.test_case "level-3 switch models" `Quick test_lattice_circuit_level3_model;
           QCheck_alcotest.to_alcotest prop_circuit_matches_connectivity;
+        ] );
+      ( "sparse_engine",
+        [
+          Alcotest.test_case "random netlists: DC parity" `Quick test_sparse_dense_dcop_parity;
+          Alcotest.test_case "random netlists: transient parity" `Quick
+            test_sparse_dense_transient_parity;
+          Alcotest.test_case "6x6 lattice transient parity" `Slow
+            test_lattice_6x6_sparse_matches_dense;
+          Alcotest.test_case "AC sweep parity" `Quick test_ac_sparse_matches_dense;
         ] );
       ( "series_chain",
         [
