@@ -162,6 +162,25 @@ let bench_compose =
       let e, _ = Lattice_boolfn.Expr.parse "(a ^ b) (c + d') + a' c" in
       ignore (Lattice_core.Compose.of_expr e)))
 
+let bench_defect_sample =
+  Test.make ~name:"Ext: defect sample (stuck-open maj3, 8 DC solves)" (Staged.stage (fun () ->
+      ignore
+        (Lattice_flow.Fault_campaign.simulate Lattice_synthesis.Library.maj3_2x3
+           ~target:(Lattice_boolfn.Truthtable.majority_n 3) ~test_set:[]
+           [ { Lattice_spice.Defects.row = 0; col = 0; kind = Lattice_spice.Defects.Stuck_open } ])))
+
+let bench_defect_campaign =
+  Test.make ~name:"Ext: stuck-defect campaign on maj3 2x3 (12 samples)" (Staged.stage (fun () ->
+      let options =
+        { Lattice_flow.Fault_campaign.default_options with
+          Lattice_flow.Fault_campaign.classes =
+            [ Lattice_spice.Defects.Opens; Lattice_spice.Defects.Shorts ];
+          attempt_repair = false }
+      in
+      ignore
+        (Lattice_flow.Fault_campaign.run ~options Lattice_synthesis.Library.maj3_2x3
+           ~target:(Lattice_boolfn.Truthtable.majority_n 3))))
+
 let bench_integrator_be =
   Test.make ~name:"ablation: transient backward Euler" (Staged.stage (fun () ->
       transient_once Lattice_spice.Transient.Backward_euler))
@@ -242,6 +261,8 @@ let all_tests =
     bench_ac;
     bench_monte_carlo;
     bench_compose;
+    bench_defect_sample;
+    bench_defect_campaign;
   ]
 
 (* Gc-based proof that the sparse Newton inner loop allocates nothing

@@ -260,6 +260,55 @@ let yield_cmd =
     (Cmd.info "yield" ~doc:"Monte-Carlo process-variation yield of a synthesized lattice")
     Term.(const yield $ expr $ samples $ sigma)
 
+(* --- defects ----------------------------------------------------------- *)
+
+let defects expr all_classes =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let r = Lattice_synthesis.Altun_riedel.synthesize tt in
+    let grid = r.Lattice_synthesis.Altun_riedel.grid in
+    Printf.printf "lattice: %dx%d (dual-based)\n" grid.Lattice_core.Grid.rows
+      grid.Lattice_core.Grid.cols;
+    let module Fc = Lattice_flow.Fault_campaign in
+    let classes =
+      if all_classes then Lattice_spice.Defects.all_classes
+      else [ Lattice_spice.Defects.Opens; Lattice_spice.Defects.Shorts ]
+    in
+    let options = { Fc.default_options with Fc.classes } in
+    let rep = Fc.run ~options grid ~target:tt in
+    Printf.printf
+      "campaign: %d samples — %d functional, %d degraded, %d faulty, %d non-convergent\n"
+      (Array.length rep.Fc.samples) rep.Fc.counts.Fc.functional rep.Fc.counts.Fc.degraded
+      rep.Fc.counts.Fc.faulty rep.Fc.counts.Fc.non_convergent;
+    Printf.printf "test set (%d vectors) detects %d/%d samples; %d silent\n"
+      (List.length rep.Fc.test_set) rep.Fc.detected (Array.length rep.Fc.samples) rep.Fc.silent;
+    List.iter
+      (fun (rp : Fc.repair) ->
+        match rp.Fc.remapped with
+        | None ->
+          Printf.printf "  repair %s: no remapping found\n" (Lattice_spice.Defects.name rp.Fc.defect)
+        | Some g ->
+          Printf.printf "  repair %s: remapped to %dx%d (%+d spare cols), re-verified %s\n"
+            (Lattice_spice.Defects.name rp.Fc.defect) g.Lattice_core.Grid.rows
+            g.Lattice_core.Grid.cols rp.Fc.spare_cols_used
+            (if rp.Fc.reverified then "OK" else "FAILED"))
+      rep.Fc.repairs
+
+let defects_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Target expression.")
+  in
+  let all_classes =
+    Arg.(value & flag & info [ "all-classes" ] ~doc:"Include bridges, broken terminals and gate leaks.")
+  in
+  Cmd.v
+    (Cmd.info "defects"
+       ~doc:"circuit-level defect campaign (classification, detection, remapping) for a synthesized lattice")
+    Term.(const defects $ expr $ all_classes)
+
 (* --- export ------------------------------------------------------------ *)
 
 let export expr =
@@ -311,7 +360,7 @@ let main =
     [
       all_cmd; table1_cmd; table2_cmd; function_cmd; synth_cmd; iv_cmd; field_cmd; fit_cmd;
       xor3_cmd; series_cmd; optimize_cmd; faults_cmd; complementary_cmd; frequency_cmd;
-      yield_cmd; export_cmd; histogram_cmd;
+      yield_cmd; defects_cmd; export_cmd; histogram_cmd;
     ]
 
 let () = exit (Cmd.eval main)

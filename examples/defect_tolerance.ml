@@ -1,14 +1,21 @@
-(* Defect analysis and defect-aware remapping: the testing track of the
-   NANOxCOMP project (paper reference [1]) applied to this repository's
-   lattices.
+(* Graceful degradation under circuit-level defects: the testing track of
+   the NANOxCOMP project (paper reference [1]) applied to this
+   repository's lattices, end to end.
 
-   1. Run a stuck-ON / stuck-OFF fault campaign on a lattice and derive a
-      minimal test set.
-   2. Pretend one switch really is defective and remap the function around
-      it with the pinned exhaustive search.
+   1. Run the full fault campaign on a lattice: every stuck-open,
+      stuck-short, bridge, broken-terminal and gate-leak defect is
+      injected at transistor level, DC-simulated over all input states,
+      and classified functional / degraded / faulty / non-convergent.
+   2. Cross-check which logical test vectors catch each circuit defect.
+   3. For a detected structural defect, remap the function around the
+      pinned site (Exhaustive.find_with_pins, widening by a spare column
+      when the minimal fabric has no slack) and re-verify the repaired
+      lattice at circuit level with the defect still present.
 
    Run with: dune exec examples/defect_tolerance.exe *)
 
+module Fc = Lattice_flow.Fault_campaign
+module Defects = Lattice_spice.Defects
 module Faults = Lattice_synthesis.Faults
 module Grid = Lattice_core.Grid
 
@@ -18,61 +25,62 @@ let () =
   let names = Lattice_boolfn.Sop.alpha_names in
   Printf.printf "majority-3 on the minimal 2x3 lattice:\n%s\n\n" (Grid.to_string ~names grid);
 
-  (* 1. fault campaign *)
-  let a = Faults.analyze grid in
-  Printf.printf "fault campaign: %d faults, %d detectable\n" a.Faults.total a.Faults.detectable;
-  List.iter
-    (fun f -> Printf.printf "  logically masked: %s\n" (Faults.fault_name f))
-    a.Faults.undetectable;
-  Printf.printf "test set (%d vectors, 100%% detectable-fault coverage):\n"
-    (List.length a.Faults.test_set);
+  (* 1. the campaign: the whole single-defect universe, all five defect
+     families, one spare column available for repair *)
+  let report = Fc.run grid ~target:maj3 in
+  Printf.printf "campaign: %d single-defect samples (14 per site)\n"
+    (Array.length report.Fc.samples);
+  Printf.printf "  functional      %3d  (defect present but masked)\n"
+    report.Fc.counts.Fc.functional;
+  Printf.printf "  degraded        %3d  (correct logic, weak margins)\n"
+    report.Fc.counts.Fc.degraded;
+  Printf.printf "  faulty          %3d  (wrong boolean output)\n" report.Fc.counts.Fc.faulty;
+  Printf.printf "  non-convergent  %3d  (simulation failed, diagnostics kept)\n"
+    report.Fc.counts.Fc.non_convergent;
+  Array.iter
+    (fun (s : Fc.sample) ->
+      match s.Fc.failure with
+      | None -> ()
+      | Some f ->
+        Printf.printf "  ! %s: %s\n"
+          (String.concat " + " (List.map Defects.name s.Fc.defects))
+          (Lattice_spice.Dcop.pp_failure f))
+    report.Fc.samples;
+  print_newline ();
+
+  (* 2. detection: the logical test set vs the circuit-level outcomes *)
+  Printf.printf "logical test set (%d vectors):\n" (List.length report.Fc.test_set);
   List.iter
     (fun m ->
       Printf.printf "  a=%d b=%d c=%d\n" (m land 1) ((m lsr 1) land 1) ((m lsr 2) land 1))
-    a.Faults.test_set;
-  print_newline ();
+    report.Fc.test_set;
+  Printf.printf "detected %d/%d samples at circuit level; %d silent\n\n" report.Fc.detected
+    (Array.length report.Fc.samples) report.Fc.silent;
 
-  (* 2. a manufacturing defect strikes switch (0,0): stuck OFF *)
-  print_endline "defect: switch (0,0) stuck OFF.";
-  print_endline "remapping on the same 2x3 fabric:";
-  (match
-     Lattice_synthesis.Exhaustive.find_with_pins ~rows:2 ~cols:3
-       ~pins:[ (0, Grid.Const false) ] maj3
-   with
-  | Some g -> Printf.printf "%s\n" (Grid.to_string ~names g)
-  | None -> print_endline "  impossible: the minimal lattice has no slack.");
-  print_endline "remapping on a 2x4 fabric (one spare column):";
-  (match
-     Lattice_synthesis.Exhaustive.find_with_pins ~rows:2 ~cols:4
-       ~pins:[ (0, Grid.Const false) ] maj3
-   with
-  | Some g ->
-    Printf.printf "%s\n" (Grid.to_string ~names g);
-    assert (Lattice_synthesis.Validate.realizes g maj3);
-    print_endline "remap validated against majority-3."
-  | None -> print_endline "  no remap found (unexpected)");
+  (* 3. repair: every detected stuck defect remapped and re-verified *)
+  Printf.printf "repairs (remap around the pinned defect, then re-simulate with it):\n";
+  List.iter
+    (fun (r : Fc.repair) ->
+      match r.Fc.remapped with
+      | None -> Printf.printf "  %s: no remapping found\n" (Defects.name r.Fc.defect)
+      | Some g ->
+        Printf.printf "  %s -> %dx%d fabric (%s), circuit re-verification %s\n%s\n"
+          (Defects.name r.Fc.defect) g.Grid.rows g.Grid.cols
+          (if r.Fc.spare_cols_used = 0 then "same size"
+           else Printf.sprintf "+%d spare col" r.Fc.spare_cols_used)
+          (if r.Fc.reverified then "PASS" else "FAIL")
+          (Grid.to_string ~names g))
+    report.Fc.repairs;
 
-  (* and the circuit still works: DC-verify the remapped lattice *)
-  match
-    Lattice_synthesis.Exhaustive.find_with_pins ~rows:2 ~cols:4 ~pins:[ (0, Grid.Const false) ]
-      maj3
-  with
-  | None -> ()
-  | Some g ->
-    let ok = ref true in
-    for m = 0 to 7 do
-      let stimulus v =
-        Lattice_spice.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0)
-      in
-      let lc = Lattice_spice.Lattice_circuit.build g ~stimulus in
-      let x = Lattice_spice.Dcop.solve lc.Lattice_spice.Lattice_circuit.netlist in
-      let v =
-        Lattice_spice.Mna.voltage x
-          (Lattice_spice.Netlist.node lc.Lattice_spice.Lattice_circuit.netlist "out")
-      in
-      let expected_low = Lattice_boolfn.Truthtable.eval maj3 m in
-      if not (Bool.equal (v < 0.6) expected_low) then ok := false
-    done;
-    Printf.printf "\ntransistor-level DC check of the remapped lattice: %s\n"
-      (if !ok then "PASS" else "FAIL");
-    if not !ok then exit 1
+  (* the acceptance bar: at least one stuck-open defect detected, remapped
+     and re-verified at transistor level *)
+  let repaired_open =
+    List.exists
+      (fun (r : Fc.repair) ->
+        r.Fc.defect.Defects.kind = Defects.Stuck_open
+        && r.Fc.remapped <> None && r.Fc.reverified)
+      report.Fc.repairs
+  in
+  Printf.printf "\nstuck-open defect detected, remapped and re-verified: %s\n"
+    (if repaired_open then "PASS" else "FAIL");
+  if not repaired_open then exit 1

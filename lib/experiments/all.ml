@@ -14,6 +14,7 @@ let reports () =
     Exp_series.report ();
     Exp_complementary.report ();
     Exp_frequency.report ();
+    Exp_defects.report ();
   ]
 
 let print_all () =

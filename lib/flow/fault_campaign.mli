@@ -1,0 +1,143 @@
+(** Graceful-degradation fault campaign: simulate a lattice under every
+    circuit-level defect, classify the outcomes, and close the loop with
+    logical test generation and defect-aware remapping.
+
+    The campaign enumerates the single-defect universe of
+    {!Lattice_spice.Defects.single_defects} (plus optional randomly
+    sampled multi-defect combinations), builds the defective netlist for
+    every input state, and solves each DC operating point with
+    {!Lattice_spice.Dcop.solve_diag} — so a sample that refuses to
+    converge is {e classified}, never an exception, and carries the full
+    structured failure (failed strategy ladder, residual norm, worst
+    nodes).
+
+    {2 Outcome classes}
+
+    - [Functional]: every input state produces the boolean-correct output
+      with healthy noise margins;
+    - [Degraded]: boolean-correct, but some output level comes within
+      [noise_margin] volts of the [vdd/2] decision threshold;
+    - [Faulty]: at least one input state produces the wrong boolean
+      output; the offending vectors are recorded in [mismatches];
+    - [Non_convergent]: some state failed to solve (or the sample ran out
+      of Newton budget); [failure] holds the diagnostics.
+
+    {2 Budget semantics}
+
+    [budget.newton_per_sample] caps the {e total} Newton iterations one
+    sample may spend across all of its input states (every rung of every
+    fallback ladder counts). The cap is checked before each state's
+    solve; exhaustion classifies the sample [Non_convergent] with a
+    synthetic failure record, and the campaign moves on. This bounds the
+    runtime of a campaign whose pathological samples would otherwise
+    grind through the whole fallback ladder at every state.
+
+    {2 Detection and repair}
+
+    Each sample's circuit-level [mismatches] are cross-checked against
+    the logical test set of {!Lattice_synthesis.Faults.analyze}:
+    [detected_by] lists the test vectors that catch the defect at circuit
+    level. For detected single defects with a logical counterpart
+    (stuck-open = stuck-OFF, stuck-short = stuck-ON), the campaign remaps
+    the function around the pinned defect site with
+    {!Lattice_synthesis.Exhaustive.find_with_pins} — first in the
+    original fabric, then widening by up to [spare_cols] spare columns —
+    and re-verifies the remapped lattice at circuit level {e with the
+    defect still injected}. *)
+
+type classification = Functional | Degraded | Faulty | Non_convergent
+
+val classification_name : classification -> string
+
+type budget = { newton_per_sample : int }
+
+type options = {
+  config : Lattice_spice.Lattice_circuit.config;
+  params : Lattice_spice.Defects.params;
+  dc : Lattice_spice.Dcop.options;
+  budget : budget;
+  noise_margin : float;  (** V from [vdd/2] below which a level is degraded (default 0.15) *)
+  classes : Lattice_spice.Defects.kind_class list;  (** universe restriction (default: all) *)
+  multi_defect_samples : int;  (** sampled multi-defect combos (default 0) *)
+  multi_defect_order : int;  (** defects per combo (default 2) *)
+  seed : int;  (** RNG seed for multi-defect sampling (default 42) *)
+  attempt_repair : bool;  (** remap detected structural defects (default true) *)
+  spare_cols : int;  (** extra columns the remapper may use (default 1) *)
+}
+
+val default_options : options
+
+type sample = {
+  defects : Lattice_spice.Defects.t list;
+  classification : classification;
+  worst_v_low : float;  (** highest output voltage over the logic-low states *)
+  worst_v_high : float;  (** lowest output voltage over the logic-high states ([infinity] if none) *)
+  mismatches : int list;  (** input vectors with the wrong boolean output *)
+  detected_by : int list;  (** logical test vectors among [mismatches] *)
+  failure : Lattice_spice.Dcop.failure option;  (** present iff [Non_convergent] *)
+  newton_iterations : int;  (** total spent across the sample's states *)
+}
+
+(** [simulate grid ~target ~test_set defects] runs one sample: the grid
+    with [defects] injected, DC-solved over all [2^nvars] input states
+    under the Newton budget. Never raises on convergence trouble. *)
+val simulate :
+  ?options:options ->
+  Lattice_core.Grid.t ->
+  target:Lattice_boolfn.Truthtable.t ->
+  test_set:int list ->
+  Lattice_spice.Defects.t list ->
+  sample
+
+val logical_of_defect :
+  Lattice_spice.Defects.t -> Lattice_synthesis.Faults.fault option
+(** The logical fault a circuit defect projects to: stuck-open is
+    stuck-OFF, stuck-short is stuck-ON, the analog defect kinds have no
+    logical counterpart. *)
+
+(** [verify_with_defects grid ~target ~defects] checks every input state
+    boolean-correct at circuit level with the defects injected (treating
+    any convergence failure as incorrect). *)
+val verify_with_defects :
+  ?options:options ->
+  Lattice_core.Grid.t ->
+  target:Lattice_boolfn.Truthtable.t ->
+  defects:Lattice_spice.Defects.t list ->
+  bool
+
+type repair = {
+  defect : Lattice_spice.Defects.t;
+  fault : Lattice_synthesis.Faults.fault;
+  remapped : Lattice_core.Grid.t option;  (** [None] when no remapping exists in the window *)
+  spare_cols_used : int;
+  reverified : bool;  (** circuit-level re-verification with the defect injected *)
+}
+
+type class_counts = {
+  functional : int;
+  degraded : int;
+  faulty : int;
+  non_convergent : int;
+}
+
+type report = {
+  samples : sample array;  (** single-defect samples first, then multi-defect combos *)
+  counts : class_counts;
+  logical : Lattice_synthesis.Faults.analysis;
+  test_set : int list;
+  detected : int;  (** samples caught by the test set (non-convergent count as caught) *)
+  silent : int;  (** faulty or degraded samples the logical test set misses *)
+  repairs : repair list;
+  total_newton : int;
+}
+
+(** [run ?options ?universe grid ~target] runs the whole campaign.
+    [universe] overrides the enumerated single-defect list (the
+    multi-defect combos are sampled from it too). Continues past every
+    failure; the only exceptions raised are argument errors. *)
+val run :
+  ?options:options ->
+  ?universe:Lattice_spice.Defects.t list ->
+  Lattice_core.Grid.t ->
+  target:Lattice_boolfn.Truthtable.t ->
+  report

@@ -1,5 +1,6 @@
 module Vec = Lattice_numerics.Vec
 module Lu = Lattice_numerics.Lu
+module Matrix = Lattice_numerics.Matrix
 module Sparse = Lattice_numerics.Sparse
 
 exception Convergence_failure of string
@@ -29,6 +30,56 @@ let default_options =
     engine = Auto;
   }
 
+type strategy =
+  | Plain
+  | Gmin_stepping
+  | Source_stepping
+  | Damped_plain
+  | Damped_gmin
+  | Damped_source
+  | Gshunt_ramp
+
+let strategy_index = function
+  | Plain -> 0
+  | Gmin_stepping -> 1
+  | Source_stepping -> 2
+  | Damped_plain -> 3
+  | Damped_gmin -> 4
+  | Damped_source -> 5
+  | Gshunt_ramp -> 6
+
+let strategy_name = function
+  | Plain -> "plain"
+  | Gmin_stepping -> "gmin-stepping"
+  | Source_stepping -> "source-stepping"
+  | Damped_plain -> "damped"
+  | Damped_gmin -> "damped-gmin"
+  | Damped_source -> "damped-source"
+  | Gshunt_ramp -> "gshunt-ramp"
+
+type diagnostics = {
+  strategy : strategy;
+  attempts : (strategy * int) list;
+  newton_iterations : int;
+}
+
+type failure = {
+  message : string;
+  attempts : (strategy * int) list;
+  residual_norm : float;
+  worst_nodes : (string * float) list;
+}
+
+let pp_failure f =
+  let ladder =
+    String.concat ", "
+      (List.map (fun (s, k) -> Printf.sprintf "%s:%d" (strategy_name s) k) f.attempts)
+  in
+  let nodes =
+    String.concat ", " (List.map (fun (n, r) -> Printf.sprintf "%s (%.3g A)" n r) f.worst_nodes)
+  in
+  Printf.sprintf "%s [ladder %s; |r|=%.3g; worst %s]" f.message ladder f.residual_norm nodes
+
 (* Below this many unknowns the dense path wins: the compiled plan and
    symbolic analysis don't pay for themselves, and dense LU on a handful
    of rows is cache-resident anyway. *)
@@ -54,8 +105,33 @@ let converged options x_old x_new =
 
 let bump = function None -> () | Some r -> incr r
 
+(* KCL residual of the nonlinear system at [x]: the companion
+   linearization A(x) x' = b(x) is exact at its own expansion point, so
+   r = A(x) x - b(x) is the true device-equation residual. Dense assembly
+   is fine here — this only runs on the (cold) failure path. *)
+let residual_report ?(time = 0.0) ?(gmin = default_options.gmin_final) ?(gshunt = 0.0)
+    ?(source_scale = 1.0) ?(caps = None) ?(worst = 3) netlist ~x =
+  let a, b = Mna.stamp netlist ~x ~time ~gmin ~gshunt ~source_scale ~caps in
+  let r = Matrix.mat_vec a x in
+  let n = Array.length r in
+  let norm = ref 0.0 in
+  for i = 0 to n - 1 do
+    r.(i) <- r.(i) -. b.(i);
+    norm := Float.max !norm (Float.abs r.(i))
+  done;
+  let nnodes = Netlist.num_nodes netlist in
+  let nodes = List.init nnodes (fun i -> (i, Float.abs r.(i))) in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) nodes in
+  let rec take k = function
+    | (i, v) :: rest when k > 0 && v > 0.0 ->
+      (Netlist.node_name netlist (i + 1), v) :: take (k - 1) rest
+    | _ -> []
+  in
+  (!norm, take worst sorted)
+
 (* Newton over the compiled sparse plan: allocation-free after the
-   plan's first factorization (all buffers are plan-owned). *)
+   plan's first factorization (all buffers are plan-owned). On failure
+   the last iterate is left in [dst] for the caller's diagnostics. *)
 let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
     ~nnodes =
   let n = Stamp_plan.n plan in
@@ -65,13 +141,16 @@ let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps
   let k = ref 0 in
   let done_ = ref false in
   while not !done_ do
-    if !k >= options.max_iterations then
+    if !k >= options.max_iterations then begin
+      Array.blit x 0 dst 0 n;
       raise
-        (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" !k));
+        (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" !k))
+    end;
     bump iter_count;
     Stamp_plan.assemble plan ~x;
     (try Stamp_plan.factor_and_solve plan
      with Sparse.Singular col ->
+       Array.blit x 0 dst 0 n;
        raise (Convergence_failure (Printf.sprintf "singular MNA matrix at column %d" col)));
     Array.blit (Stamp_plan.rhs plan) 0 x_new 0 n;
     (* limit per-step voltage change to keep the level-1 model in range *)
@@ -94,14 +173,17 @@ let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~ca
   let n = Netlist.unknowns netlist in
   let x = Vec.copy x0 in
   let rec iterate k =
-    if k >= options.max_iterations then
-      raise (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" k));
+    if k >= options.max_iterations then begin
+      Array.blit x 0 dst 0 n;
+      raise (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" k))
+    end;
     bump iter_count;
     let a, b = Mna.stamp netlist ~x ~time ~gmin ~gshunt ~source_scale ~caps in
     let x_new =
       match Lu.factor a with
       | f -> Lu.solve f b
       | exception Lu.Singular col ->
+        Array.blit x 0 dst 0 n;
         raise (Convergence_failure (Printf.sprintf "singular MNA matrix at column %d" col))
     in
     for i = 0 to nnodes - 1 do
@@ -139,30 +221,49 @@ let newton ?gshunt ?plan ?iter_count netlist ~options ~x0 ~time ~gmin ~source_sc
   in
   (dst, iters)
 
-let solve ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
+let last_diag : (diagnostics, failure) result option ref = ref None
+
+let last_solve_diagnostics () = !last_diag
+
+let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
   let n = Netlist.unknowns netlist in
-  if n = 0 then [||]
+  if n = 0 then begin
+    let d = { strategy = Plain; attempts = []; newton_iterations = 0 } in
+    last_diag := Some (Ok d);
+    Ok ([||], d)
+  end
   else begin
     let plan = match plan with Some _ as p -> p | None -> plan_for options netlist in
     let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.zeros n in
-    let newton ?gshunt netlist ~options ~x0 ~gmin ~source_scale =
-      fst (newton ?gshunt ?plan netlist ~options ~x0 ~time ~gmin ~source_scale ~caps:None)
+    (* last Newton iterate of the most recent failed attempt, for the
+       failure diagnostics *)
+    let last_x = Vec.copy x0 in
+    let run_newton ?gshunt ~options ~count ~x0 ~gmin ~source_scale () =
+      let dst = Array.make n 0.0 in
+      (try
+         ignore
+           (newton_into ?gshunt ?plan ~iter_count:count netlist ~options ~x0 ~dst ~time ~gmin
+              ~source_scale ~caps:None)
+       with Convergence_failure _ as e ->
+         Array.blit dst 0 last_x 0 n;
+         raise e);
+      dst
     in
-    let attempt_plain options () =
-      newton netlist ~options ~x0 ~gmin:options.gmin_final ~source_scale:1.0
+    let attempt_plain options count () =
+      run_newton ~options ~count ~x0 ~gmin:options.gmin_final ~source_scale:1.0 ()
     in
-    let attempt_gmin options () =
+    let attempt_gmin options count () =
       let x = ref (Vec.copy x0) in
       List.iter
-        (fun gmin -> x := newton netlist ~options ~x0:!x ~gmin ~source_scale:1.0)
+        (fun gmin -> x := run_newton ~options ~count ~x0:!x ~gmin ~source_scale:1.0 ())
         options.gmin_steps;
-      newton netlist ~options ~x0:!x ~gmin:options.gmin_final ~source_scale:1.0
+      run_newton ~options ~count ~x0:!x ~gmin:options.gmin_final ~source_scale:1.0 ()
     in
-    let attempt_source options () =
+    let attempt_source options count () =
       let x = ref (Vec.copy x0) in
       for k = 1 to options.source_steps do
         let scale = float_of_int k /. float_of_int options.source_steps in
-        x := newton netlist ~options ~x0:!x ~gmin:options.gmin_final ~source_scale:scale
+        x := run_newton ~options ~count ~x0:!x ~gmin:options.gmin_final ~source_scale:scale ()
       done;
       !x
     in
@@ -176,29 +277,55 @@ let solve ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
        a node left floating by OFF switches has no zero-shunt operating
        point, and the residual bias (~fA) sits far below the device leakage
        floor. *)
-    let attempt_gshunt options () =
+    let attempt_gshunt options count () =
       let x = ref (Vec.copy x0) in
       List.iter
         (fun gshunt ->
-          x := newton ~gshunt netlist ~options ~x0:!x ~gmin:options.gmin_final ~source_scale:1.0)
+          x := run_newton ~gshunt ~options ~count ~x0:!x ~gmin:options.gmin_final ~source_scale:1.0 ())
         [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; 1e-12 ];
       !x
     in
-    let rec first_success = function
-      | [] -> raise (Convergence_failure "all DC strategies failed")
-      | attempt :: rest -> (
-        match attempt () with
-        | x -> x
-        | exception Convergence_failure _ -> first_success rest)
-    in
-    first_success
+    let ladder =
       [
-        attempt_plain options;
-        attempt_gmin options;
-        attempt_source options;
-        attempt_plain damped;
-        attempt_gmin damped;
-        attempt_source damped;
-        attempt_gshunt damped;
+        (Plain, attempt_plain options);
+        (Gmin_stepping, attempt_gmin options);
+        (Source_stepping, attempt_source options);
+        (Damped_plain, attempt_plain damped);
+        (Damped_gmin, attempt_gmin damped);
+        (Damped_source, attempt_source damped);
+        (Gshunt_ramp, attempt_gshunt damped);
       ]
+    in
+    let attempts = ref [] in
+    let total () = List.fold_left (fun acc (_, k) -> acc + k) 0 !attempts in
+    let rec try_ladder last_msg = function
+      | [] ->
+        let residual_norm, worst_nodes =
+          residual_report netlist ~x:last_x ~time ~gmin:options.gmin_final
+        in
+        let f =
+          { message = last_msg; attempts = List.rev !attempts; residual_norm; worst_nodes }
+        in
+        last_diag := Some (Error f);
+        Error f
+      | (tag, attempt) :: rest -> (
+        let count = ref 0 in
+        match attempt count () with
+        | x ->
+          attempts := (tag, !count) :: !attempts;
+          let d =
+            { strategy = tag; attempts = List.rev !attempts; newton_iterations = total () }
+          in
+          last_diag := Some (Ok d);
+          Ok (x, d)
+        | exception Convergence_failure msg ->
+          attempts := (tag, !count) :: !attempts;
+          try_ladder msg rest)
+    in
+    try_ladder "no strategy attempted" ladder
   end
+
+let solve ?options ?plan ?x0 ?time netlist =
+  match solve_diag ?options ?plan ?x0 ?time netlist with
+  | Ok (x, _) -> x
+  | Error f -> raise (Convergence_failure ("all DC strategies failed: " ^ pp_failure f))

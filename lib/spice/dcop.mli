@@ -1,6 +1,12 @@
 (** DC operating-point analysis: damped Newton-Raphson with gmin stepping
     and a source-stepping fallback, over either the compiled sparse MNA
-    engine ({!Stamp_plan}) or the dense reference engine. *)
+    engine ({!Stamp_plan}) or the dense reference engine.
+
+    Two entry points compute the operating point: {!solve_diag} returns a
+    structured [result] carrying per-strategy diagnostics (and, on
+    failure, the residual norm and worst offending nodes), while the
+    legacy {!solve} is a thin wrapper that raises
+    [Convergence_failure]. *)
 
 exception Convergence_failure of string
 
@@ -24,6 +30,46 @@ type options = {
 
 val default_options : options
 
+(** One rung of the fallback ladder, in the order {!solve_diag} tries
+    them: plain Newton, gmin stepping, source stepping, the same three
+    heavily damped, then the node-shunt continuation. *)
+type strategy =
+  | Plain
+  | Gmin_stepping
+  | Source_stepping
+  | Damped_plain
+  | Damped_gmin
+  | Damped_source
+  | Gshunt_ramp
+
+val strategy_index : strategy -> int
+(** Position of the strategy in the ladder (0 = [Plain] .. 6 =
+    [Gshunt_ramp]). *)
+
+val strategy_name : strategy -> string
+
+type diagnostics = {
+  strategy : strategy;  (** the rung that converged *)
+  attempts : (strategy * int) list;
+      (** every rung tried, in order, with the Newton iterations it
+          spent — failed rungs included, the winning rung last *)
+  newton_iterations : int;  (** total across all attempts *)
+}
+
+type failure = {
+  message : string;  (** the last rung's failure message *)
+  attempts : (strategy * int) list;
+      (** the full failed ladder with per-rung Newton iterations *)
+  residual_norm : float;
+      (** inf-norm of the KCL residual (A) at the last Newton iterate *)
+  worst_nodes : (string * float) list;
+      (** up to 3 node names with the largest residual currents *)
+}
+
+val pp_failure : failure -> string
+(** One-line rendering of a failure: message, ladder, residual, worst
+    nodes. *)
+
 val sparse_threshold : int
 (** Unknown-count at which [Auto] switches from dense LU to the compiled
     sparse engine. *)
@@ -32,6 +78,21 @@ val plan_for : options -> Netlist.t -> Stamp_plan.t option
 (** The stamp plan the given options would use for this netlist (compiled
     fresh), or [None] for the dense engine. Callers running many solves
     (transient, sweeps) compile once and pass the plan back in. *)
+
+val residual_report :
+  ?time:float ->
+  ?gmin:float ->
+  ?gshunt:float ->
+  ?source_scale:float ->
+  ?caps:Mna.cap_companion option ->
+  ?worst:int ->
+  Netlist.t ->
+  x:Lattice_numerics.Vec.t ->
+  float * (string * float) list
+(** [residual_report netlist ~x] evaluates the KCL residual of the
+    nonlinear MNA system at [x] under the given stamping context and
+    returns its inf-norm plus the [worst] (default 3) node names ranked
+    by residual current — the structured payload of {!failure}. *)
 
 (** [newton netlist ~options ~x0 ~time ~gmin ~source_scale ~caps] runs
     plain Newton at a fixed continuation point ([gshunt] adds a
@@ -57,7 +118,9 @@ val newton :
 (** [newton_into ... ~x0 ~dst ...] is {!newton} writing the solution into
     the caller-supplied [dst] (length = unknowns; may alias [x0]) and
     returning only the iteration count. With a warm [plan] this performs
-    no allocation at all — the transient inner loop runs on it. *)
+    no allocation at all — the transient inner loop runs on it. When it
+    raises [Convergence_failure], [dst] holds the last Newton iterate,
+    so callers can produce residual diagnostics at the failure point. *)
 val newton_into :
   ?gshunt:float ->
   ?plan:Stamp_plan.t ->
@@ -72,10 +135,23 @@ val newton_into :
   caps:Mna.cap_companion option ->
   int
 
-(** [solve ?options ?plan ?x0 ?time netlist] computes the operating point
-    at [time] (default 0). Strategy ladder: plain Newton, gmin stepping,
-    source stepping, the same three heavily damped, then a node-shunt
-    continuation. Raises [Convergence_failure] if everything fails. *)
+(** [solve_diag ?options ?plan ?x0 ?time netlist] computes the operating
+    point at [time] (default 0) and never raises on convergence trouble:
+    [Ok (x, diagnostics)] tells which rung of the fallback ladder won and
+    what each rung cost; [Error failure] carries the failed ladder, the
+    residual norm and the worst offending nodes. *)
+val solve_diag :
+  ?options:options ->
+  ?plan:Stamp_plan.t ->
+  ?x0:Lattice_numerics.Vec.t ->
+  ?time:float ->
+  Netlist.t ->
+  (Lattice_numerics.Vec.t * diagnostics, failure) result
+
+(** [solve ?options ?plan ?x0 ?time netlist] is the legacy wrapper over
+    {!solve_diag}: returns the solution vector alone and raises
+    [Convergence_failure] (with the rendered {!failure}) if every
+    strategy fails. *)
 val solve :
   ?options:options ->
   ?plan:Stamp_plan.t ->
@@ -83,3 +159,9 @@ val solve :
   ?time:float ->
   Netlist.t ->
   Lattice_numerics.Vec.t
+
+val last_solve_diagnostics : unit -> (diagnostics, failure) result option
+(** Diagnostics of the most recent {!solve} / {!solve_diag} in this
+    process — how legacy callers of {!solve} observe the winning
+    strategy (via {!strategy_index}) and per-rung iteration counts
+    without changing their call sites. Process-global; not thread-safe. *)

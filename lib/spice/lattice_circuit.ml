@@ -26,6 +26,28 @@ type t = {
   config : config;
 }
 
+type site = {
+  row : int;
+  col : int;
+  name : string;
+  north : Netlist.node;
+  east : Netlist.node;
+  south : Netlist.node;
+  west : Netlist.node;
+  gate : Netlist.node;
+  types : Fts.mosfet_types;
+  terminal_cap : float;
+  gate_cap : float;
+}
+
+type site_hook = Netlist.t -> site -> bool
+
+let site_terminal site = function
+  | `North -> site.north
+  | `East -> site.east
+  | `South -> site.south
+  | `West -> site.west
+
 let input_node_name v = Printf.sprintf "in_%d" v
 let input_bar_node_name v = Printf.sprintf "in_%d_bar" v
 
@@ -72,7 +94,8 @@ let add_input_drivers ckt config grids ~stimulus =
    with h(0, c) the top plate and h(rows, c) the bottom plate; vertical
    boundary v(r, c) between columns c-1 and c at row r; v(r, 0) and
    v(r, cols) dangle. *)
-let instantiate_lattice ?types_of_site ckt config grid ~prefix ~top ~bottom ~vdd_node =
+let instantiate_lattice ?types_of_site ?site_hook ckt (config : config) grid ~prefix ~top
+    ~bottom ~vdd_node =
   let rows = grid.Grid.rows and cols = grid.Grid.cols in
   let types_at r c =
     match types_of_site with None -> config.types | Some f -> f r c
@@ -92,14 +115,30 @@ let instantiate_lattice ?types_of_site ckt config grid ~prefix ~top ~bottom ~vdd
         | Grid.Lit (v, true) -> Netlist.node ckt (input_node_name v)
         | Grid.Lit (v, false) -> Netlist.node ckt (input_bar_node_name v)
       in
-      Fts.instantiate ckt
-        ~name:(Printf.sprintf "%s.X_%d_%d" prefix r c)
-        ~north:(hnode r c) ~east:(vnode r (c + 1)) ~south:(hnode (r + 1) c) ~west:(vnode r c)
-        ~gate ~terminal_cap:config.terminal_cap ~gate_cap:config.gate_cap (types_at r c)
+      let site =
+        {
+          row = r;
+          col = c;
+          name = Printf.sprintf "%s.X_%d_%d" prefix r c;
+          north = hnode r c;
+          east = vnode r (c + 1);
+          south = hnode (r + 1) c;
+          west = vnode r c;
+          gate;
+          types = types_at r c;
+          terminal_cap = config.terminal_cap;
+          gate_cap = config.gate_cap;
+        }
+      in
+      let handled = match site_hook with None -> false | Some hook -> hook ckt site in
+      if not handled then
+        Fts.instantiate ckt ~name:site.name ~north:site.north ~east:site.east ~south:site.south
+          ~west:site.west ~gate:site.gate ~terminal_cap:site.terminal_cap
+          ~gate_cap:site.gate_cap site.types
     done
   done
 
-let build ?(config = default_config) ?types_of_site grid ~stimulus =
+let build ?(config = default_config) ?types_of_site ?site_hook grid ~stimulus =
   let ckt = Netlist.create () in
   let vdd_node = Netlist.node ckt "vdd" in
   Netlist.vsource ckt "VDD" vdd_node Netlist.ground (Source.Dc config.vdd);
@@ -107,11 +146,12 @@ let build ?(config = default_config) ?types_of_site grid ~stimulus =
   Netlist.resistor ckt "Rpull" vdd_node out config.pullup_ohms;
   Netlist.capacitor ckt "Cout" out Netlist.ground config.output_cap;
   let nvars = add_input_drivers ckt config [ grid ] ~stimulus in
-  instantiate_lattice ?types_of_site ckt config grid ~prefix:"pd" ~top:out ~bottom:Netlist.ground
-    ~vdd_node;
+  instantiate_lattice ?types_of_site ?site_hook ckt config grid ~prefix:"pd" ~top:out
+    ~bottom:Netlist.ground ~vdd_node;
   { netlist = ckt; output_node = "out"; input_nodes = Array.init nvars input_node_name; config }
 
-let build_complementary ?(config = default_config) ~pull_up ~pull_down ~stimulus () =
+let build_complementary ?(config = default_config) ?site_hook ~pull_up ~pull_down ~stimulus ()
+    =
   let ckt = Netlist.create () in
   let vdd_node = Netlist.node ckt "vdd" in
   Netlist.vsource ckt "VDD" vdd_node Netlist.ground (Source.Dc config.vdd);
@@ -120,6 +160,8 @@ let build_complementary ?(config = default_config) ~pull_up ~pull_down ~stimulus
   let nvars = add_input_drivers ckt config [ pull_up; pull_down ] ~stimulus in
   (* pull-up lattice between VDD and the output, pull-down between the
      output and ground *)
-  instantiate_lattice ckt config pull_up ~prefix:"pu" ~top:vdd_node ~bottom:out ~vdd_node;
-  instantiate_lattice ckt config pull_down ~prefix:"pd" ~top:out ~bottom:Netlist.ground ~vdd_node;
+  instantiate_lattice ?site_hook ckt config pull_up ~prefix:"pu" ~top:vdd_node ~bottom:out
+    ~vdd_node;
+  instantiate_lattice ?site_hook ckt config pull_down ~prefix:"pd" ~top:out
+    ~bottom:Netlist.ground ~vdd_node;
   { netlist = ckt; output_node = "out"; input_nodes = Array.init nvars input_node_name; config }

@@ -38,18 +38,50 @@ val input_node_name : int -> string
 
 val input_bar_node_name : int -> string
 
-(** [build ?config ?types_of_site grid ~stimulus] generates the netlist.
-    [stimulus v] is the waveform of variable [v]; its complement driver
-    gets [complement config.vdd (stimulus v)] automatically (vdd minus the
-    waveform, realized for DC and pulse sources). [types_of_site row col]
-    overrides the switch models per site — the hook Monte-Carlo process
-    variation uses.
+(** Everything the builder knows about one lattice site just before it
+    instantiates the four-terminal switch there: position, instance name,
+    the four shared terminal nodes, the resolved gate driver and switch
+    models, and the capacitor configuration. Handed to {!site_hook}. *)
+type site = {
+  row : int;
+  col : int;
+  name : string;  (** instance prefix, e.g. ["pd.X_1_2"] *)
+  north : Netlist.node;
+  east : Netlist.node;
+  south : Netlist.node;
+  west : Netlist.node;
+  gate : Netlist.node;
+  types : Fts.mosfet_types;  (** after any [types_of_site] override *)
+  terminal_cap : float;
+  gate_cap : float;
+}
+
+(** A per-site generation hook, the generalized injection point the
+    defect layer ({!Defects}) builds on. The hook runs once per site,
+    {e before} the default switch is instantiated; it may add arbitrary
+    extra elements (bridges, leaks) and returns [true] to signal that it
+    instantiated the site itself — suppressing the default
+    {!Fts.instantiate} — or [false] to let the default proceed. *)
+type site_hook = Netlist.t -> site -> bool
+
+val site_terminal : site -> [ `North | `East | `South | `West ] -> Netlist.node
+(** The node of one of a site's four terminals. *)
+
+(** [build ?config ?types_of_site ?site_hook grid ~stimulus] generates the
+    netlist. [stimulus v] is the waveform of variable [v]; its complement
+    driver gets [complement config.vdd (stimulus v)] automatically (vdd
+    minus the waveform, realized for DC and pulse sources).
+    [types_of_site row col] overrides the switch models per site — the
+    hook Monte-Carlo process variation uses. [site_hook] intercepts
+    per-site instantiation (see {!site_hook}) — the hook circuit-level
+    fault injection uses.
 
     Complement drivers are only added when some site mentions the negated
     literal. *)
 val build :
   ?config:config ->
   ?types_of_site:(int -> int -> Fts.mosfet_types) ->
+  ?site_hook:site_hook ->
   Lattice_core.Grid.t ->
   stimulus:(int -> Source.t) ->
   t
@@ -62,9 +94,13 @@ val build :
     output rise is driven actively instead of through the 500 k resistor.
     The logic-high level is degraded by roughly one threshold voltage
     because the pass network is n-type — the paper's proposal shares this
-    property until a p-type four-terminal switch exists. *)
+    property until a p-type four-terminal switch exists.
+
+    [site_hook] runs over the sites of {e both} lattices; the site's
+    [name] prefix (["pu."] / ["pd."]) distinguishes them. *)
 val build_complementary :
   ?config:config ->
+  ?site_hook:site_hook ->
   pull_up:Lattice_core.Grid.t ->
   pull_down:Lattice_core.Grid.t ->
   stimulus:(int -> Source.t) ->

@@ -55,6 +55,10 @@ let node t name =
     store_name t id name;
     id
 
+let find_node t name =
+  let name = if name = "gnd" || name = "GND" then "0" else name in
+  Hashtbl.find_opt t.names name
+
 let fresh_node t prefix =
   t.fresh_counter <- t.fresh_counter + 1;
   node t (Printf.sprintf "%s#%d" prefix t.fresh_counter)

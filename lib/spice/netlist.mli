@@ -30,6 +30,11 @@ val create : unit -> t
     ["0"], ["gnd"] and ["GND"] are the ground node. *)
 val node : t -> string -> node
 
+(** [find_node t name] looks a node up {e without} creating it — the
+    read-only counterpart of {!node}, for diagnostics and probes that
+    must not grow the circuit. *)
+val find_node : t -> string -> node option
+
 (** [fresh_node t prefix] creates an anonymous internal node. *)
 val fresh_node : t -> string -> node
 

@@ -5,7 +5,11 @@
     models; the first step after DC always uses backward Euler (no history
     for the trapezoidal rule), subsequent steps use the selected
     integrator. On a Newton failure the step is retried with halved step
-    size (up to [max_step_halvings]). *)
+    size (up to [max_step_halvings]).
+
+    {!run_diag} returns a structured outcome carrying step statistics and,
+    on failure, a {!Dcop.failure} diagnostic; the legacy {!run} is a thin
+    wrapper raising [Dcop.Convergence_failure]. *)
 
 type integrator = Backward_euler | Trapezoidal
 
@@ -17,6 +21,15 @@ type options = {
 
 val default_options : options
 
+type step_stats = {
+  dc_strategy : Dcop.strategy option;
+      (** winning fallback strategy of the initial operating point
+          ([None] only when the OP itself failed) *)
+  steps_taken : int;  (** accepted solver steps, halved micro-steps included *)
+  halvings : int;  (** step-halving events across the run *)
+  min_dt : float;  (** smallest step actually taken *)
+}
+
 type result = {
   times : float array;
   node_names : string array;  (** recorded nodes, in request order *)
@@ -27,6 +40,18 @@ type result = {
   newton_iterations_total : int;
       (** Newton iterations spent across every step, including iterations
           inside attempts that failed and were retried at a halved step. *)
+  stats : step_stats;
+}
+
+(** Why and where a run stopped: the failing interval and the structured
+    DC diagnostic (residual norm, worst nodes) of the step that exhausted
+    its halvings. *)
+type failure = {
+  at_time : float;  (** start of the step that could not be taken *)
+  dt : float;  (** its (already halved) step size *)
+  newton_iterations_total : int;  (** iterations spent before giving up *)
+  stats : step_stats;
+  dc_failure : Dcop.failure;
 }
 
 (** [signal result name] fetches a recorded node waveform. Raises
@@ -37,9 +62,29 @@ val signal : result -> string -> float array
     [Invalid_argument] naming the unknown source and the recorded names. *)
 val branch_current : result -> string -> float array
 
-(** [run ?options netlist ~h ~t_stop ~record ?record_currents ()] simulates
-    from 0 to [t_stop] with step [h], recording the named nodes and the
-    branch currents of the named voltage sources. *)
+val sample_times : h:float -> t_stop:float -> float array
+(** The time grid [run] simulates: uniform steps of [h], with the final
+    sample pinned to exactly [t_stop]. When [t_stop] is not an integer
+    multiple of [h] (beyond 1e-6 relative tolerance) the grid gains one
+    final {e partial} step instead of silently rounding the duration. *)
+
+(** [run_diag ?options netlist ~h ~t_stop ~record ?record_currents ()]
+    simulates from 0 to [t_stop] with step [h] and never raises on
+    convergence trouble: [Error failure] pinpoints the failing step and
+    carries the residual diagnostics. *)
+val run_diag :
+  ?options:options ->
+  Netlist.t ->
+  h:float ->
+  t_stop:float ->
+  record:string list ->
+  ?record_currents:string list ->
+  unit ->
+  (result, failure) Stdlib.result
+
+(** [run ?options netlist ~h ~t_stop ~record ?record_currents ()] is the
+    legacy wrapper over {!run_diag}: returns the result alone and raises
+    [Dcop.Convergence_failure] with the rendered diagnostic on failure. *)
 val run :
   ?options:options ->
   Netlist.t ->

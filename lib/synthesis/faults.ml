@@ -31,6 +31,10 @@ let detecting_vectors grid fault =
 
 let is_detectable grid fault = detecting_vectors grid fault <> []
 
+let detects grid fault vector =
+  let faulty = inject grid fault in
+  not (Bool.equal (Conn.eval grid vector) (Conn.eval faulty vector))
+
 type analysis = {
   total : int;
   detectable : int;

@@ -34,6 +34,10 @@ val detecting_vectors : Lattice_core.Grid.t -> fault -> int list
 (** [is_detectable grid fault] is [detecting_vectors grid fault <> []]. *)
 val is_detectable : Lattice_core.Grid.t -> fault -> bool
 
+(** [detects grid fault vector] checks one vector against one fault without
+    materializing the full detecting-vector list. *)
+val detects : Lattice_core.Grid.t -> fault -> int -> bool
+
 type analysis = {
   total : int;
   detectable : int;

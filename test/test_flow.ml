@@ -147,6 +147,204 @@ let test_mc_deterministic_seed () =
   Alcotest.(check (float 1e-12)) "same yield" a.Mc.yield b.Mc.yield;
   Alcotest.(check (float 1e-12)) "same mean" a.Mc.v_low_mean b.Mc.v_low_mean
 
+let test_mc_bit_identical () =
+  (* same seed: not merely close — bit-identical yield and outcome array *)
+  let run () =
+    Mc.run Lattice_synthesis.Library.maj3_2x3 ~target:(Tt.majority_n 3) ~samples:8 ~seed:1234
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical yield" true (Float.equal a.Mc.yield b.Mc.yield);
+  Alcotest.(check int) "same outcome count" (Array.length a.Mc.outcomes)
+    (Array.length b.Mc.outcomes);
+  Array.iteri
+    (fun i (oa : Mc.outcome) ->
+      let ob = b.Mc.outcomes.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "outcome %d identical" i)
+        true
+        (Bool.equal oa.Mc.functional ob.Mc.functional
+        && Float.equal oa.Mc.worst_v_low ob.Mc.worst_v_low
+        && Float.equal oa.Mc.worst_v_high ob.Mc.worst_v_high))
+    a.Mc.outcomes
+
+(* --- Fault campaign ------------------------------------------------------- *)
+
+module Fc = Lattice_flow.Fault_campaign
+module Defects = Lattice_spice.Defects
+module Grid = Lattice_core.Grid
+
+let check_report_sane (r : Fc.report) =
+  let n = Array.length r.Fc.samples in
+  Alcotest.(check int) "every sample classified"
+    n
+    (r.Fc.counts.Fc.functional + r.Fc.counts.Fc.degraded + r.Fc.counts.Fc.faulty
+   + r.Fc.counts.Fc.non_convergent);
+  Array.iter
+    (fun (s : Fc.sample) ->
+      (match s.Fc.classification with
+      | Fc.Non_convergent ->
+        (match s.Fc.failure with
+        | None -> Alcotest.fail "non-convergent sample without diagnostics"
+        | Some _ -> ())
+      | Fc.Functional | Fc.Degraded | Fc.Faulty ->
+        Alcotest.(check bool) "failure only on non-convergence" true (s.Fc.failure = None));
+      Alcotest.(check bool) "newton iterations recorded" true (s.Fc.newton_iterations >= 0);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "detected_by is a subset of mismatches" true
+            (List.mem v s.Fc.mismatches))
+        s.Fc.detected_by)
+    r.Fc.samples
+
+let test_campaign_xor3_full_universe () =
+  (* the whole 14-defects-per-site universe over the paper's XOR3 3x3:
+     must complete with zero uncaught exceptions and classify everything *)
+  let grid = Lattice_synthesis.Library.xor3_3x3 in
+  let options = { Fc.default_options with Fc.attempt_repair = false } in
+  let r = Fc.run ~options grid ~target:Lattice_synthesis.Library.xor3 in
+  Alcotest.(check int) "14 defects x 9 sites" 126 (Array.length r.Fc.samples);
+  check_report_sane r;
+  (* each structural stuck defect on a non-constant site flips some output *)
+  Alcotest.(check bool) "stuck defects produce faulty samples" true (r.Fc.counts.Fc.faulty >= 12);
+  (* the (1,1) site is the grid's constant-1: stuck-short there is masked *)
+  let masked =
+    Array.exists
+      (fun (s : Fc.sample) ->
+        s.Fc.defects = [ { Defects.row = 1; col = 1; kind = Defects.Stuck_short } ]
+        && s.Fc.classification = Fc.Functional)
+      r.Fc.samples
+  in
+  Alcotest.(check bool) "stuck-short on the const-1 site is masked" true masked;
+  (* logical cross-check: every faulty stuck-defect sample is caught by
+     the greedy logical test set *)
+  Array.iter
+    (fun (s : Fc.sample) ->
+      match s.Fc.defects with
+      | [ { Defects.kind = Defects.Stuck_open | Defects.Stuck_short; _ } ]
+        when s.Fc.classification = Fc.Faulty ->
+        Alcotest.(check bool) "stuck defect detected by test set" true (s.Fc.detected_by <> [])
+      | _ -> ())
+    r.Fc.samples
+
+let lattice_6x6_grid () =
+  (* same fixed 36-switch lattice the sparse-parity test drives *)
+  let entries =
+    Array.init 36 (fun i ->
+        let r = i / 6 and c = i mod 6 in
+        Grid.Lit ((r + c) mod 3, (r * c) mod 2 = 0))
+  in
+  Grid.create 6 6 entries
+
+let test_campaign_6x6 () =
+  (* a 36-switch lattice: the campaign must scale past toy sizes and stay
+     exception-free; the universe is restricted to the diagonal sites to
+     keep the runtime test-friendly *)
+  let grid = lattice_6x6_grid () in
+  let target = Tt.create 3 (fun m -> Lattice_core.Connectivity.eval grid m) in
+  let universe =
+    List.concat_map
+      (fun i ->
+        [
+          { Defects.row = i; col = i; kind = Defects.Stuck_open };
+          { Defects.row = i; col = i; kind = Defects.Stuck_short };
+        ])
+      [ 0; 1; 2; 3; 4; 5 ]
+    @ [ { Defects.row = 2; col = 3; kind = Defects.Bridge (Defects.North, Defects.East) } ]
+  in
+  let options =
+    { Fc.default_options with Fc.attempt_repair = false; multi_defect_samples = 3; seed = 99 }
+  in
+  let r = Fc.run ~options ~universe grid ~target in
+  Alcotest.(check int) "13 singles + 3 sampled combos" 16 (Array.length r.Fc.samples);
+  check_report_sane r;
+  Array.iteri
+    (fun i (s : Fc.sample) ->
+      if i >= 13 then
+        Alcotest.(check int) "sampled combos carry 2 defects" 2 (List.length s.Fc.defects))
+    r.Fc.samples
+
+let test_campaign_non_convergent_diagnostics () =
+  (* cripple the DC solver so every rung of the ladder fails: samples must
+     come back classified (not raised) with the full structured failure *)
+  let grid = Lattice_synthesis.Library.maj3_2x3 in
+  let options =
+    {
+      Fc.default_options with
+      Fc.dc = { Lattice_spice.Dcop.default_options with max_iterations = 1; damping = 1e-6 };
+      attempt_repair = false;
+    }
+  in
+  let universe = [ { Defects.row = 0; col = 0; kind = Defects.Gate_leak Defects.North } ] in
+  let r = Fc.run ~options ~universe grid ~target:(Tt.majority_n 3) in
+  check_report_sane r;
+  Alcotest.(check int) "all samples non-convergent" (Array.length r.Fc.samples)
+    r.Fc.counts.Fc.non_convergent;
+  Array.iter
+    (fun (s : Fc.sample) ->
+      match s.Fc.failure with
+      | None -> Alcotest.fail "missing diagnostics"
+      | Some f ->
+        Alcotest.(check int) "full 7-rung failed ladder" 7
+          (List.length f.Lattice_spice.Dcop.attempts);
+        Alcotest.(check bool) "residual norm positive" true
+          (Float.is_finite f.Lattice_spice.Dcop.residual_norm
+          && f.Lattice_spice.Dcop.residual_norm > 0.0);
+        Alcotest.(check bool) "worst nodes named" true
+          (f.Lattice_spice.Dcop.worst_nodes <> []))
+    r.Fc.samples
+
+let test_campaign_newton_budget () =
+  (* a tiny budget exhausts mid-sample: classified non-convergent with a
+     synthetic failure, never an exception *)
+  let grid = Lattice_synthesis.Library.maj3_2x3 in
+  let options =
+    { Fc.default_options with Fc.budget = { Fc.newton_per_sample = 5 }; attempt_repair = false }
+  in
+  let universe = [ { Defects.row = 0; col = 0; kind = Defects.Stuck_open } ] in
+  let r = Fc.run ~options ~universe grid ~target:(Tt.majority_n 3) in
+  check_report_sane r;
+  Alcotest.(check int) "budget exhaustion is non-convergent" 1 r.Fc.counts.Fc.non_convergent;
+  match r.Fc.samples.(0).Fc.failure with
+  | Some f ->
+    Alcotest.(check bool) "message names the budget" true
+      (String.length f.Lattice_spice.Dcop.message > 0
+      && f.Lattice_spice.Dcop.attempts = [])
+  | None -> Alcotest.fail "missing synthetic failure"
+
+let test_campaign_repair_stuck_open () =
+  (* the acceptance loop: a stuck-OPEN defect on the minimal maj3 lattice
+     is detected by the logical test set, remapped around the pinned site
+     (needs the spare column: the 2x3 fabric has no slack), and the
+     repaired lattice re-verifies at circuit level with the defect still
+     injected *)
+  let grid = Lattice_synthesis.Library.maj3_2x3 in
+  let universe =
+    [
+      { Defects.row = 0; col = 0; kind = Defects.Stuck_open };
+      { Defects.row = 1; col = 2; kind = Defects.Stuck_short };
+    ]
+  in
+  let r = Fc.run ~universe grid ~target:(Tt.majority_n 3) in
+  check_report_sane r;
+  Alcotest.(check int) "both defects repaired" 2 (List.length r.Fc.repairs);
+  let open_repair =
+    List.find (fun (rp : Fc.repair) -> rp.Fc.defect.Defects.kind = Defects.Stuck_open) r.Fc.repairs
+  in
+  Alcotest.(check bool) "stuck-open projects to logical stuck-OFF" true
+    (open_repair.Fc.fault.Lattice_synthesis.Faults.kind = Lattice_synthesis.Faults.Stuck_off);
+  (match open_repair.Fc.remapped with
+  | None -> Alcotest.fail "no remapping found for the stuck-open defect"
+  | Some g ->
+    Alcotest.(check int) "remap used the spare column" 4 g.Grid.cols;
+    Alcotest.(check bool) "pinned site is constant-0" true
+      (Grid.entry g 0 0 = Grid.Const false));
+  Alcotest.(check bool) "repaired lattice re-verified at circuit level" true
+    open_repair.Fc.reverified;
+  (* and verify_with_defects is honest: the unrepaired lattice fails it *)
+  Alcotest.(check bool) "defective original fails verification" false
+    (Fc.verify_with_defects grid ~target:(Tt.majority_n 3)
+       ~defects:[ { Defects.row = 0; col = 0; kind = Defects.Stuck_open } ])
+
 let () =
   Alcotest.run "flow"
     [
@@ -156,6 +354,17 @@ let () =
           Alcotest.test_case "zero variation" `Quick test_mc_zero_variation_is_nominal;
           Alcotest.test_case "extreme variation" `Slow test_mc_extreme_variation_kills_yield;
           Alcotest.test_case "deterministic seed" `Quick test_mc_deterministic_seed;
+          Alcotest.test_case "bit-identical outcomes" `Quick test_mc_bit_identical;
+        ] );
+      ( "fault_campaign",
+        [
+          Alcotest.test_case "XOR3 full universe" `Slow test_campaign_xor3_full_universe;
+          Alcotest.test_case "6x6 lattice" `Slow test_campaign_6x6;
+          Alcotest.test_case "non-convergent diagnostics" `Quick
+            test_campaign_non_convergent_diagnostics;
+          Alcotest.test_case "newton budget exhaustion" `Quick test_campaign_newton_budget;
+          Alcotest.test_case "stuck-open detect/remap/re-verify" `Quick
+            test_campaign_repair_stuck_open;
         ] );
       ( "optimizer",
         [

@@ -847,6 +847,251 @@ let test_ac_sparse_matches_dense () =
         1e-7 pd.Sp.Ac.phase_deg ps.Sp.Ac.phase_deg)
     rd.Sp.Ac.points rs.Sp.Ac.points
 
+(* --- Structured diagnostics ---------------------------------------------- *)
+
+let test_transient_partial_final_step () =
+  (* t_stop that is not a multiple of h: the grid gets one documented
+     partial final step landing exactly on t_stop *)
+  let ts = Sp.Transient.sample_times ~h:1e-9 ~t_stop:10.5e-9 in
+  Alcotest.(check int) "10 full steps + partial" 12 (Array.length ts);
+  check_close "last sample is t_stop" 1e-21 10.5e-9 ts.(Array.length ts - 1);
+  for k = 1 to Array.length ts - 1 do
+    Alcotest.(check bool) "strictly increasing" true (ts.(k) > ts.(k - 1))
+  done;
+  (* an exact multiple keeps the uniform grid *)
+  let ts = Sp.Transient.sample_times ~h:1e-9 ~t_stop:10e-9 in
+  Alcotest.(check int) "uniform grid" 11 (Array.length ts);
+  check_close "pinned to t_stop" 1e-21 10e-9 ts.(10);
+  (* rounding noise within relative tolerance does not grow an extra step *)
+  let ts = Sp.Transient.sample_times ~h:1e-9 ~t_stop:(10e-9 *. (1.0 +. 1e-9)) in
+  Alcotest.(check int) "near-multiple absorbed" 11 (Array.length ts);
+  (* and the physics is right on the padded grid: RC charge to analytic *)
+  let r = Sp.Transient.run (rc_circuit ()) ~h:20e-9 ~t_stop:2.51e-6 ~record:[ "out" ] () in
+  let times = r.Sp.Transient.times in
+  check_close "transient ends at t_stop" 1e-18 2.51e-6 times.(Array.length times - 1);
+  let v = (Sp.Transient.signal r "out").(Array.length times - 1) in
+  check_close "RC charge at partial step" 1e-3 (1.0 -. exp (-2.51e-6 /. 1e-6)) v
+
+let test_solve_diag_plain_wins () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" and b = Sp.Netlist.node ckt "b" in
+  Sp.Netlist.vsource ckt "V1" a Sp.Netlist.ground (Sp.Source.Dc 2.0);
+  Sp.Netlist.resistor ckt "R1" a b 1e3;
+  Sp.Netlist.resistor ckt "R2" b Sp.Netlist.ground 1e3;
+  match Sp.Dcop.solve_diag ckt with
+  | Error f -> Alcotest.fail ("divider failed: " ^ Sp.Dcop.pp_failure f)
+  | Ok (x, d) ->
+    check_close "divider voltage" 1e-9 1.0 (Sp.Mna.voltage x b);
+    Alcotest.(check bool) "plain Newton wins" true (d.Sp.Dcop.strategy = Sp.Dcop.Plain);
+    Alcotest.(check int) "strategy index 0" 0 (Sp.Dcop.strategy_index d.Sp.Dcop.strategy);
+    Alcotest.(check int) "one attempt" 1 (List.length d.Sp.Dcop.attempts);
+    Alcotest.(check bool) "iterations counted" true (d.Sp.Dcop.newton_iterations >= 1);
+    (match Sp.Dcop.last_solve_diagnostics () with
+    | Some (Ok d') ->
+      Alcotest.(check int) "legacy observer sees the win" 0
+        (Sp.Dcop.strategy_index d'.Sp.Dcop.strategy)
+    | _ -> Alcotest.fail "last_solve_diagnostics empty after solve_diag")
+
+(* a circuit no rung can solve in so few iterations: the vsource forces a
+   1.2 V jump but every Newton step is clamped to 1e-6 V *)
+let unsolvable_circuit () =
+  let ckt = Sp.Netlist.create () in
+  let vdd = Sp.Netlist.node ckt "vdd" and d = Sp.Netlist.node ckt "d" in
+  Sp.Netlist.vsource ckt "V1" vdd Sp.Netlist.ground (Sp.Source.Dc 1.2);
+  Sp.Netlist.resistor ckt "R1" vdd d 10e3;
+  Sp.Netlist.mosfet ckt "M1" ~drain:d ~gate:d ~source:Sp.Netlist.ground nmos;
+  ckt
+
+let hopeless_options =
+  { Sp.Dcop.default_options with Sp.Dcop.max_iterations = 1; damping = 1e-6 }
+
+let test_solve_diag_failure_ladder () =
+  let ckt = unsolvable_circuit () in
+  match Sp.Dcop.solve_diag ~options:hopeless_options ckt with
+  | Ok _ -> Alcotest.fail "expected every strategy to fail"
+  | Error f ->
+    (* all 7 rungs of the ladder were tried, in order *)
+    Alcotest.(check int) "7 failed attempts" 7 (List.length f.Sp.Dcop.attempts);
+    Alcotest.(check (list int)) "ladder order"
+      [ 0; 1; 2; 3; 4; 5; 6 ]
+      (List.map (fun (s, _) -> Sp.Dcop.strategy_index s) f.Sp.Dcop.attempts);
+    List.iter
+      (fun (s, iters) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s spent iterations" (Sp.Dcop.strategy_name s))
+          true (iters >= 1))
+      f.Sp.Dcop.attempts;
+    Alcotest.(check bool) "residual norm positive and finite" true
+      (Float.is_finite f.Sp.Dcop.residual_norm && f.Sp.Dcop.residual_norm > 0.0);
+    Alcotest.(check bool) "worst nodes named" true (f.Sp.Dcop.worst_nodes <> []);
+    List.iter
+      (fun (name, r) ->
+        Alcotest.(check bool) (Printf.sprintf "node %s finite residual" name) true
+          (Float.is_finite r && r > 0.0))
+      f.Sp.Dcop.worst_nodes;
+    Alcotest.(check bool) "rendered failure mentions the ladder" true
+      (String.length (Sp.Dcop.pp_failure f) > 20)
+
+let test_legacy_solve_raises_with_diagnostics () =
+  let ckt = unsolvable_circuit () in
+  (match Sp.Dcop.solve ~options:hopeless_options ckt with
+  | exception Sp.Dcop.Convergence_failure msg ->
+    Alcotest.(check bool) "message carries the ladder" true
+      (String.length msg > 20)
+  | _ -> Alcotest.fail "legacy solve should raise");
+  match Sp.Dcop.last_solve_diagnostics () with
+  | Some (Error f) ->
+    Alcotest.(check int) "failure observable after raise" 7 (List.length f.Sp.Dcop.attempts)
+  | _ -> Alcotest.fail "last_solve_diagnostics should hold the failure"
+
+let test_transient_diag_failure () =
+  let ckt = unsolvable_circuit () in
+  match
+    Sp.Transient.run_diag
+      ~options:{ Sp.Transient.default_options with Sp.Transient.dc = hopeless_options }
+      ckt ~h:1e-9 ~t_stop:4e-9 ~record:[ "d" ] ()
+  with
+  | Ok _ -> Alcotest.fail "expected the initial operating point to fail"
+  | Error f ->
+    check_close "failed at t = 0" 1e-18 0.0 f.Sp.Transient.at_time;
+    Alcotest.(check bool) "dc failure attached" true (f.Sp.Transient.dc_failure.Sp.Dcop.attempts <> []);
+    Alcotest.(check bool) "no dc strategy recorded" true
+      (f.Sp.Transient.stats.Sp.Transient.dc_strategy = None)
+
+let test_transient_run_diag_stats () =
+  let ckt = Sp.Netlist.create () in
+  let a = Sp.Netlist.node ckt "a" and b = Sp.Netlist.node ckt "b" in
+  Sp.Netlist.vsource ckt "V1" a Sp.Netlist.ground (Sp.Source.Dc 1.0);
+  Sp.Netlist.resistor ckt "R" a b 1e3;
+  Sp.Netlist.capacitor ckt "C" b Sp.Netlist.ground 1e-9;
+  match Sp.Transient.run_diag ckt ~h:1e-9 ~t_stop:20e-9 ~record:[ "b" ] () with
+  | Error f -> Alcotest.fail (Sp.Dcop.pp_failure f.Sp.Transient.dc_failure)
+  | Ok r ->
+    let s = r.Sp.Transient.stats in
+    Alcotest.(check int) "20 steps taken" 20 s.Sp.Transient.steps_taken;
+    Alcotest.(check int) "no halvings on a linear circuit" 0 s.Sp.Transient.halvings;
+    check_close "min dt is h" 1e-21 1e-9 s.Sp.Transient.min_dt;
+    Alcotest.(check bool) "dc strategy recorded" true
+      (s.Sp.Transient.dc_strategy = Some Sp.Dcop.Plain);
+    Alcotest.(check bool) "newton iterations accumulated" true
+      (r.Sp.Transient.newton_iterations_total >= 20)
+
+(* --- Defect injection ----------------------------------------------------- *)
+
+let dc_out_voltage ?(defects = []) grid =
+  let lc =
+    Sp.Defects.build ~defects grid ~stimulus:(fun _ -> Sp.Source.Dc 0.0)
+  in
+  let x = Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist in
+  Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out")
+
+let test_defect_stuck_short_conducts () =
+  (* a const-0 1x1 lattice normally leaves the output high; a stuck-short
+     switch pulls it low regardless of the gate *)
+  let grid, _ = Lattice_core.Grid.of_strings [ [ "0" ] ] in
+  Alcotest.(check bool) "healthy stays high" true (dc_out_voltage grid > 1.1);
+  let v =
+    dc_out_voltage ~defects:[ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Stuck_short } ] grid
+  in
+  Alcotest.(check bool) (Printf.sprintf "stuck-short pulls low (%.3f V)" v) true (v < 0.1)
+
+let test_defect_stuck_open_blocks () =
+  (* a const-1 1x1 lattice normally pulls the output low; a stuck-open
+     switch leaves it high *)
+  let grid, _ = Lattice_core.Grid.of_strings [ [ "1" ] ] in
+  Alcotest.(check bool) "healthy pulls low" true (dc_out_voltage grid < 0.3);
+  let v =
+    dc_out_voltage ~defects:[ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Stuck_open } ] grid
+  in
+  Alcotest.(check bool) (Printf.sprintf "stuck-open stays high (%.3f V)" v) true (v > 1.1)
+
+let count_elements ckt =
+  List.fold_left
+    (fun (m, r, c) e ->
+      match e with
+      | Sp.Netlist.Mosfet _ -> (m + 1, r, c)
+      | Sp.Netlist.Resistor _ -> (m, r + 1, c)
+      | Sp.Netlist.Capacitor _ -> (m, r, c + 1)
+      | Sp.Netlist.Vsource _ | Sp.Netlist.Isource _ -> (m, r, c))
+    (0, 0, 0) (Sp.Netlist.elements ckt)
+
+let test_defect_element_counts () =
+  let grid, _ = Lattice_core.Grid.of_strings [ [ "1" ] ] in
+  let build defects = (Sp.Defects.build ~defects grid ~stimulus:(fun _ -> Sp.Source.Dc 0.0)).Sp.Lattice_circuit.netlist in
+  let m0, r0, c0 = count_elements (build []) in
+  Alcotest.(check int) "healthy: 6 FETs" 6 m0;
+  (* a bridge keeps the switch and adds one resistor *)
+  let m, r, c =
+    count_elements
+      (build [ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Bridge (Sp.Defects.North, Sp.Defects.East) } ])
+  in
+  Alcotest.(check int) "bridge keeps FETs" m0 m;
+  Alcotest.(check int) "bridge adds a resistor" (r0 + 1) r;
+  Alcotest.(check int) "bridge keeps caps" c0 c;
+  (* a gate leak likewise *)
+  let m, r, _ =
+    count_elements
+      (build [ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Gate_leak Sp.Defects.South } ])
+  in
+  Alcotest.(check int) "leak keeps FETs" m0 m;
+  Alcotest.(check int) "leak adds a resistor" (r0 + 1) r;
+  (* a broken terminal keeps the switch but reroutes one terminal through
+     a series resistor *)
+  let m, r, c =
+    count_elements
+      (build [ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Broken_terminal Sp.Defects.North } ])
+  in
+  Alcotest.(check int) "broken keeps FETs" m0 m;
+  Alcotest.(check int) "broken adds series resistor" (r0 + 1) r;
+  Alcotest.(check int) "broken keeps caps" c0 c;
+  (* stuck-open removes the FETs, keeps the terminal caps, adds 2 leakage
+     resistors; stuck-short adds 4 shorts *)
+  let m, r, c =
+    count_elements (build [ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Stuck_open } ])
+  in
+  Alcotest.(check int) "open removes FETs" 0 m;
+  Alcotest.(check int) "open: 2 leakage resistors" (r0 + 2) r;
+  Alcotest.(check int) "open keeps terminal caps" c0 c;
+  let m, r, _ =
+    count_elements (build [ { Sp.Defects.row = 0; col = 0; kind = Sp.Defects.Stuck_short } ])
+  in
+  Alcotest.(check int) "short removes FETs" 0 m;
+  Alcotest.(check int) "short: 4 short resistors" (r0 + 4) r
+
+let test_defect_universe_size () =
+  let grid = Lattice_synthesis.Library.xor3_3x3 in
+  Alcotest.(check int) "14 defects per site" (14 * 9)
+    (List.length (Sp.Defects.single_defects grid));
+  Alcotest.(check int) "restricted universe"
+    (2 * 9)
+    (List.length
+       (Sp.Defects.single_defects ~classes:[ Sp.Defects.Opens; Sp.Defects.Shorts ] grid))
+
+let test_sparse_dense_defect_parity () =
+  (* a defect-injected near-singular netlist: the stuck-open site leaves
+     internal nodes connected only through 1e10-ohm leaks, stressing the
+     conditioning of both engines the same way *)
+  let grid = Lattice_synthesis.Library.xor3_3x3 in
+  let defects =
+    [
+      { Sp.Defects.row = 1; col = 1; kind = Sp.Defects.Stuck_open };
+      { Sp.Defects.row = 0; col = 2; kind = Sp.Defects.Bridge (Sp.Defects.East, Sp.Defects.South) };
+    ]
+  in
+  for m = 0 to 7 do
+    let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then 1.2 else 0.0) in
+    let lc = Sp.Defects.build ~defects grid ~stimulus in
+    let ckt = lc.Sp.Lattice_circuit.netlist in
+    Alcotest.(check bool) "crosses the sparse threshold" true
+      (Sp.Netlist.unknowns ckt >= Sp.Dcop.sparse_threshold);
+    let x_dense = Sp.Dcop.solve ~options:(tight_options Sp.Dcop.Dense) ckt in
+    let x_sparse = Sp.Dcop.solve ~options:(tight_options Sp.Dcop.Sparse) ckt in
+    let d = Lattice_numerics.Vec.max_abs_diff x_dense x_sparse in
+    Alcotest.(check bool)
+      (Printf.sprintf "combo %d: defective |dense - sparse| = %.3g < 1e-8" m d)
+      true (d < 1e-8)
+  done
+
 (* --- Series_chain ------------------------------------------------------------ *)
 
 let test_series_monotone_decrease () =
@@ -959,6 +1204,27 @@ let () =
           Alcotest.test_case "6x6 lattice transient parity" `Slow
             test_lattice_6x6_sparse_matches_dense;
           Alcotest.test_case "AC sweep parity" `Quick test_ac_sparse_matches_dense;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "transient partial final step" `Quick
+            test_transient_partial_final_step;
+          Alcotest.test_case "solve_diag: plain wins" `Quick test_solve_diag_plain_wins;
+          Alcotest.test_case "solve_diag: full ladder failure" `Quick
+            test_solve_diag_failure_ladder;
+          Alcotest.test_case "legacy solve raises with diagnostics" `Quick
+            test_legacy_solve_raises_with_diagnostics;
+          Alcotest.test_case "transient failure diagnostics" `Quick test_transient_diag_failure;
+          Alcotest.test_case "transient step stats" `Quick test_transient_run_diag_stats;
+        ] );
+      ( "defects",
+        [
+          Alcotest.test_case "stuck-short conducts" `Quick test_defect_stuck_short_conducts;
+          Alcotest.test_case "stuck-open blocks" `Quick test_defect_stuck_open_blocks;
+          Alcotest.test_case "element counts per kind" `Quick test_defect_element_counts;
+          Alcotest.test_case "single-defect universe size" `Quick test_defect_universe_size;
+          Alcotest.test_case "near-singular sparse/dense parity" `Quick
+            test_sparse_dense_defect_parity;
         ] );
       ( "series_chain",
         [
