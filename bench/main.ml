@@ -230,6 +230,61 @@ let bench_engine_6x6_sparse =
   Test.make ~name:"ablation: 6x6 lattice transient 50ns, sparse engine" (Staged.stage (fun () ->
       transient_with_engine Lattice_spice.Dcop.Sparse lattice_6x6_grid ~t_stop:50e-9))
 
+(* --- parallel batch engine (DESIGN.md, "Parallel batch engine") ------- *)
+
+let mc_bench_target = Lattice_boolfn.Truthtable.majority_n 3
+
+let mc_100_serial () =
+  ignore
+    (Lattice_flow.Monte_carlo.run Lattice_synthesis.Library.maj3_2x3 ~target:mc_bench_target
+       ~samples:100)
+
+let mc_100_domains domains () =
+  (* fresh engine per run: cold cache, so the bench times real solves *)
+  let engine = Lattice_engine.Engine.create ~domains () in
+  ignore
+    (Lattice_flow.Monte_carlo.run ~engine Lattice_synthesis.Library.maj3_2x3
+       ~target:mc_bench_target ~samples:100)
+
+let campaign_bench_options =
+  { Lattice_flow.Fault_campaign.default_options with
+    Lattice_flow.Fault_campaign.classes =
+      [ Lattice_spice.Defects.Opens; Lattice_spice.Defects.Shorts ];
+    attempt_repair = false }
+
+let campaign_12_serial () =
+  ignore
+    (Lattice_flow.Fault_campaign.run ~options:campaign_bench_options
+       Lattice_synthesis.Library.maj3_2x3 ~target:mc_bench_target)
+
+let campaign_12_domains domains () =
+  let engine = Lattice_engine.Engine.create ~domains () in
+  ignore
+    (Lattice_flow.Fault_campaign.run ~engine ~options:campaign_bench_options
+       Lattice_synthesis.Library.maj3_2x3 ~target:mc_bench_target)
+
+let engine_mc_serial_name = "engine: Monte-Carlo 100 samples, serial"
+let engine_mc_2_name = "engine: Monte-Carlo 100 samples, 2 domains"
+let engine_mc_4_name = "engine: Monte-Carlo 100 samples, 4 domains"
+let engine_campaign_serial_name = "engine: campaign 12 samples, serial"
+let engine_campaign_2_name = "engine: campaign 12 samples, 2 domains"
+let engine_campaign_4_name = "engine: campaign 12 samples, 4 domains"
+
+let bench_engine_mc_serial =
+  Test.make ~name:engine_mc_serial_name (Staged.stage mc_100_serial)
+
+let bench_engine_mc_2 = Test.make ~name:engine_mc_2_name (Staged.stage (mc_100_domains 2))
+let bench_engine_mc_4 = Test.make ~name:engine_mc_4_name (Staged.stage (mc_100_domains 4))
+
+let bench_engine_campaign_serial =
+  Test.make ~name:engine_campaign_serial_name (Staged.stage campaign_12_serial)
+
+let bench_engine_campaign_2 =
+  Test.make ~name:engine_campaign_2_name (Staged.stage (campaign_12_domains 2))
+
+let bench_engine_campaign_4 =
+  Test.make ~name:engine_campaign_4_name (Staged.stage (campaign_12_domains 4))
+
 let all_tests =
   [
     bench_table1;
@@ -263,6 +318,12 @@ let all_tests =
     bench_compose;
     bench_defect_sample;
     bench_defect_campaign;
+    bench_engine_mc_serial;
+    bench_engine_mc_2;
+    bench_engine_mc_4;
+    bench_engine_campaign_serial;
+    bench_engine_campaign_2;
+    bench_engine_campaign_4;
   ]
 
 (* Gc-based proof that the sparse Newton inner loop allocates nothing
@@ -300,6 +361,54 @@ let allocation_check () =
     (Lattice_spice.Netlist.unknowns netlist)
     (if per_solve < 16.0 then "allocation-free" else "ALLOCATING");
   per_solve < 16.0
+
+(* Warm-cache demonstration: the same engine runs the same campaign twice;
+   the second pass must be (nearly) all cache hits. Returns the hit rate
+   of the second pass, computed from telemetry deltas. *)
+let cache_rerun_report () =
+  print_endline "==================================================================";
+  print_endline " Content-addressed cache: campaign re-run on a warm engine";
+  print_endline "==================================================================";
+  let engine = Lattice_engine.Engine.create ~domains:2 () in
+  let run () =
+    ignore
+      (Lattice_flow.Fault_campaign.run ~engine ~options:campaign_bench_options
+         Lattice_synthesis.Library.maj3_2x3 ~target:mc_bench_target)
+  in
+  let module E = Lattice_engine.Engine in
+  let module C = Lattice_engine.Cache in
+  run ();
+  let t1 = E.telemetry engine in
+  run ();
+  let t2 = E.telemetry engine in
+  let hits = t2.E.cache.C.hits - t1.E.cache.C.hits in
+  let lookups =
+    t2.E.cache.C.hits + t2.E.cache.C.misses - (t1.E.cache.C.hits + t1.E.cache.C.misses)
+  in
+  let rate = if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups in
+  Printf.printf "  second pass: %d/%d lookups hit (%.1f%%), %d new solves\n"
+    hits lookups (100.0 *. rate)
+    (t2.E.dc_solves - t1.E.dc_solves);
+  Printf.printf "  %s\n%!" (E.summary engine);
+  rate
+
+(* Serial-vs-parallel ratios of the engine benches, by kernel name. On a
+   single-core host these hover around 1.0 (domains timeshare one CPU);
+   the JSON reports whatever was measured. *)
+let engine_speedups results =
+  let ratio base par =
+    match (List.assoc_opt base results, List.assoc_opt par results) with
+    | Some b, Some p when p > 0.0 -> Some (b /. p)
+    | _ -> None
+  in
+  List.filter_map
+    (fun (key, base, par) -> Option.map (fun r -> (key, r)) (ratio base par))
+    [
+      ("engine_mc_speedup_2_domains", engine_mc_serial_name, engine_mc_2_name);
+      ("engine_mc_speedup_4_domains", engine_mc_serial_name, engine_mc_4_name);
+      ("engine_campaign_speedup_2_domains", engine_campaign_serial_name, engine_campaign_2_name);
+      ("engine_campaign_speedup_4_domains", engine_campaign_serial_name, engine_campaign_4_name);
+    ]
 
 let run_benchmarks () =
   print_endline "==================================================================";
@@ -340,10 +449,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~newton_allocation_free results =
+let write_json path ~newton_allocation_free ~extras results =
   let oc = open_out path in
   output_string oc "{\n  \"newton_inner_loop_allocation_free\": ";
   output_string oc (if newton_allocation_free then "true" else "false");
+  List.iter
+    (fun (key, v) -> Printf.fprintf oc ",\n  \"%s\": %.4f" (json_escape key) v)
+    extras;
   output_string oc ",\n  \"kernels_ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->
@@ -358,5 +470,10 @@ let () =
   let json = Array.exists (String.equal "--json") Sys.argv in
   if not json then experiments ();
   let allocation_free = allocation_check () in
+  let cache_hit_rate = cache_rerun_report () in
   let results = run_benchmarks () in
-  if json then write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free results
+  let extras =
+    engine_speedups results @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
+  in
+  if json then
+    write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free ~extras results

@@ -9,6 +9,19 @@ open Cmdliner
 
 let print_report r = print_string (Lattice_experiments.Report.render r)
 
+(* --- parallel batch engine -------------------------------------------- *)
+
+let domains_arg =
+  let doc =
+    "Worker domains for the parallel batch-simulation engine. Defaults to \
+     the $(b,FTL_DOMAINS) environment variable when set, else the number \
+     of cores. Results are bit-identical at any domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let make_engine domains = Lattice_engine.Engine.create ?domains ()
+let print_engine_summary e = print_endline (Lattice_engine.Engine.summary e)
+
 (* --- all -------------------------------------------------------------- *)
 
 let all_cmd =
@@ -53,7 +66,7 @@ let function_cmd =
 
 (* --- synth ------------------------------------------------------------ *)
 
-let synth expr exhaustive max_area =
+let synth expr exhaustive max_area domains =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -68,14 +81,19 @@ let synth expr exhaustive max_area =
     Printf.printf "validates: %b\n"
       (Lattice_synthesis.Validate.realizes grid tt);
     if exhaustive then begin
-      match
-        Lattice_synthesis.Exhaustive.minimal
-          ~alphabet:Lattice_synthesis.Exhaustive.Literals_and_constants ~max_area tt
-      with
+      let engine = make_engine domains in
+      (match
+         Lattice_synthesis.Exhaustive.minimal
+           ~alphabet:Lattice_synthesis.Exhaustive.Literals_and_constants ~max_area tt
+       with
       | Some (g, rr, cc) ->
         Printf.printf "\nexhaustive minimum (%dx%d):\n%s\n" rr cc
-          (Lattice_core.Grid.to_string ~names:pname g)
-      | None -> Printf.printf "\nno lattice up to area %d realizes the function\n" max_area
+          (Lattice_core.Grid.to_string ~names:pname g);
+        if nvars <= 5 then
+          Printf.printf "circuit-validates: %b\n"
+            (Lattice_synthesis.Exhaustive.validate_circuit ~engine g ~target:tt)
+      | None -> Printf.printf "\nno lattice up to area %d realizes the function\n" max_area);
+      print_engine_summary engine
     end
 
 let synth_cmd =
@@ -91,7 +109,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"synthesize a lattice for a Boolean expression")
-    Term.(const synth $ expr $ exhaustive $ max_area)
+    Term.(const synth $ expr $ exhaustive $ max_area $ domains_arg)
 
 (* --- device experiments ---------------------------------------------- *)
 
@@ -106,9 +124,13 @@ let shape_arg =
        & info [ "s"; "shape" ] ~docv:"SHAPE" ~doc:"Device shape: square, cross or junctionless.")
 
 let iv_cmd =
-  let run shape = print_report (Lattice_experiments.Exp_iv.report shape) in
+  let run shape domains =
+    let engine = make_engine domains in
+    print_report (Lattice_experiments.Exp_iv.report ~engine shape);
+    print_engine_summary engine
+  in
   Cmd.v (Cmd.info "iv" ~doc:"device I-V curves and figures of merit (Figs 5-7)")
-    Term.(const run $ shape_arg)
+    Term.(const run $ shape_arg $ domains_arg)
 
 let field_cmd =
   let run n = print_report (Lattice_experiments.Exp_field.report ~n ()) in
@@ -224,7 +246,7 @@ let frequency_cmd =
 
 (* --- yield ------------------------------------------------------------- *)
 
-let yield expr samples sigma_vth =
+let yield expr samples sigma_vth domains =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -234,8 +256,9 @@ let yield expr samples sigma_vth =
     let grid = r.Lattice_synthesis.Altun_riedel.grid in
     Printf.printf "lattice: %dx%d (dual-based)\n" grid.Lattice_core.Grid.rows
       grid.Lattice_core.Grid.cols;
+    let engine = make_engine domains in
     let mc =
-      Lattice_flow.Monte_carlo.run grid ~target:tt ~samples
+      Lattice_flow.Monte_carlo.run ~engine grid ~target:tt ~samples
         ~variation:{ Lattice_flow.Monte_carlo.sigma_vth; sigma_kp_rel = 0.1 }
     in
     Printf.printf
@@ -244,7 +267,8 @@ let yield expr samples sigma_vth =
       samples (sigma_vth *. 1e3)
       (100.0 *. mc.Lattice_flow.Monte_carlo.yield)
       mc.Lattice_flow.Monte_carlo.v_low_mean mc.Lattice_flow.Monte_carlo.v_low_std
-      mc.Lattice_flow.Monte_carlo.v_high_mean
+      mc.Lattice_flow.Monte_carlo.v_high_mean;
+    print_engine_summary engine
 
 let yield_cmd =
   let expr =
@@ -258,11 +282,11 @@ let yield_cmd =
   in
   Cmd.v
     (Cmd.info "yield" ~doc:"Monte-Carlo process-variation yield of a synthesized lattice")
-    Term.(const yield $ expr $ samples $ sigma)
+    Term.(const yield $ expr $ samples $ sigma $ domains_arg)
 
 (* --- defects ----------------------------------------------------------- *)
 
-let defects expr all_classes =
+let defects expr all_classes domains =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -278,7 +302,8 @@ let defects expr all_classes =
       else [ Lattice_spice.Defects.Opens; Lattice_spice.Defects.Shorts ]
     in
     let options = { Fc.default_options with Fc.classes } in
-    let rep = Fc.run ~options grid ~target:tt in
+    let engine = make_engine domains in
+    let rep = Fc.run ~engine ~options grid ~target:tt in
     Printf.printf
       "campaign: %d samples — %d functional, %d degraded, %d faulty, %d non-convergent\n"
       (Array.length rep.Fc.samples) rep.Fc.counts.Fc.functional rep.Fc.counts.Fc.degraded
@@ -295,7 +320,8 @@ let defects expr all_classes =
             (Lattice_spice.Defects.name rp.Fc.defect) g.Lattice_core.Grid.rows
             g.Lattice_core.Grid.cols rp.Fc.spare_cols_used
             (if rp.Fc.reverified then "OK" else "FAILED"))
-      rep.Fc.repairs
+      rep.Fc.repairs;
+    print_engine_summary engine
 
 let defects_cmd =
   let expr =
@@ -307,7 +333,7 @@ let defects_cmd =
   Cmd.v
     (Cmd.info "defects"
        ~doc:"circuit-level defect campaign (classification, detection, remapping) for a synthesized lattice")
-    Term.(const defects $ expr $ all_classes)
+    Term.(const defects $ expr $ all_classes $ domains_arg)
 
 (* --- export ------------------------------------------------------------ *)
 

@@ -10,15 +10,19 @@ type iv_set = {
 
 let terminal_labels = [| "T1"; "T2"; "T3"; "T4" |]
 
-let run model ~case ~points ~sweep =
+let run ?engine model ~case ~points ~sweep =
   if points < 2 then invalid_arg "Sweep: need at least 2 points";
   let xs = Lattice_numerics.Vec.linspace 0.0 5.0 points in
+  let point i =
+    let vgs, vds = sweep xs.(i) in
+    Device_model.terminal_currents model ~case ~vgs ~vds
+  in
   let currents =
-    Array.map
-      (fun x ->
-        let vgs, vds = sweep x in
-        Device_model.terminal_currents model ~case ~vgs ~vds)
-      xs
+    (* Each bias point is independent; results merge by index, so the
+       curves are bit-identical to the serial sweep at any domain count. *)
+    match engine with
+    | Some e -> Lattice_engine.Engine.map e ~phase:"iv-sweep" ~n:points point
+    | None -> Array.init points point
   in
   List.map
     (fun t ->
@@ -29,18 +33,21 @@ let run model ~case ~points ~sweep =
       })
     [ 0; 1; 2; 3 ]
 
-let ids_vgs model ~case ~vds ~points = run model ~case ~points ~sweep:(fun vgs -> (vgs, vds))
-let ids_vds model ~case ~vgs ~points = run model ~case ~points ~sweep:(fun vds -> (vgs, vds))
+let ids_vgs ?engine model ~case ~vds ~points =
+  run ?engine model ~case ~points ~sweep:(fun vgs -> (vgs, vds))
 
-let standard model =
+let ids_vds ?engine model ~case ~vgs ~points =
+  run ?engine model ~case ~points ~sweep:(fun vds -> (vgs, vds))
+
+let standard ?engine model =
   let case = Op_case.dsss in
   let points = 51 in
   {
     model;
     case;
-    ids_vgs_low = ids_vgs model ~case ~vds:0.01 ~points;
-    ids_vgs_high = ids_vgs model ~case ~vds:5.0 ~points;
-    ids_vds = ids_vds model ~case ~vgs:5.0 ~points;
+    ids_vgs_low = ids_vgs ?engine model ~case ~vds:0.01 ~points;
+    ids_vgs_high = ids_vgs ?engine model ~case ~vds:5.0 ~points;
+    ids_vds = ids_vds ?engine model ~case ~vgs:5.0 ~points;
   }
 
 let drain_curve set which =

@@ -22,15 +22,22 @@ type iv_set = {
   ids_vds : curve list;  (** VGS = 5 V *)
 }
 
-(** [ids_vgs model ~case ~vds ~points] sweeps VGS from 0 to 5 V. *)
-val ids_vgs : Device_model.t -> case:Op_case.t -> vds:float -> points:int -> curve list
+(** [ids_vgs model ~case ~vds ~points] sweeps VGS from 0 to 5 V. With
+    [engine], the bias points evaluate in parallel on the engine's Domain
+    pool (phase ["iv-sweep"]); curves are bit-identical to the serial
+    sweep. *)
+val ids_vgs :
+  ?engine:Lattice_engine.Engine.t ->
+  Device_model.t -> case:Op_case.t -> vds:float -> points:int -> curve list
 
 (** [ids_vds model ~case ~vgs ~points] sweeps VDS from 0 to 5 V. *)
-val ids_vds : Device_model.t -> case:Op_case.t -> vgs:float -> points:int -> curve list
+val ids_vds :
+  ?engine:Lattice_engine.Engine.t ->
+  Device_model.t -> case:Op_case.t -> vgs:float -> points:int -> curve list
 
 (** [standard model] runs the paper's three set-ups in the DSSS case with
     51 points per sweep. *)
-val standard : Device_model.t -> iv_set
+val standard : ?engine:Lattice_engine.Engine.t -> Device_model.t -> iv_set
 
 (** [drain_curve set which] extracts the T1 (drain) curve of one set-up:
     [`Vgs_low], [`Vgs_high] or [`Vds]. *)

@@ -1,0 +1,89 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, front = oldest *)
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create 256;
+    order = Queue.create ();
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t ~key v =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        if Hashtbl.length t.table >= t.capacity then begin
+          match Queue.take_opt t.order with
+          | Some victim ->
+            Hashtbl.remove t.table victim;
+            t.evictions <- t.evictions + 1
+          | None -> ()
+        end;
+        Hashtbl.replace t.table key v;
+        Queue.add key t.order
+      end)
+
+let find_or_compute t ~key f =
+  match find t ~key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    add t ~key v;
+    v
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let reset_stats t =
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

@@ -1,0 +1,42 @@
+(** Bounded content-addressed result cache with hit/miss/eviction
+    counters.
+
+    Keys are content digests (see {!Key}); values are whatever the call
+    site memoizes — DC operating points, sweep results. The cache is a
+    FIFO-bounded hash table protected by a mutex, so pool workers on
+    different domains can share it. Lookups never block on a compute:
+    two domains missing the same key concurrently both compute (a
+    benign duplicate) and the first [add] wins, keeping cached values
+    stable for the cache's lifetime. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;  (** [find] calls that found nothing *)
+  evictions : int;  (** entries dropped to respect [capacity] *)
+  size : int;  (** current entry count *)
+  capacity : int;
+}
+
+(** [create ?capacity ()] — capacity defaults to 4096 entries; eviction
+    is FIFO (oldest insertion first). Raises [Invalid_argument] when
+    [capacity < 1]. *)
+val create : ?capacity:int -> unit -> 'a t
+
+val find : 'a t -> key:string -> 'a option
+
+(** [add t ~key v] inserts unless the key is already present (first
+    write wins), evicting the oldest entry when full. *)
+val add : 'a t -> key:string -> 'a -> unit
+
+(** [find_or_compute t ~key f] — [f] runs outside the lock on a miss. *)
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+
+val stats : 'a t -> stats
+
+(** [clear t] drops every entry and zeroes the counters. *)
+val clear : 'a t -> unit
+
+(** [reset_stats t] zeroes the counters, keeping the entries. *)
+val reset_stats : 'a t -> unit

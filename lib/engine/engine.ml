@@ -1,0 +1,128 @@
+module Sp = Lattice_spice
+
+type dc_result =
+  (Lattice_numerics.Vec.t * Sp.Dcop.diagnostics, Sp.Dcop.failure) result
+
+type t = {
+  pool : Pool.t;
+  dc_cache : dc_result Cache.t;
+  jobs : int Atomic.t;
+  dc_solves : int Atomic.t;
+  newton : int Atomic.t;
+  phase_lock : Mutex.t;
+  mutable phases : (string * float) list;  (* reversed first-use order *)
+}
+
+let create ?domains ?(cache_capacity = 4096) () =
+  {
+    pool = Pool.create ?domains ();
+    dc_cache = Cache.create ~capacity:cache_capacity ();
+    jobs = Atomic.make 0;
+    dc_solves = Atomic.make 0;
+    newton = Atomic.make 0;
+    phase_lock = Mutex.create ();
+    phases = [];
+  }
+
+let domains (t : t) = Pool.domains t.pool
+
+(* Seed-splitting: the stream is a function of (seed, index) alone. The
+   third word decorrelates streams whose (seed, index) pairs collide
+   additively (Random.State.make hashes the words sequentially). *)
+let sample_rng ~seed ~index =
+  Random.State.make [| seed; index; Hashtbl.hash (seed, index, 0x51ce5) |]
+
+let add_phase t phase dt =
+  Mutex.lock t.phase_lock;
+  (if List.mem_assoc phase t.phases then
+     t.phases <-
+       List.map (fun (p, s) -> if p = phase then (p, s +. dt) else (p, s)) t.phases
+   else t.phases <- (phase, dt) :: t.phases);
+  Mutex.unlock t.phase_lock
+
+let timed t ~phase f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_phase t phase (Unix.gettimeofday () -. t0)) f
+
+let map t ?phase ~n f =
+  let run () =
+    ignore (Atomic.fetch_and_add t.jobs n);
+    Pool.map t.pool ~n f
+  in
+  match phase with None -> run () | Some phase -> timed t ~phase run
+
+let copy_result = function
+  | Ok (x, diag) -> Ok (Array.copy x, diag)
+  | Error _ as e -> e
+
+let failure_iterations (f : Sp.Dcop.failure) =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 f.Sp.Dcop.attempts
+
+let dc_op t ?(options = Sp.Dcop.default_options) netlist =
+  let key = Key.dc_op ~options netlist in
+  match Cache.find t.dc_cache ~key with
+  | Some r -> copy_result r
+  | None ->
+    let r = Sp.Dcop.solve_diag ~options netlist in
+    ignore (Atomic.fetch_and_add t.dc_solves 1);
+    let iters =
+      match r with
+      | Ok (_, d) -> d.Sp.Dcop.newton_iterations
+      | Error f -> failure_iterations f
+    in
+    ignore (Atomic.fetch_and_add t.newton iters);
+    Cache.add t.dc_cache ~key (copy_result r);
+    r
+
+type telemetry = {
+  domains : int;
+  jobs : int;
+  dc_solves : int;
+  cache : Cache.stats;
+  newton_total : int;
+  phases : (string * float) list;
+}
+
+let telemetry (t : t) =
+  Mutex.lock t.phase_lock;
+  let phases = List.rev t.phases in
+  Mutex.unlock t.phase_lock;
+  {
+    domains = domains t;
+    jobs = Atomic.get t.jobs;
+    dc_solves = Atomic.get t.dc_solves;
+    cache = Cache.stats t.dc_cache;
+    newton_total = Atomic.get t.newton;
+    phases;
+  }
+
+let reset_telemetry (t : t) =
+  Atomic.set t.jobs 0;
+  Atomic.set t.dc_solves 0;
+  Atomic.set t.newton 0;
+  Mutex.lock t.phase_lock;
+  t.phases <- [];
+  Mutex.unlock t.phase_lock;
+  Cache.reset_stats t.dc_cache
+
+let summary (t : t) =
+  let tel = telemetry t in
+  let lookups = tel.cache.Cache.hits + tel.cache.Cache.misses in
+  let hit_pct =
+    if lookups = 0 then 0.0
+    else 100.0 *. float_of_int tel.cache.Cache.hits /. float_of_int lookups
+  in
+  let phases =
+    match tel.phases with
+    | [] -> ""
+    | ps ->
+      " | "
+      ^ String.concat ", "
+          (List.map (fun (p, s) -> Printf.sprintf "%s %.2fs" p s) ps)
+  in
+  Printf.sprintf
+    "engine: %d domain%s | %d jobs | %d dc solves, cache %d/%d hits (%.1f%%), %d evictions | %d newton iters%s"
+    tel.domains
+    (if tel.domains = 1 then "" else "s")
+    tel.jobs tel.dc_solves tel.cache.Cache.hits lookups hit_pct
+    tel.cache.Cache.evictions tel.newton_total phases

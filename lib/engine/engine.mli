@@ -1,0 +1,78 @@
+(** Parallel batch-simulation engine.
+
+    Every heavy workload in this reproduction is a fan-out of
+    independent circuit/device simulations: Monte-Carlo dies, fault
+    -campaign samples, I-V sweep points, exhaustive-search circuit
+    validations. The engine runs those jobs on a {!Pool} of OCaml 5
+    Domains, memoizes repeated DC operating points in a
+    content-addressed {!Cache}, and keeps lightweight telemetry (jobs,
+    cache traffic, Newton iterations, wall time per phase).
+
+    {2 Determinism contract}
+
+    [map] merges results by job index and jobs must be pure in their
+    index, so a 4-domain run is bit-identical to the 1-domain (serial)
+    run. Randomized workloads get per-job RNG streams from
+    {!sample_rng} (seed-splitting by hash of [seed, index]) instead of
+    one sequential stream. Cached DC results replay the original solver
+    output — solution vector {e and} diagnostics, including Newton
+    iteration counts — so accounting (e.g. a fault campaign's
+    per-sample Newton budget) is identical on warm and cold caches. *)
+
+type t
+
+(** [create ?domains ?cache_capacity ()] — [domains] defaults to
+    [FTL_DOMAINS] when set, else [Domain.recommended_domain_count ()];
+    [cache_capacity] (DC-result entries, FIFO eviction) defaults to
+    4096. One domain is the degenerate serial engine. *)
+val create : ?domains:int -> ?cache_capacity:int -> unit -> t
+
+val domains : t -> int
+
+(** [sample_rng ~seed ~index] is the RNG stream of sample [index]:
+    seeded by a hash of [(seed, index)], so the stream is a function of
+    the pair alone — sample [k] draws the same perturbations whether or
+    not samples [0 .. k-1] ran, and in whatever order the pool
+    scheduled them. *)
+val sample_rng : seed:int -> index:int -> Random.State.t
+
+(** [map e ?phase ~n f] runs [f] over [0 .. n-1] on the pool and merges
+    by index (see {!Pool.map}); counts [n] jobs in the telemetry and,
+    when [phase] is given, accrues the call's wall time to it. *)
+val map : t -> ?phase:string -> n:int -> (int -> 'a) -> 'a array
+
+(** [timed e ~phase f] runs [f ()], accruing its wall-clock time to
+    [phase] (times with the same phase name accumulate). *)
+val timed : t -> phase:string -> (unit -> 'a) -> 'a
+
+(** [dc_op e ?options netlist] is
+    [Lattice_spice.Dcop.solve_diag ?options netlist] memoized under the
+    content key {!Key.dc_op}. The returned solution vector is a private
+    copy (callers may keep or mutate it). Hits replay the original
+    diagnostics verbatim. Safe to call from inside [map] jobs on any
+    domain. *)
+val dc_op :
+  t ->
+  ?options:Lattice_spice.Dcop.options ->
+  Lattice_spice.Netlist.t ->
+  (Lattice_numerics.Vec.t * Lattice_spice.Dcop.diagnostics, Lattice_spice.Dcop.failure) result
+
+type telemetry = {
+  domains : int;
+  jobs : int;  (** jobs dispatched through {!map} *)
+  dc_solves : int;  (** actual (uncached) DC solver invocations *)
+  cache : Cache.stats;  (** DC-result cache counters *)
+  newton_total : int;  (** Newton iterations spent in uncached solves *)
+  phases : (string * float) list;  (** wall seconds per phase, first-use order *)
+}
+
+val telemetry : t -> telemetry
+
+(** [reset_telemetry e] zeroes counters and phase timers (the cache
+    contents survive; its counters reset). *)
+val reset_telemetry : t -> unit
+
+(** One-line rendering for CLI output, e.g.
+    ["engine: 4 domains | 500 jobs | 3896 dc solves, cache 104/4000 hits
+      (2.6%), 0 evictions | 18234 newton iters | monte-carlo 1.23s"]. *)
+val summary : t -> string

@@ -1,0 +1,58 @@
+type t = { domains : int }
+
+let env_domains () =
+  match Sys.getenv_opt "FTL_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+let create ?domains () =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  { domains }
+
+let domains t = t.domains
+
+let map t ~n f =
+  if n < 0 then invalid_arg "Pool.map: negative n";
+  if n = 0 then [||]
+  else if t.domains = 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let failed = Atomic.make false in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && not (Atomic.get failed) then begin
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+            Atomic.set failed true);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* the calling domain is worker 0 *)
+    let spawned = Int.min (t.domains - 1) (n - 1) in
+    let others = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others;
+    if Atomic.get failed then begin
+      Array.iter
+        (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+        errors;
+      assert false
+    end
+    else Array.map (function Some v -> v | None -> assert false) results
+  end

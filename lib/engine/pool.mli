@@ -1,0 +1,33 @@
+(** Domain pool: deterministic fan-out of independent jobs over OCaml 5
+    Domains.
+
+    The pool runs an indexed job function [f : int -> 'a] over indices
+    [0 .. n-1] and merges results {e by index}, so the output array is
+    identical whatever the scheduling order — running on 4 domains is
+    bit-identical to running serially as long as [f] is pure in its
+    index (no shared sequential RNG stream, no order-dependent
+    accumulator). One domain is the degenerate serial case: the job
+    runs entirely on the calling domain with no spawns.
+
+    Jobs are claimed from a shared atomic counter, one index at a time:
+    the intended granularity is a whole circuit simulation (a
+    Monte-Carlo die, a fault-campaign sample, an I-V sweep point), not
+    a micro-kernel. *)
+
+type t
+
+(** [create ?domains ()] sizes the pool. Default: {!default_domains}.
+    Raises [Invalid_argument] when [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+val domains : t -> int
+
+(** Domain count from the [FTL_DOMAINS] environment variable when set to
+    a positive integer, else [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
+(** [map t ~n f] is [Array.init n f] computed on the pool's domains.
+    Results are merged by index. If any [f i] raises, the remaining
+    unclaimed indices are abandoned and the recorded exception with the
+    lowest index is re-raised (with its backtrace) on the caller. *)
+val map : t -> n:int -> (int -> 'a) -> 'a array

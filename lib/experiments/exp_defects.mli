@@ -6,8 +6,13 @@
 val default_classes : Lattice_spice.Defects.kind_class list
 
 val run :
+  ?engine:Lattice_engine.Engine.t ->
   ?classes:Lattice_spice.Defects.kind_class list ->
   unit ->
   Lattice_flow.Fault_campaign.report
 
-val report : ?classes:Lattice_spice.Defects.kind_class list -> unit -> Report.t
+val report :
+  ?engine:Lattice_engine.Engine.t ->
+  ?classes:Lattice_spice.Defects.kind_class list ->
+  unit ->
+  Report.t

@@ -18,7 +18,7 @@ let paper_peak_currents =
     (D.Geometry.Junctionless, 1.4e-6, 6e-5);
   ]
 
-let run_variant ~shape ~dielectric =
+let run_variant ?engine ~shape ~dielectric () =
   let v = D.Presets.find ~shape ~dielectric in
   let name = D.Presets.variant_name v in
   let vth_paper, ratio_paper =
@@ -34,7 +34,7 @@ let run_variant ~shape ~dielectric =
     ioff = D.Device_model.ioff v.D.Presets.model;
     ratio = D.Device_model.on_off_ratio v.D.Presets.model;
     ratio_paper;
-    iv = D.Sweep.standard v.D.Presets.model;
+    iv = D.Sweep.standard ?engine v.D.Presets.model;
   }
 
 let figure_id = function
@@ -56,9 +56,9 @@ let sample_table iv =
     [ 0.0; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 4.5; 5.0 ];
   Buffer.contents buf
 
-let report shape =
-  let hf = run_variant ~shape ~dielectric:D.Material.HfO2 in
-  let si = run_variant ~shape ~dielectric:D.Material.SiO2 in
+let report ?engine shape =
+  let hf = run_variant ?engine ~shape ~dielectric:D.Material.HfO2 () in
+  let si = run_variant ?engine ~shape ~dielectric:D.Material.SiO2 () in
   let id = figure_id shape in
   let peak_low, peak_high =
     match List.assoc_opt shape (List.map (fun (s, a, b) -> (s, (a, b))) paper_peak_currents) with

@@ -18,11 +18,17 @@ type variant_result = {
     [(shape, ids_vgs @ 10 mV peak, ids_vgs @ 5 V peak)]. *)
 val paper_peak_currents : (Lattice_device.Geometry.shape * float * float) list
 
-(** [run_variant ~shape ~dielectric] evaluates one device variant. *)
+(** [run_variant ~shape ~dielectric ()] evaluates one device variant.
+    With [engine], the I-V bias points fan out over the engine's Domain
+    pool. *)
 val run_variant :
-  shape:Lattice_device.Geometry.shape -> dielectric:Lattice_device.Material.gate_dielectric -> variant_result
+  ?engine:Lattice_engine.Engine.t ->
+  shape:Lattice_device.Geometry.shape ->
+  dielectric:Lattice_device.Material.gate_dielectric ->
+  unit ->
+  variant_result
 
 (** [report shape] is the figure-level report (Fig 5 = square, Fig 6 =
     cross, Fig 7 = junctionless) covering both dielectrics, with sampled
     HfO2 curves in the body. *)
-val report : Lattice_device.Geometry.shape -> Report.t
+val report : ?engine:Lattice_engine.Engine.t -> Lattice_device.Geometry.shape -> Report.t

@@ -4,6 +4,7 @@ module Tt = Lattice_boolfn.Truthtable
 module Faults = Lattice_synthesis.Faults
 module Exhaustive = Lattice_synthesis.Exhaustive
 module Defects = Sp.Defects
+module Engine = Lattice_engine.Engine
 
 type classification = Functional | Degraded | Faulty | Non_convergent
 
@@ -57,7 +58,15 @@ type sample = {
 
 let iterations_of_attempts attempts = List.fold_left (fun acc (_, n) -> acc + n) 0 attempts
 
-let simulate ?(options = default_options) grid ~target ~test_set defects =
+(* DC solve routed through the engine's content-addressed cache when one
+   is given. Cached hits replay the original diagnostics (including
+   Newton counts), so budget accounting is identical on warm caches. *)
+let solve_state ?engine ~options netlist =
+  match engine with
+  | Some e -> Engine.dc_op e ~options:options.dc netlist
+  | None -> Sp.Dcop.solve_diag ~options:options.dc netlist
+
+let simulate ?engine ?(options = default_options) grid ~target ~test_set defects =
   let nvars = Tt.nvars target in
   if nvars > 5 then invalid_arg "Fault_campaign.simulate: too many inputs";
   if options.budget.newton_per_sample <= 0 then
@@ -85,7 +94,7 @@ let simulate ?(options = default_options) grid ~target ~test_set defects =
        end;
        let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then vdd else 0.0) in
        let lc = Defects.build ~config:options.config ~params:options.params ~defects grid ~stimulus in
-       match Sp.Dcop.solve_diag ~options:options.dc lc.Sp.Lattice_circuit.netlist with
+       match solve_state ?engine ~options lc.Sp.Lattice_circuit.netlist with
        | Error f ->
          used := !used + iterations_of_attempts f.Sp.Dcop.attempts;
          failure := Some f;
@@ -136,7 +145,7 @@ let logical_of_defect (d : Defects.t) =
     Some { Faults.row = d.Defects.row; col = d.Defects.col; kind = Faults.Stuck_on }
   | Defects.Bridge _ | Defects.Broken_terminal _ | Defects.Gate_leak _ -> None
 
-let verify_with_defects ?(options = default_options) grid ~target ~defects =
+let verify_with_defects ?engine ?(options = default_options) grid ~target ~defects =
   let nvars = Tt.nvars target in
   let vdd = options.config.Sp.Lattice_circuit.vdd in
   let ok = ref true in
@@ -144,7 +153,7 @@ let verify_with_defects ?(options = default_options) grid ~target ~defects =
      for m = 0 to (1 lsl nvars) - 1 do
        let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then vdd else 0.0) in
        let lc = Defects.build ~config:options.config ~params:options.params ~defects grid ~stimulus in
-       match Sp.Dcop.solve_diag ~options:options.dc lc.Sp.Lattice_circuit.netlist with
+       match solve_state ?engine ~options lc.Sp.Lattice_circuit.netlist with
        | Error _ ->
          ok := false;
          raise Exit
@@ -173,7 +182,7 @@ type repair = {
    window the repair record simply reports no remapping was found *)
 let remap_feasible ~rows ~cols ~nvars = rows * cols <= 12 && nvars <= 4
 
-let repair_defect options grid ~target (d : Defects.t) (fault : Faults.fault) =
+let repair_defect ?engine options grid ~target (d : Defects.t) (fault : Faults.fault) =
   let rows = grid.Grid.rows and cols = grid.Grid.cols in
   let nvars = Tt.nvars target in
   let entry =
@@ -197,7 +206,7 @@ let repair_defect options grid ~target (d : Defects.t) (fault : Faults.fault) =
   | Some (g, spare) ->
     (* re-verify at circuit level with the physical defect still present in
        the remapped lattice *)
-    let reverified = verify_with_defects ~options g ~target ~defects:[ d ] in
+    let reverified = verify_with_defects ?engine ~options g ~target ~defects:[ d ] in
     { defect = d; fault; remapped = Some g; spare_cols_used = spare; reverified }
 
 type class_counts = {
@@ -234,7 +243,7 @@ let multi_defect_sets rng universe ~samples ~order =
         done;
         List.map (fun i -> arr.(i)) (List.sort Int.compare !chosen))
 
-let run ?(options = default_options) ?universe grid ~target =
+let run ?engine ?(options = default_options) ?universe grid ~target =
   let nvars = Tt.nvars target in
   if nvars > 5 then invalid_arg "Fault_campaign.run: too many inputs";
   let universe =
@@ -249,9 +258,16 @@ let run ?(options = default_options) ?universe grid ~target =
   in
   let logical = Faults.analyze grid in
   let test_set = logical.Faults.test_set in
-  let sets = List.map (fun d -> [ d ]) universe @ multi in
+  let sets = Array.of_list (List.map (fun d -> [ d ]) universe @ multi) in
   let samples =
-    Array.of_list (List.map (fun ds -> simulate ~options grid ~target ~test_set ds) sets)
+    (* Each defect set is an independent job: results merge by index, so
+       the report is bit-identical to the serial loop at any domain
+       count. *)
+    match engine with
+    | Some e ->
+      Engine.map e ~phase:"fault-campaign" ~n:(Array.length sets) (fun i ->
+          simulate ~engine:e ~options grid ~target ~test_set sets.(i))
+    | None -> Array.map (fun ds -> simulate ~options grid ~target ~test_set ds) sets
   in
   let count c =
     Array.fold_left (fun acc s -> if s.classification = c then acc + 1 else acc) 0 samples
@@ -277,13 +293,19 @@ let run ?(options = default_options) ?universe grid ~target =
   in
   let repairs =
     if not options.attempt_repair then []
-    else
-      Array.to_list samples
-      |> List.filter_map (fun s ->
-             match (s.defects, s.classification) with
-             | [ d ], (Faulty | Degraded | Non_convergent) when sample_detected s ->
-               Option.map (repair_defect options grid ~target d) (logical_of_defect d)
-             | _ -> None)
+    else begin
+      let attempt () =
+        Array.to_list samples
+        |> List.filter_map (fun s ->
+               match (s.defects, s.classification) with
+               | [ d ], (Faulty | Degraded | Non_convergent) when sample_detected s ->
+                 Option.map (repair_defect ?engine options grid ~target d) (logical_of_defect d)
+               | _ -> None)
+      in
+      match engine with
+      | Some e -> Engine.timed e ~phase:"campaign-repair" attempt
+      | None -> attempt ()
+    end
   in
   let total_newton = Array.fold_left (fun acc s -> acc + s.newton_iterations) 0 samples in
   { samples; counts; logical; test_set; detected; silent; repairs; total_newton }

@@ -80,8 +80,12 @@ type sample = {
 
 (** [simulate grid ~target ~test_set defects] runs one sample: the grid
     with [defects] injected, DC-solved over all [2^nvars] input states
-    under the Newton budget. Never raises on convergence trouble. *)
+    under the Newton budget. Never raises on convergence trouble. With
+    [engine], DC solves go through the engine's content-addressed cache;
+    cached hits replay the original diagnostics, so Newton-budget
+    accounting is identical on warm and cold caches. *)
 val simulate :
+  ?engine:Lattice_engine.Engine.t ->
   ?options:options ->
   Lattice_core.Grid.t ->
   target:Lattice_boolfn.Truthtable.t ->
@@ -99,6 +103,7 @@ val logical_of_defect :
     boolean-correct at circuit level with the defects injected (treating
     any convergence failure as incorrect). *)
 val verify_with_defects :
+  ?engine:Lattice_engine.Engine.t ->
   ?options:options ->
   Lattice_core.Grid.t ->
   target:Lattice_boolfn.Truthtable.t ->
@@ -131,11 +136,17 @@ type report = {
   total_newton : int;
 }
 
-(** [run ?options ?universe grid ~target] runs the whole campaign.
-    [universe] overrides the enumerated single-defect list (the
+(** [run ?engine ?options ?universe grid ~target] runs the whole
+    campaign. [universe] overrides the enumerated single-defect list (the
     multi-defect combos are sampled from it too). Continues past every
-    failure; the only exceptions raised are argument errors. *)
+    failure; the only exceptions raised are argument errors.
+
+    With [engine], the independent defect samples fan out over the
+    engine's Domain pool (phase ["fault-campaign"]) and repairs are timed
+    under ["campaign-repair"]; results merge by sample index, so the
+    report is bit-identical to the serial run at any domain count. *)
 val run :
+  ?engine:Lattice_engine.Engine.t ->
   ?options:options ->
   ?universe:Lattice_spice.Defects.t list ->
   Lattice_core.Grid.t ->

@@ -3,6 +3,7 @@ module Grid = Lattice_core.Grid
 module Tt = Lattice_boolfn.Truthtable
 module L1 = Lattice_mosfet.Level1
 module Model = Lattice_mosfet.Model
+module Engine = Lattice_engine.Engine
 
 type variation = { sigma_vth : float; sigma_kp_rel : float }
 
@@ -43,16 +44,21 @@ let perturb_types rng variation (t : Sp.Fts.mosfet_types) =
     type_b = perturb_model rng variation t.Sp.Fts.type_b;
   }
 
-let run ?(config = Sp.Lattice_circuit.default_config) ?(variation = default_variation)
+let run ?engine ?(config = Sp.Lattice_circuit.default_config) ?(variation = default_variation)
     ?(samples = 100) ?(seed = 42) grid ~target =
   let nvars = Tt.nvars target in
   if nvars > 5 then invalid_arg "Monte_carlo.run: too many inputs";
   if samples < 1 then invalid_arg "Monte_carlo.run: need at least one sample";
-  let rng = Random.State.make [| seed |] in
   let vdd = config.Sp.Lattice_circuit.vdd in
   let states = 1 lsl nvars in
-  let one_sample () =
-    (* one die: a fixed per-site perturbation reused across input states *)
+  let one_sample index =
+    (* One die: a fixed per-site perturbation reused across input states.
+       Each die draws from an index-derived RNG stream (seed-splitting by
+       hash of [seed, index]) instead of one sequential stream, so die k
+       is identical whether or not dies 0..k-1 ran — the property that
+       makes the Domain pool's out-of-order execution bit-identical to
+       the serial loop. *)
+    let rng = Engine.sample_rng ~seed ~index in
     let site_types =
       Array.init (Grid.size grid) (fun _ -> perturb_types rng variation config.Sp.Lattice_circuit.types)
     in
@@ -61,11 +67,16 @@ let run ?(config = Sp.Lattice_circuit.default_config) ?(variation = default_vari
     for m = 0 to states - 1 do
       let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then vdd else 0.0) in
       let lc = Sp.Lattice_circuit.build ~config ~types_of_site grid ~stimulus in
-      match Sp.Dcop.solve lc.Sp.Lattice_circuit.netlist with
-      | exception Sp.Dcop.Convergence_failure _ ->
+      let solved =
+        match engine with
+        | Some e -> Engine.dc_op e lc.Sp.Lattice_circuit.netlist
+        | None -> Sp.Dcop.solve_diag lc.Sp.Lattice_circuit.netlist
+      in
+      match solved with
+      | Error _ ->
         (* an unsimulatable die counts as a failed die *)
         ok := false
-      | x ->
+      | Ok (x, _) ->
         let v = Sp.Mna.voltage x (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist "out") in
         let expected_high = not (Tt.eval target m) in
         if not (Bool.equal (v > vdd /. 2.0) expected_high) then ok := false;
@@ -74,7 +85,11 @@ let run ?(config = Sp.Lattice_circuit.default_config) ?(variation = default_vari
     done;
     { functional = !ok; worst_v_low = !worst_low; worst_v_high = !worst_high }
   in
-  let outcomes = Array.init samples (fun _ -> one_sample ()) in
+  let outcomes =
+    match engine with
+    | Some e -> Engine.map e ~phase:"monte-carlo" ~n:samples one_sample
+    | None -> Array.init samples one_sample
+  in
   let functional_count =
     Array.fold_left (fun acc o -> if o.functional then acc + 1 else acc) 0 outcomes
   in

@@ -30,12 +30,21 @@ type result = {
   v_high_mean : float;
 }
 
-(** [run ?config ?variation ?samples ?seed grid ~target] runs the campaign:
-    each sample perturbs every switch independently and checks the DC
-    response against [target] (the function the lattice should realize;
-    the circuit output is its complement). Defaults: 100 samples, seed 42,
-    [default_variation]. Requires [Truthtable.nvars target <= 5]. *)
+(** [run ?engine ?config ?variation ?samples ?seed grid ~target] runs the
+    campaign: each sample perturbs every switch independently and checks
+    the DC response against [target] (the function the lattice should
+    realize; the circuit output is its complement). Defaults: 100
+    samples, seed 42, [default_variation]. Requires
+    [Truthtable.nvars target <= 5].
+
+    Sample [k]'s perturbations come from an index-derived RNG stream
+    ({!Lattice_engine.Engine.sample_rng}), so the result is a pure
+    function of [(seed, k)] — independent of how many samples run and in
+    what order. With [engine], samples fan out over the engine's Domain
+    pool and per-state DC solves go through its content-addressed cache;
+    the result is bit-identical to the serial run at any domain count. *)
 val run :
+  ?engine:Lattice_engine.Engine.t ->
   ?config:Lattice_spice.Lattice_circuit.config ->
   ?variation:variation ->
   ?samples:int ->

@@ -188,6 +188,91 @@ let to_spice_string t ~title =
   Buffer.add_string buf ".END\n";
   Buffer.contents buf
 
+(* Canonical binary serialization for content addressing. Floats are
+   hashed by their IEEE-754 bit pattern — formatting them (as
+   [to_spice_string] does, at limited precision) would alias distinct
+   circuits, e.g. two Monte-Carlo Vth perturbations 1e-12 V apart. *)
+let digest_int b i = Buffer.add_int64_le b (Int64.of_int i)
+let digest_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let digest_string b s =
+  digest_int b (String.length s);
+  Buffer.add_string b s
+
+let digest_level1 b (p : Lattice_mosfet.Level1.params) =
+  digest_float b p.Lattice_mosfet.Level1.kp;
+  digest_float b p.Lattice_mosfet.Level1.vth;
+  digest_float b p.Lattice_mosfet.Level1.lambda;
+  digest_float b p.Lattice_mosfet.Level1.w;
+  digest_float b p.Lattice_mosfet.Level1.l
+
+let digest_model b = function
+  | Lattice_mosfet.Model.L1 p ->
+    Buffer.add_char b '1';
+    digest_level1 b p
+  | Lattice_mosfet.Model.L3 p3 ->
+    Buffer.add_char b '3';
+    digest_level1 b p3.Lattice_mosfet.Level3.base;
+    digest_float b p3.Lattice_mosfet.Level3.theta;
+    digest_float b p3.Lattice_mosfet.Level3.vc
+
+let digest_wave b = function
+  | Source.Dc v ->
+    Buffer.add_char b 'D';
+    digest_float b v
+  | Source.Pulse { v1; v2; delay; rise; fall; width; period } ->
+    Buffer.add_char b 'P';
+    List.iter (digest_float b) [ v1; v2; delay; rise; fall; width; period ]
+  | Source.Pwl points ->
+    Buffer.add_char b 'W';
+    digest_int b (List.length points);
+    List.iter
+      (fun (time, v) ->
+        digest_float b time;
+        digest_float b v)
+      points
+
+let digest_element b = function
+  | Resistor { name; n1; n2; ohms } ->
+    Buffer.add_char b 'R';
+    digest_string b name;
+    digest_int b n1;
+    digest_int b n2;
+    digest_float b ohms
+  | Capacitor { name; n1; n2; farads } ->
+    Buffer.add_char b 'C';
+    digest_string b name;
+    digest_int b n1;
+    digest_int b n2;
+    digest_float b farads
+  | Vsource { name; npos; nneg; wave; index } ->
+    Buffer.add_char b 'V';
+    digest_string b name;
+    digest_int b npos;
+    digest_int b nneg;
+    digest_int b index;
+    digest_wave b wave
+  | Isource { name; npos; nneg; wave } ->
+    Buffer.add_char b 'I';
+    digest_string b name;
+    digest_int b npos;
+    digest_int b nneg;
+    digest_wave b wave
+  | Mosfet { name; drain; gate; source; model } ->
+    Buffer.add_char b 'M';
+    digest_string b name;
+    digest_int b drain;
+    digest_int b gate;
+    digest_int b source;
+    digest_model b model
+
+let structural_digest t =
+  let b = Buffer.create 1024 in
+  digest_int b (num_nodes t);
+  digest_int b (num_vsources t);
+  List.iter (digest_element b) (elements t);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let summary t =
   let r = ref 0 and c = ref 0 and v = ref 0 and i = ref 0 and m = ref 0 in
   List.iter

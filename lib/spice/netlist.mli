@@ -81,6 +81,17 @@ val vsource_index : t -> string -> int option
 (** [summary t] is a one-line element census for logs. *)
 val summary : t -> string
 
+(** [structural_digest t] is a content hash of the circuit: node and
+    voltage-source counts plus every element — topology (node ids),
+    instance names, exact IEEE-754 bit patterns of all values, full
+    waveforms and full MOSFET model parameters. Two netlists built by
+    the same construction sequence get equal digests; changing any
+    single parameter by as little as one ulp (a [sigma_vth]
+    perturbation, a different oxide's [kp], one injected defect
+    resistor) changes the digest. This is the netlist half of the batch
+    engine's content-addressed cache key. *)
+val structural_digest : t -> string
+
 (** [to_spice_string t ~title] renders the circuit as a SPICE deck
     (.MODEL cards for the distinct MOSFET models, engineering-notation
     values, PULSE/PWL sources), for interoperability with external

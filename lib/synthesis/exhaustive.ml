@@ -27,7 +27,8 @@ let value_mask nvars entry =
   !acc
 
 (* Shared search skeleton over per-site candidate entries; [on_hit] receives
-   the per-site choice indices and returns [true] to stop the search. *)
+   the per-site candidate table and the choice indices, and returns [true]
+   to stop the search. *)
 let search ~rows ~cols ~alphabet ~pins target on_hit =
   let nvars = Tt.nvars target in
   if nvars > 6 then invalid_arg "Exhaustive: too many variables (max 6)";
@@ -60,7 +61,7 @@ let search ~rows ~cols ~alphabet ~pins target on_hit =
         if Bool.equal (Bytes.get table patt.(!a) <> '\000') target_bits.(!a) then incr a
         else ok := false
       done;
-      if !ok && on_hit digits then raise Stop
+      if !ok && on_hit site_entries digits then raise Stop
     end
     else begin
       let bit = 1 lsl site in
@@ -86,19 +87,19 @@ let grid_of_digits ~rows ~cols site_entries digits =
 
 let find_with_pins ~rows ~cols ?(alphabet = Literals_only) ~pins target =
   let result = ref None in
-  let site_entries =
-    search ~rows ~cols ~alphabet ~pins target (fun digits ->
-        result := Some (Array.copy digits);
+  let (_ : Grid.entry array array) =
+    search ~rows ~cols ~alphabet ~pins target (fun site_entries digits ->
+        result := Some (grid_of_digits ~rows ~cols site_entries digits);
         true)
   in
-  Option.map (grid_of_digits ~rows ~cols site_entries) !result
+  !result
 
 let find ~rows ~cols ?alphabet target = find_with_pins ~rows ~cols ?alphabet ~pins:[] target
 
 let count_solutions ~rows ~cols ?(alphabet = Literals_only) ?limit target =
   let count = ref 0 in
   let (_ : Grid.entry array array) =
-    search ~rows ~cols ~alphabet ~pins:[] target (fun _ ->
+    search ~rows ~cols ~alphabet ~pins:[] target (fun _ _ ->
         incr count;
         match limit with Some l -> !count >= l | None -> false)
   in
@@ -121,3 +122,52 @@ let minimal ?(alphabet = Literals_only) ?(max_area = 9) target =
       | None -> try_dims rest)
   in
   try_dims candidates
+
+module Sp = Lattice_spice
+module Engine = Lattice_engine.Engine
+
+let validate_circuit ?engine ?(config = Sp.Lattice_circuit.default_config)
+    ?(dc = Sp.Dcop.default_options) grid ~target =
+  let nvars = Tt.nvars target in
+  if nvars > 5 then invalid_arg "Exhaustive.validate_circuit: too many inputs";
+  let vdd = config.Sp.Lattice_circuit.vdd in
+  let states = 1 lsl nvars in
+  let state_ok m =
+    let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then vdd else 0.0) in
+    let lc = Sp.Lattice_circuit.build ~config grid ~stimulus in
+    let solved =
+      match engine with
+      | Some e -> Engine.dc_op e ~options:dc lc.Sp.Lattice_circuit.netlist
+      | None -> Sp.Dcop.solve_diag ~options:dc lc.Sp.Lattice_circuit.netlist
+    in
+    match solved with
+    | Error _ -> false
+    | Ok (x, _) ->
+      let v =
+        Sp.Mna.voltage x
+          (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist lc.Sp.Lattice_circuit.output_node)
+      in
+      (* pull-down lattice: the circuit output is the complement of the
+         lattice function *)
+      Bool.equal (v > vdd /. 2.0) (not (Tt.eval target m))
+  in
+  let oks =
+    match engine with
+    | Some e -> Engine.map e ~phase:"circuit-validate" ~n:states state_ok
+    | None -> Array.init states state_ok
+  in
+  Array.for_all Fun.id oks
+
+let find_circuit_verified ~rows ~cols ?(alphabet = Literals_only) ?engine ?config ?dc
+    ?(pins = []) target =
+  let result = ref None in
+  let (_ : Grid.entry array array) =
+    search ~rows ~cols ~alphabet ~pins target (fun site_entries digits ->
+        let grid = grid_of_digits ~rows ~cols site_entries digits in
+        if validate_circuit ?engine ?config ?dc grid ~target then begin
+          result := Some grid;
+          true
+        end
+        else false)
+  in
+  !result

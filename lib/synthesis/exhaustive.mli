@@ -45,3 +45,38 @@ val count_solutions :
     (default 9) and returns the first hit with its dimensions. *)
 val minimal :
   ?alphabet:alphabet -> ?max_area:int -> Lattice_boolfn.Truthtable.t -> (Lattice_core.Grid.t * int * int) option
+
+(** [validate_circuit ?engine ?config ?dc grid ~target] checks the
+    switch-level realization of [grid]: the nominal lattice circuit is
+    built and DC-solved at every input state, and the output must be
+    boolean-correct (the complement of [target], since the lattice is a
+    pull-down network) against the [vdd/2] threshold. Convergence failure
+    at any state counts as invalid. Requires [nvars <= 5].
+
+    With [engine], the [2^nvars] input states fan out over the engine's
+    Domain pool (phase ["circuit-validate"]) and the DC solves go through
+    its content-addressed cache — repeated validations of the same grid
+    are cache hits. The verdict is identical to the serial check. *)
+val validate_circuit :
+  ?engine:Lattice_engine.Engine.t ->
+  ?config:Lattice_spice.Lattice_circuit.config ->
+  ?dc:Lattice_spice.Dcop.options ->
+  Lattice_core.Grid.t ->
+  target:Lattice_boolfn.Truthtable.t ->
+  bool
+
+(** [find_circuit_verified ~rows ~cols ?alphabet ?engine ?config ?dc ?pins
+    target] is {!find_with_pins} with a circuit back-end check: the first
+    grid (in odometer order) that both matches [target] logically {e and}
+    passes {!validate_circuit}. Logically-correct candidates that fail at
+    circuit level are skipped and the search continues. *)
+val find_circuit_verified :
+  rows:int ->
+  cols:int ->
+  ?alphabet:alphabet ->
+  ?engine:Lattice_engine.Engine.t ->
+  ?config:Lattice_spice.Lattice_circuit.config ->
+  ?dc:Lattice_spice.Dcop.options ->
+  ?pins:(int * Lattice_core.Grid.entry) list ->
+  Lattice_boolfn.Truthtable.t ->
+  Lattice_core.Grid.t option

@@ -32,7 +32,7 @@ let test_iv_variants () =
     (fun shape ->
       List.iter
         (fun dielectric ->
-          let r = E.Exp_iv.run_variant ~shape ~dielectric in
+          let r = E.Exp_iv.run_variant ~shape ~dielectric () in
           (* threshold voltages within 0.3 V of the paper's TCAD values *)
           Alcotest.(check bool)
             (r.E.Exp_iv.name ^ " vth")
@@ -45,7 +45,7 @@ let test_iv_variants () =
 
 let test_iv_orderings () =
   (* qualitative claims of Section III-B *)
-  let get shape d = E.Exp_iv.run_variant ~shape ~dielectric:d in
+  let get shape d = E.Exp_iv.run_variant ~shape ~dielectric:d () in
   let sq_h = get Lattice_device.Geometry.Square Lattice_device.Material.HfO2 in
   let sq_s = get Lattice_device.Geometry.Square Lattice_device.Material.SiO2 in
   let cr_h = get Lattice_device.Geometry.Cross Lattice_device.Material.HfO2 in

@@ -139,6 +139,14 @@ let test_mc_extreme_variation_kills_yield () =
     true
     (extreme.Mc.yield < nominal.Mc.yield)
 
+(* Determinism goldens: since the batch-engine change, Monte-Carlo draws
+   each sample's perturbations from an index-derived RNG stream
+   (Engine.sample_rng) instead of one sequential stream, so the exact
+   outcome values for a given seed differ from the pre-engine ones. The
+   run-vs-run checks below are unchanged in spirit — same seed still means
+   the same result — and gained a stronger guarantee: sample k no longer
+   depends on samples 0..k-1 (see the prefix-independence test). *)
+
 let test_mc_deterministic_seed () =
   let run () =
     Mc.run Lattice_synthesis.Library.maj3_2x3 ~target:(Tt.majority_n 3) ~samples:10 ~seed:7
@@ -166,6 +174,53 @@ let test_mc_bit_identical () =
         && Float.equal oa.Mc.worst_v_low ob.Mc.worst_v_low
         && Float.equal oa.Mc.worst_v_high ob.Mc.worst_v_high))
     a.Mc.outcomes
+
+(* --- Monte-Carlo x engine -------------------------------------------------- *)
+
+module Engine = Lattice_engine.Engine
+
+let check_outcomes_identical name (a : Mc.outcome array) (b : Mc.outcome array) =
+  Alcotest.(check int) (name ^ ": outcome count") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (oa : Mc.outcome) ->
+      let ob = b.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: outcome %d identical" name i)
+        true
+        (Bool.equal oa.Mc.functional ob.Mc.functional
+        && Float.equal oa.Mc.worst_v_low ob.Mc.worst_v_low
+        && Float.equal oa.Mc.worst_v_high ob.Mc.worst_v_high))
+    a
+
+let test_mc_parallel_parity () =
+  (* serial vs 1, 2 and 4 domains: bit-identical outcomes and yield *)
+  let run ?engine () =
+    Mc.run ?engine Lattice_synthesis.Library.maj3_2x3 ~target:(Tt.majority_n 3) ~samples:12
+      ~seed:5
+  in
+  let serial = run () in
+  List.iter
+    (fun domains ->
+      let e = Engine.create ~domains () in
+      let parallel = run ~engine:e () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains: bit-identical yield" domains)
+        true
+        (Float.equal serial.Mc.yield parallel.Mc.yield);
+      check_outcomes_identical (Printf.sprintf "%d domains" domains) serial.Mc.outcomes
+        parallel.Mc.outcomes;
+      let t = Engine.telemetry e in
+      Alcotest.(check int) "samples dispatched as jobs" 12 t.Engine.jobs)
+    [ 1; 2; 4 ]
+
+let test_mc_prefix_independence () =
+  (* index-derived RNG streams: sample k is the same whether 4 or 8 samples
+     run — a property the old sequential stream did not have *)
+  let run samples =
+    Mc.run Lattice_synthesis.Library.maj3_2x3 ~target:(Tt.majority_n 3) ~samples ~seed:11
+  in
+  let small = run 4 and large = run 8 in
+  check_outcomes_identical "first 4 of 8" small.Mc.outcomes (Array.sub large.Mc.outcomes 0 4)
 
 (* --- Fault campaign ------------------------------------------------------- *)
 
@@ -345,6 +400,68 @@ let test_campaign_repair_stuck_open () =
     (Fc.verify_with_defects grid ~target:(Tt.majority_n 3)
        ~defects:[ { Defects.row = 0; col = 0; kind = Defects.Stuck_open } ])
 
+(* --- Fault campaign x engine ----------------------------------------------- *)
+
+let check_samples_identical name (a : Fc.sample array) (b : Fc.sample array) =
+  Alcotest.(check int) (name ^ ": sample count") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (sa : Fc.sample) ->
+      let sb = b.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sample %d identical" name i)
+        true
+        (sa.Fc.classification = sb.Fc.classification
+        && sa.Fc.mismatches = sb.Fc.mismatches
+        && sa.Fc.detected_by = sb.Fc.detected_by
+        && sa.Fc.newton_iterations = sb.Fc.newton_iterations
+        && Float.equal sa.Fc.worst_v_low sb.Fc.worst_v_low
+        && Float.equal sa.Fc.worst_v_high sb.Fc.worst_v_high))
+    a
+
+let campaign_options =
+  { Fc.default_options with Fc.classes = [ Defects.Opens; Defects.Shorts ] }
+
+let test_campaign_parallel_parity () =
+  (* serial vs 1, 2 and 4 domains on the maj3 campaign (repairs included):
+     classifications, Newton accounting and repair outcomes all identical *)
+  let grid = Lattice_synthesis.Library.maj3_2x3 in
+  let serial = Fc.run ~options:campaign_options grid ~target:(Tt.majority_n 3) in
+  List.iter
+    (fun domains ->
+      let e = Engine.create ~domains () in
+      let parallel = Fc.run ~engine:e ~options:campaign_options grid ~target:(Tt.majority_n 3) in
+      check_samples_identical (Printf.sprintf "%d domains" domains) serial.Fc.samples
+        parallel.Fc.samples;
+      Alcotest.(check int)
+        (Printf.sprintf "%d domains: total newton" domains)
+        serial.Fc.total_newton parallel.Fc.total_newton;
+      Alcotest.(check int)
+        (Printf.sprintf "%d domains: repairs" domains)
+        (List.length serial.Fc.repairs)
+        (List.length parallel.Fc.repairs);
+      List.iter2
+        (fun (rs : Fc.repair) (rp : Fc.repair) ->
+          Alcotest.(check bool) "repair verdicts match" rs.Fc.reverified rp.Fc.reverified)
+        serial.Fc.repairs parallel.Fc.repairs)
+    [ 1; 2; 4 ]
+
+let test_campaign_cache_rerun () =
+  (* the same engine run twice over the same campaign: the second pass
+     must hit the content-addressed cache and still report identically —
+     including per-sample Newton counts, which cached hits replay *)
+  let grid = Lattice_synthesis.Library.maj3_2x3 in
+  let e = Engine.create ~domains:2 () in
+  let first = Fc.run ~engine:e ~options:campaign_options grid ~target:(Tt.majority_n 3) in
+  let t1 = Engine.telemetry e in
+  let second = Fc.run ~engine:e ~options:campaign_options grid ~target:(Tt.majority_n 3) in
+  let t2 = Engine.telemetry e in
+  Alcotest.(check bool) "second pass hits the cache" true
+    (t2.Engine.cache.Lattice_engine.Cache.hits > t1.Engine.cache.Lattice_engine.Cache.hits);
+  Alcotest.(check int) "no new solves on a warm cache" t1.Engine.dc_solves t2.Engine.dc_solves;
+  check_samples_identical "warm cache" first.Fc.samples second.Fc.samples;
+  Alcotest.(check int) "newton accounting identical warm" first.Fc.total_newton
+    second.Fc.total_newton
+
 let () =
   Alcotest.run "flow"
     [
@@ -355,6 +472,8 @@ let () =
           Alcotest.test_case "extreme variation" `Slow test_mc_extreme_variation_kills_yield;
           Alcotest.test_case "deterministic seed" `Quick test_mc_deterministic_seed;
           Alcotest.test_case "bit-identical outcomes" `Quick test_mc_bit_identical;
+          Alcotest.test_case "serial/parallel parity" `Slow test_mc_parallel_parity;
+          Alcotest.test_case "prefix independence" `Quick test_mc_prefix_independence;
         ] );
       ( "fault_campaign",
         [
@@ -365,6 +484,8 @@ let () =
           Alcotest.test_case "newton budget exhaustion" `Quick test_campaign_newton_budget;
           Alcotest.test_case "stuck-open detect/remap/re-verify" `Quick
             test_campaign_repair_stuck_open;
+          Alcotest.test_case "serial/parallel parity" `Slow test_campaign_parallel_parity;
+          Alcotest.test_case "cache re-run identity" `Quick test_campaign_cache_rerun;
         ] );
       ( "optimizer",
         [
