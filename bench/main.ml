@@ -392,6 +392,74 @@ let cache_rerun_report () =
   Printf.printf "  %s\n%!" (E.summary engine);
   rate
 
+(* Observability check: the tracing hooks compiled into the hot loops must
+   be invisible while disabled (< 2%, DESIGN.md "Observability layer").
+   Two identical min-of-N measurements of the XOR3 transient with obs off
+   bound the noise floor; their ratio lands in the JSON. A third, fully
+   traced, run feeds the histogram percentiles reported alongside. *)
+let obs_report () =
+  print_endline "==================================================================";
+  print_endline " Observability: disabled-mode overhead and traced-mode percentiles";
+  print_endline "==================================================================";
+  let kernel () =
+    let lc =
+      Lattice_spice.Lattice_circuit.build Lattice_synthesis.Library.xor3_3x3
+        ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:50e-9)
+    in
+    ignore
+      (Lattice_spice.Transient.run lc.Lattice_spice.Lattice_circuit.netlist ~h:1e-9
+         ~t_stop:50e-9 ~record:[ "out" ] ())
+  in
+  (* the kernel is ~1 ms, so time blocks of 20 and take the min of 7
+     blocks — single-run minima are too noisy for a 2% comparison *)
+  let time_kernel n =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Lattice_obs.Clock.now_ns () in
+      for _ = 1 to 20 do
+        kernel ()
+      done;
+      let dt = float_of_int (Lattice_obs.Clock.now_ns () - t0) in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  kernel ();
+  (* warm-up *)
+  let a = time_kernel 7 in
+  let b = time_kernel 7 in
+  let ratio = b /. a in
+  Printf.printf "  disabled-obs A/A ratio: %.4f (%s)\n%!" ratio
+    (if Float.abs (ratio -. 1.0) < 0.02 then "within the 2% noise target"
+     else "above the 2% noise target on this host");
+  Lattice_obs.Trace.set_enabled true;
+  Lattice_obs.Metrics.set_enabled true;
+  kernel ();
+  Lattice_obs.Trace.set_enabled false;
+  Lattice_obs.Metrics.set_enabled false;
+  let n_events = List.length (Lattice_obs.Trace.events ()) in
+  let safe x = if Float.is_finite x then x else 0.0 in
+  let pct name p =
+    safe (Lattice_obs.Metrics.Histogram.percentile (Lattice_obs.Metrics.histogram name) p)
+  in
+  let newton_p50 = pct "newton.iterations" 50.0
+  and newton_p95 = pct "newton.iterations" 95.0
+  and factor_p50_us = 1e6 *. pct "factor.seconds" 50.0
+  and factor_p95_us = 1e6 *. pct "factor.seconds" 95.0 in
+  Printf.printf
+    "  traced run: %d events; newton iters p50 %.3g p95 %.3g; factor p50 %.3g us p95 %.3g us\n%!"
+    n_events newton_p50 newton_p95 factor_p50_us factor_p95_us;
+  Lattice_obs.Trace.reset ();
+  Lattice_obs.Metrics.reset ();
+  [
+    ("obs_disabled_overhead_ratio", ratio);
+    ("obs_newton_iterations_p50", newton_p50);
+    ("obs_newton_iterations_p95", newton_p95);
+    ("obs_factor_us_p50", factor_p50_us);
+    ("obs_factor_us_p95", factor_p95_us);
+    ("obs_trace_events", float_of_int n_events);
+  ]
+
 (* Serial-vs-parallel ratios of the engine benches, by kernel name. On a
    single-core host these hover around 1.0 (domains timeshare one CPU);
    the JSON reports whatever was measured. *)
@@ -471,9 +539,12 @@ let () =
   if not json then experiments ();
   let allocation_free = allocation_check () in
   let cache_hit_rate = cache_rerun_report () in
+  let obs_extras = obs_report () in
   let results = run_benchmarks () in
   let extras =
-    engine_speedups results @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
+    engine_speedups results
+    @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
+    @ obs_extras
   in
   if json then
     write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free ~extras results

@@ -20,17 +20,60 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
 let make_engine domains = Lattice_engine.Engine.create ?domains ()
-let print_engine_summary e = print_endline (Lattice_engine.Engine.summary e)
+
+(* telemetry is diagnostics, not results: keep stdout machine-parseable *)
+let print_engine_summary e = prerr_endline (Lattice_engine.Engine.summary e)
+
+(* --- observability ----------------------------------------------------- *)
+
+(* Global [--trace FILE] / [--metrics] flags, threaded through every
+   subcommand as a leading unit argument so enabling happens before the
+   command body runs. The trace file and the metrics summary are emitted
+   from [at_exit], after the command (and any [at_exit] engine summaries)
+   finished. *)
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Record hierarchical spans (transient steps, Newton solves, LU \
+       factor/solve, cache traffic, campaign phases) and write them to \
+       $(docv) on exit — Chrome trace-event JSON loadable in Perfetto \
+       (ui.perfetto.dev) or chrome://tracing, or JSONL when $(docv) ends \
+       in .jsonl."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Collect counters and log-scale histograms (Newton iterations per \
+       solve, factor/solve times, transient step sizes, cache hit \
+       latency) and print the summary to stderr on exit."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let setup trace metrics =
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Lattice_obs.Trace.set_enabled true;
+      at_exit (fun () ->
+          Lattice_obs.Export.write ~path;
+          Printf.eprintf "trace written to %s\n%!" path));
+    if metrics then begin
+      Lattice_obs.Metrics.set_enabled true;
+      at_exit (fun () -> prerr_string (Lattice_obs.Export.summary ()))
+    end
+  in
+  Term.(const setup $ trace_arg $ metrics_arg)
 
 (* --- all -------------------------------------------------------------- *)
 
 let all_cmd =
   let doc = "regenerate every table and figure of the paper" in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const Lattice_experiments.All.print_all $ const ())
+  Cmd.v (Cmd.info "all" ~doc) Term.(const Lattice_experiments.All.print_all $ obs_term)
 
 (* --- table1 ----------------------------------------------------------- *)
 
-let table1 max_dim =
+let table1 () max_dim =
   print_report (Lattice_experiments.Exp_table1.report ~max_dim ())
 
 let table1_cmd =
@@ -40,11 +83,11 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"recompute Table I (products of the m x n lattice function)")
-    Term.(const table1 $ max_dim)
+    Term.(const table1 $ obs_term $ max_dim)
 
 (* --- function --------------------------------------------------------- *)
 
-let lattice_function rows cols =
+let lattice_function () rows cols =
   if rows * cols > 62 then prerr_endline "lattice too large (max 62 sites)"
   else begin
     let sop = Lattice_core.Lattice_function.of_generic ~rows ~cols in
@@ -62,11 +105,11 @@ let cols_arg =
 let function_cmd =
   Cmd.v
     (Cmd.info "function" ~doc:"print the generic m x n lattice function")
-    Term.(const lattice_function $ rows_arg $ cols_arg)
+    Term.(const lattice_function $ obs_term $ rows_arg $ cols_arg)
 
 (* --- synth ------------------------------------------------------------ *)
 
-let synth expr exhaustive max_area domains =
+let synth () expr exhaustive max_area domains =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -109,7 +152,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"synthesize a lattice for a Boolean expression")
-    Term.(const synth $ expr $ exhaustive $ max_area $ domains_arg)
+    Term.(const synth $ obs_term $ expr $ exhaustive $ max_area $ domains_arg)
 
 (* --- device experiments ---------------------------------------------- *)
 
@@ -124,49 +167,51 @@ let shape_arg =
        & info [ "s"; "shape" ] ~docv:"SHAPE" ~doc:"Device shape: square, cross or junctionless.")
 
 let iv_cmd =
-  let run shape domains =
+  let run () shape domains =
     let engine = make_engine domains in
     print_report (Lattice_experiments.Exp_iv.report ~engine shape);
     print_engine_summary engine
   in
   Cmd.v (Cmd.info "iv" ~doc:"device I-V curves and figures of merit (Figs 5-7)")
-    Term.(const run $ shape_arg $ domains_arg)
+    Term.(const run $ obs_term $ shape_arg $ domains_arg)
 
 let field_cmd =
-  let run n = print_report (Lattice_experiments.Exp_field.report ~n ()) in
+  let run () n = print_report (Lattice_experiments.Exp_field.report ~n ()) in
   let n_arg =
     Arg.(value & opt int 48 & info [ "grid" ] ~docv:"N" ~doc:"Field-solver grid resolution.")
   in
-  Cmd.v (Cmd.info "field" ~doc:"current-density profiles (Fig 8)") Term.(const run $ n_arg)
+  Cmd.v (Cmd.info "field" ~doc:"current-density profiles (Fig 8)")
+    Term.(const run $ obs_term $ n_arg)
 
 let fit_cmd =
   let run () = print_report (Lattice_experiments.Exp_fit.report ()) in
   Cmd.v (Cmd.info "fit" ~doc:"level-1 MOSFET parameter extraction (Fig 10)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let xor3_cmd =
   let run () =
     print_report (Lattice_experiments.Exp_xor3.report ());
     print_report (Lattice_experiments.Exp_transient.report ())
   in
-  Cmd.v (Cmd.info "xor3" ~doc:"XOR3 lattices and the Fig 11 transient") Term.(const run $ const ())
+  Cmd.v (Cmd.info "xor3" ~doc:"XOR3 lattices and the Fig 11 transient")
+    Term.(const run $ obs_term)
 
 let series_cmd =
-  let run max_n = print_report (Lattice_experiments.Exp_series.report ~max_n ()) in
+  let run () max_n = print_report (Lattice_experiments.Exp_series.report ~max_n ()) in
   let max_n =
     Arg.(value & opt int 21 & info [ "max-n" ] ~docv:"N" ~doc:"Longest chain to simulate.")
   in
   Cmd.v (Cmd.info "series" ~doc:"series-switch drive capability (Fig 12)")
-    Term.(const run $ max_n)
+    Term.(const run $ obs_term $ max_n)
 
 let table2_cmd =
   let run () = print_report (Lattice_experiments.Exp_table2.report ()) in
   Cmd.v (Cmd.info "table2" ~doc:"device structural features (Table II)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 (* --- optimize (paper Sec VI-A automated design tool) ------------------- *)
 
-let optimize expr use_spice max_area =
+let optimize () expr use_spice max_area =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -191,11 +236,11 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"rank lattice implementations by area/delay/power")
-    Term.(const optimize $ expr $ use_spice $ max_area)
+    Term.(const optimize $ obs_term $ expr $ use_spice $ max_area)
 
 (* --- faults ------------------------------------------------------------ *)
 
-let faults expr =
+let faults () expr =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -230,23 +275,23 @@ let faults_cmd =
   in
   Cmd.v
     (Cmd.info "faults" ~doc:"stuck-fault analysis and test generation for a synthesized lattice")
-    Term.(const faults $ expr)
+    Term.(const faults $ obs_term $ expr)
 
 let complementary_cmd =
   let run () = print_report (Lattice_experiments.Exp_complementary.report ()) in
   Cmd.v
     (Cmd.info "complementary" ~doc:"complementary lattice structure experiment (paper Sec VI-A)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let frequency_cmd =
   let run () = print_report (Lattice_experiments.Exp_frequency.report ()) in
   Cmd.v
     (Cmd.info "frequency" ~doc:"maximum frequency and dynamic energy (paper Sec VI-A)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 (* --- yield ------------------------------------------------------------- *)
 
-let yield expr samples sigma_vth domains =
+let yield () expr samples sigma_vth domains =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -282,11 +327,11 @@ let yield_cmd =
   in
   Cmd.v
     (Cmd.info "yield" ~doc:"Monte-Carlo process-variation yield of a synthesized lattice")
-    Term.(const yield $ expr $ samples $ sigma $ domains_arg)
+    Term.(const yield $ obs_term $ expr $ samples $ sigma $ domains_arg)
 
 (* --- defects ----------------------------------------------------------- *)
 
-let defects expr all_classes domains =
+let defects () expr all_classes domains =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -333,11 +378,11 @@ let defects_cmd =
   Cmd.v
     (Cmd.info "defects"
        ~doc:"circuit-level defect campaign (classification, detection, remapping) for a synthesized lattice")
-    Term.(const defects $ expr $ all_classes $ domains_arg)
+    Term.(const defects $ obs_term $ expr $ all_classes $ domains_arg)
 
 (* --- export ------------------------------------------------------------ *)
 
-let export expr =
+let export () expr =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -358,11 +403,11 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"synthesize a lattice and print its circuit as a SPICE deck")
-    Term.(const export $ expr)
+    Term.(const export $ obs_term $ expr)
 
 (* --- histogram ----------------------------------------------------------- *)
 
-let histogram rows cols =
+let histogram () rows cols =
   let h = Lattice_core.Paths.length_histogram ~rows ~cols in
   Printf.printf "products of the %dx%d lattice function by literal count:\n" rows cols;
   let total = Array.fold_left ( + ) 0 h in
@@ -378,7 +423,7 @@ let histogram rows cols =
 let histogram_cmd =
   Cmd.v
     (Cmd.info "histogram" ~doc:"product-size distribution of the generic m x n lattice function")
-    Term.(const histogram $ rows_arg $ cols_arg)
+    Term.(const histogram $ obs_term $ rows_arg $ cols_arg)
 
 let main =
   let doc = "four-terminal switching lattice toolkit (DATE 2019 reproduction)" in

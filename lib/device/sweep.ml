@@ -20,9 +20,10 @@ let run ?engine model ~case ~points ~sweep =
   let currents =
     (* Each bias point is independent; results merge by index, so the
        curves are bit-identical to the serial sweep at any domain count. *)
-    match engine with
-    | Some e -> Lattice_engine.Engine.map e ~phase:"iv-sweep" ~n:points point
-    | None -> Array.init points point
+    Lattice_obs.Trace.with_span ~cat:"device" "iv-sweep" (fun () ->
+        match engine with
+        | Some e -> Lattice_engine.Engine.map e ~phase:"iv-sweep" ~n:points point
+        | None -> Array.init points point)
   in
   List.map
     (fun t ->

@@ -6,6 +6,18 @@ type stats = {
   capacity : int;
 }
 
+module Trace = Lattice_obs.Trace
+module Metrics = Lattice_obs.Metrics
+
+(* process-wide registry counters, aggregated across every cache
+   instance; per-instance counts stay in [stats] *)
+let lookup_probe =
+  Lattice_obs.Probe.make ~cat:"engine" ~hist:"engine.cache.lookup.seconds" "cache.lookup"
+
+let hits_counter = Metrics.counter "engine.cache.hits"
+let misses_counter = Metrics.counter "engine.cache.misses"
+let evictions_counter = Metrics.counter "engine.cache.evictions"
+
 type 'a t = {
   capacity : int;
   table : (string, 'a) Hashtbl.t;
@@ -33,14 +45,22 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let find t ~key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some v ->
-        t.hits <- t.hits + 1;
-        Some v
-      | None ->
-        t.misses <- t.misses + 1;
-        None)
+  let t0 = Lattice_obs.Probe.enter lookup_probe in
+  let r =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+  in
+  Lattice_obs.Probe.leave lookup_probe t0;
+  (match r with
+  | Some _ -> Metrics.Counter.incr hits_counter
+  | None -> Metrics.Counter.incr misses_counter);
+  r
 
 let add t ~key v =
   locked t (fun () ->
@@ -49,7 +69,10 @@ let add t ~key v =
           match Queue.take_opt t.order with
           | Some victim ->
             Hashtbl.remove t.table victim;
-            t.evictions <- t.evictions + 1
+            t.evictions <- t.evictions + 1;
+            Metrics.Counter.incr evictions_counter;
+            if Trace.on () then
+              Trace.instant ~cat:"engine" ~args:[ ("key", victim) ] "cache.evict"
           | None -> ()
         end;
         Hashtbl.replace t.table key v;

@@ -7,7 +7,13 @@
     different domains can share it. Lookups never block on a compute:
     two domains missing the same key concurrently both compute (a
     benign duplicate) and the first [add] wins, keeping cached values
-    stable for the cache's lifetime. *)
+    stable for the cache's lifetime.
+
+    When {!Lattice_obs} is enabled, lookups feed the
+    ["engine.cache.lookup.seconds"] histogram and the process-wide
+    ["engine.cache.hits"]/["engine.cache.misses"]/["engine.cache.evictions"]
+    counters (aggregated over every cache instance; {!stats} stays
+    per-instance), and each eviction emits a trace instant. *)
 
 type 'a t
 

@@ -1,4 +1,12 @@
 module Sp = Lattice_spice
+module Trace = Lattice_obs.Trace
+module Metrics = Lattice_obs.Metrics
+
+(* process-wide registry mirrors of the per-instance telemetry atomics;
+   {!summary} stays a view over the instance, these feed [--metrics] *)
+let jobs_counter = Metrics.counter "engine.jobs"
+let dc_solves_counter = Metrics.counter "engine.dc_solves"
+let newton_counter = Metrics.counter "engine.newton_iterations"
 
 type dc_result =
   (Lattice_numerics.Vec.t * Sp.Dcop.diagnostics, Sp.Dcop.failure) result
@@ -42,11 +50,23 @@ let add_phase t phase dt =
 
 let timed t ~phase f =
   let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add_phase t phase (Unix.gettimeofday () -. t0)) f
+  let sp = if Trace.on () then Trace.begin_span ~cat:"engine" phase else Trace.null in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.end_span sp;
+      add_phase t phase (Unix.gettimeofday () -. t0))
+    f
 
 let map t ?phase ~n f =
   let run () =
     ignore (Atomic.fetch_and_add t.jobs n);
+    Metrics.Counter.add jobs_counter n;
+    let f =
+      if Trace.on () then (
+        let name = match phase with Some p -> p ^ ".job" | None -> "job" in
+        fun i -> Trace.with_span ~cat:"engine" ~args:[ ("index", string_of_int i) ] name (fun () -> f i))
+      else f
+    in
     Pool.map t.pool ~n f
   in
   match phase with None -> run () | Some phase -> timed t ~phase run
@@ -65,12 +85,14 @@ let dc_op t ?(options = Sp.Dcop.default_options) netlist =
   | None ->
     let r = Sp.Dcop.solve_diag ~options netlist in
     ignore (Atomic.fetch_and_add t.dc_solves 1);
+    Metrics.Counter.incr dc_solves_counter;
     let iters =
       match r with
       | Ok (_, d) -> d.Sp.Dcop.newton_iterations
       | Error f -> failure_iterations f
     in
     ignore (Atomic.fetch_and_add t.newton iters);
+    Metrics.Counter.add newton_counter iters;
     Cache.add t.dc_cache ~key (copy_result r);
     r
 

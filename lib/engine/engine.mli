@@ -68,8 +68,13 @@ type telemetry = {
 
 val telemetry : t -> telemetry
 
-(** [reset_telemetry e] zeroes counters and phase timers (the cache
-    contents survive; its counters reset). *)
+(** [reset_telemetry e] zeroes the job/solve/Newton counters, the phase
+    timers and the cache's hit/miss/eviction counters. The cache
+    {e contents} are untouched: entries stay resident, so a lookup that
+    hit before the reset still hits after it (with [telemetry] then
+    reporting that hit against fresh counters, and [dc_solves] staying
+    at 0). Use {!Cache.clear} semantics via a fresh engine when the
+    entries themselves must go. *)
 val reset_telemetry : t -> unit
 
 (** One-line rendering for CLI output, e.g.

@@ -18,7 +18,10 @@ let add_dc_options b (o : Sp.Dcop.options) =
   List.iter (add_float b) o.Sp.Dcop.gmin_steps;
   add_int b o.Sp.Dcop.source_steps;
   add_float b o.Sp.Dcop.damping;
-  Buffer.add_char b (engine_tag o.Sp.Dcop.engine)
+  Buffer.add_char b (engine_tag o.Sp.Dcop.engine);
+  (* conv_trace changes the diagnostics payload, and cache hits replay
+     diagnostics verbatim — traced and untraced solves must not alias *)
+  add_int b (Bool.to_int o.Sp.Dcop.conv_trace)
 
 let dc_options_digest options =
   let b = Buffer.create 128 in

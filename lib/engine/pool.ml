@@ -30,6 +30,10 @@ let map t ~n f =
     let failed = Atomic.make false in
     let next = Atomic.make 0 in
     let worker () =
+      let sp =
+        if Lattice_obs.Trace.on () then Lattice_obs.Trace.begin_span ~cat:"engine" "pool.worker"
+        else Lattice_obs.Trace.null
+      in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && not (Atomic.get failed) then begin
@@ -41,7 +45,8 @@ let map t ~n f =
           loop ()
         end
       in
-      loop ()
+      loop ();
+      Lattice_obs.Trace.end_span sp
     in
     (* the calling domain is worker 0 *)
     let spawned = Int.min (t.domains - 1) (n - 1) in

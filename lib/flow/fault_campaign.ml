@@ -263,11 +263,12 @@ let run ?engine ?(options = default_options) ?universe grid ~target =
     (* Each defect set is an independent job: results merge by index, so
        the report is bit-identical to the serial loop at any domain
        count. *)
-    match engine with
-    | Some e ->
-      Engine.map e ~phase:"fault-campaign" ~n:(Array.length sets) (fun i ->
-          simulate ~engine:e ~options grid ~target ~test_set sets.(i))
-    | None -> Array.map (fun ds -> simulate ~options grid ~target ~test_set ds) sets
+    Lattice_obs.Trace.with_span ~cat:"flow" "fault-campaign" (fun () ->
+        match engine with
+        | Some e ->
+          Engine.map e ~phase:"fault-campaign" ~n:(Array.length sets) (fun i ->
+              simulate ~engine:e ~options grid ~target ~test_set sets.(i))
+        | None -> Array.map (fun ds -> simulate ~options grid ~target ~test_set ds) sets)
   in
   let count c =
     Array.fold_left (fun acc s -> if s.classification = c then acc + 1 else acc) 0 samples
@@ -302,9 +303,10 @@ let run ?engine ?(options = default_options) ?universe grid ~target =
                  Option.map (repair_defect ?engine options grid ~target d) (logical_of_defect d)
                | _ -> None)
       in
-      match engine with
-      | Some e -> Engine.timed e ~phase:"campaign-repair" attempt
-      | None -> attempt ()
+      Lattice_obs.Trace.with_span ~cat:"flow" "campaign-repair" (fun () ->
+          match engine with
+          | Some e -> Engine.timed e ~phase:"campaign-repair" attempt
+          | None -> attempt ())
     end
   in
   let total_newton = Array.fold_left (fun acc s -> acc + s.newton_iterations) 0 samples in

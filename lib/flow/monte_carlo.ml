@@ -86,9 +86,12 @@ let run ?engine ?(config = Sp.Lattice_circuit.default_config) ?(variation = defa
     { functional = !ok; worst_v_low = !worst_low; worst_v_high = !worst_high }
   in
   let outcomes =
-    match engine with
-    | Some e -> Engine.map e ~phase:"monte-carlo" ~n:samples one_sample
-    | None -> Array.init samples one_sample
+    (* campaign span covers the serial path too; the engine path nests
+       its own "monte-carlo" phase span inside *)
+    Lattice_obs.Trace.with_span ~cat:"flow" "monte-carlo" (fun () ->
+        match engine with
+        | Some e -> Engine.map e ~phase:"monte-carlo" ~n:samples one_sample
+        | None -> Array.init samples one_sample)
   in
   let functional_count =
     Array.fold_left (fun acc o -> if o.functional then acc + 1 else acc) 0 outcomes

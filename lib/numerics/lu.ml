@@ -9,8 +9,18 @@ type factored = {
 
 let pivot_floor = 1e-300
 
+(* Observability probes shared (by histogram name) with the sparse
+   engine, so "factor.seconds" aggregates whichever engine ran. *)
+let factor_probe =
+  Lattice_obs.Probe.make ~cat:"numerics" ~args:[ ("engine", "dense") ] ~hist:"factor.seconds"
+    "factor"
+
+let solve_probe =
+  Lattice_obs.Probe.make ~cat:"numerics" ~args:[ ("engine", "dense") ] ~hist:"solve.seconds"
+    "solve"
+
 (* Doolittle elimination with partial pivoting on a scratch copy. *)
-let factor (m : Matrix.t) =
+let factor_impl (m : Matrix.t) =
   if m.Matrix.rows <> m.Matrix.cols then invalid_arg "Lu.factor: matrix not square";
   let n = m.Matrix.rows in
   let lu = Array.copy m.Matrix.data in
@@ -52,7 +62,17 @@ let factor (m : Matrix.t) =
   done;
   { n; lu; perm; sign = !sign }
 
-let solve_in_place f b =
+let factor m =
+  let t0 = Lattice_obs.Probe.enter factor_probe in
+  match factor_impl m with
+  | f ->
+    Lattice_obs.Probe.leave factor_probe t0;
+    f
+  | exception e ->
+    Lattice_obs.Probe.leave factor_probe t0;
+    raise e
+
+let solve_in_place_impl f b =
   let { n; lu; perm; _ } = f in
   if Array.length b <> n then invalid_arg "Lu.solve: size mismatch";
   (* apply permutation *)
@@ -77,6 +97,11 @@ let solve_in_place f b =
     x.(i) <- !acc /. lu.((i * n) + i)
   done;
   Array.blit x 0 b 0 n
+
+let solve_in_place f b =
+  let t0 = Lattice_obs.Probe.enter solve_probe in
+  solve_in_place_impl f b;
+  Lattice_obs.Probe.leave solve_probe t0
 
 let solve f b =
   let out = Array.copy b in

@@ -1,0 +1,13 @@
+(** Monotonic nanosecond clock.
+
+    All observability timestamps come from here so spans and histogram
+    samples share one time base. Backed by the OS monotonic clock
+    (CLOCK_MONOTONIC), so durations are immune to wall-clock steps. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary (boot-time) origin. A 63-bit OCaml
+    [int] holds monotonic nanoseconds for ~292 years, so plain ints are
+    safe and allocation-free. *)
+
+val ns_to_s : int -> float
+(** Nanoseconds to seconds. *)

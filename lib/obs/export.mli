@@ -1,0 +1,25 @@
+(** Exporters over {!Trace.events} and {!Metrics.snapshot}.
+
+    [chrome_json] emits the Chrome trace-event format (JSON object with
+    a ["traceEvents"] array of ["ph":"X"] complete events and
+    ["ph":"i"] instants, timestamps in microseconds) — load the file in
+    Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+    [chrome://tracing]. Each recording domain appears as its own track
+    via [tid], with a thread-name metadata record.
+
+    [jsonl] emits one self-describing JSON object per line: every trace
+    event (with nanosecond timestamps and explicit [parent] span ids),
+    then every metric. Suited to [jq]-style post-processing.
+
+    [summary] is the human-readable metrics rendering
+    ({!Metrics.render}). *)
+
+val chrome_json : unit -> string
+val jsonl : unit -> string
+val summary : unit -> string
+
+val write_chrome : path:string -> unit
+val write_jsonl : path:string -> unit
+
+val write : path:string -> unit
+(** Chrome format, unless [path] ends in [.jsonl]. *)

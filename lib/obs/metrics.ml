@@ -1,0 +1,253 @@
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let set_enabled b = Atomic.set enabled b
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let incr t = if on () then Atomic.incr t
+  let add t n = if on () then ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let make () = Atomic.make 0
+  let reset t = Atomic.set t 0
+end
+
+module Gauge = struct
+  type t = { lock : Mutex.t; mutable v : float }
+
+  let make () = { lock = Mutex.create (); v = 0.0 }
+
+  let set t v =
+    if on () then begin
+      Mutex.lock t.lock;
+      t.v <- v;
+      Mutex.unlock t.lock
+    end
+
+  let get t =
+    Mutex.lock t.lock;
+    let v = t.v in
+    Mutex.unlock t.lock;
+    v
+
+  let reset t =
+    Mutex.lock t.lock;
+    t.v <- 0.0;
+    Mutex.unlock t.lock
+end
+
+module Histogram = struct
+  (* Power-of-two buckets: bucket [i] for 1 <= i <= 70 covers
+     [2^(i-41), 2^(i-40)), i.e. ~1e-12 .. ~1e9; bucket 0 is underflow
+     (v <= 0 included), bucket 71 overflow. *)
+  let nbuckets = 72
+  let bias = 40
+
+  type t = {
+    lock : Mutex.t;
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let make () =
+    {
+      lock = Mutex.create ();
+      counts = Array.make nbuckets 0;
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+    }
+
+  let bucket_of v =
+    if not (v > 0.0) then 0
+    else begin
+      let _, e = Float.frexp v in
+      let i = e + bias in
+      if i < 1 then 0 else if i > nbuckets - 2 then nbuckets - 1 else i
+    end
+
+  let lower i = Float.ldexp 1.0 (i - bias - 1)
+  let upper i = Float.ldexp 1.0 (i - bias)
+
+  let observe t v =
+    if on () then begin
+      let i = bucket_of v in
+      Mutex.lock t.lock;
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.count <- t.count + 1;
+      t.sum <- t.sum +. v;
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v;
+      Mutex.unlock t.lock
+    end
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let count t = locked t (fun () -> t.count)
+  let sum t = locked t (fun () -> t.sum)
+  let min_value t = locked t (fun () -> if t.count = 0 then Float.nan else t.min_v)
+  let max_value t = locked t (fun () -> if t.count = 0 then Float.nan else t.max_v)
+
+  let percentile t p =
+    locked t (fun () ->
+        if t.count = 0 then Float.nan
+        else begin
+          let rank =
+            let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count)) in
+            Int.max 1 (Int.min t.count r)
+          in
+          (* the extreme ranks are known exactly — don't approximate them
+             with a bucket midpoint *)
+          if rank = 1 then t.min_v
+          else if rank = t.count then t.max_v
+          else begin
+            let i = ref 0 and seen = ref 0 in
+            while !seen < rank && !i < nbuckets do
+              seen := !seen + t.counts.(!i);
+              if !seen < rank then incr i
+            done;
+            let repr =
+              if !i = 0 then t.min_v
+              else if !i = nbuckets - 1 then t.max_v
+              else sqrt (lower !i *. upper !i)
+            in
+            Float.min t.max_v (Float.max t.min_v repr)
+          end
+        end)
+
+  let buckets t =
+    locked t (fun () ->
+        let out = ref [] in
+        for i = nbuckets - 1 downto 0 do
+          if t.counts.(i) > 0 then out := (lower i, upper i, t.counts.(i)) :: !out
+        done;
+        !out)
+
+  let reset t =
+    locked t (fun () ->
+        Array.fill t.counts 0 nbuckets 0;
+        t.count <- 0;
+        t.sum <- 0.0;
+        t.min_v <- infinity;
+        t.max_v <- neg_infinity)
+end
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of Histogram.t
+
+type instrument = C of Counter.t | G of Gauge.t | H of Histogram.t
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some (G _ | H _) ->
+        invalid_arg (Printf.sprintf "Metrics.counter: %S is registered as another kind" name)
+      | None ->
+        let c = Counter.make () in
+        Hashtbl.replace registry name (C c);
+        c)
+
+let gauge name =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (G g) -> g
+      | Some (C _ | H _) ->
+        invalid_arg (Printf.sprintf "Metrics.gauge: %S is registered as another kind" name)
+      | None ->
+        let g = Gauge.make () in
+        Hashtbl.replace registry name (G g);
+        g)
+
+let histogram name =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> h
+      | Some (C _ | G _) ->
+        invalid_arg (Printf.sprintf "Metrics.histogram: %S is registered as another kind" name)
+      | None ->
+        let h = Histogram.make () in
+        Hashtbl.replace registry name (H h);
+        h)
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  entries
+  |> List.map (fun (name, i) ->
+         ( name,
+           match i with
+           | C c -> Counter_value (Counter.get c)
+           | G g -> Gauge_value (Gauge.get g)
+           | H h -> Histogram_value h ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun _ i acc -> i :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.iter
+    (function C c -> Counter.reset c | G g -> Gauge.reset g | H h -> Histogram.reset h)
+    entries
+
+let render () =
+  let buf = Buffer.create 1024 in
+  let counters, gauges, hists =
+    List.fold_left
+      (fun (cs, gs, hs) (name, v) ->
+        match v with
+        | Counter_value n -> ((name, n) :: cs, gs, hs)
+        | Gauge_value g -> (cs, (name, g) :: gs, hs)
+        | Histogram_value h -> (cs, gs, (name, h) :: hs))
+      ([], [], []) (List.rev (snapshot ()))
+  in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" n v)) counters
+  end;
+  if gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %g\n" n v)) gauges
+  end;
+  List.iter
+    (fun (name, h) ->
+      let count = Histogram.count h in
+      if count = 0 then Buffer.add_string buf (Printf.sprintf "histogram %s: empty\n" name)
+      else begin
+        let mean = Histogram.sum h /. float_of_int count in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "histogram %s: count %d  mean %.4g  p50 %.4g  p90 %.4g  p95 %.4g  p99 %.4g  max %.4g\n"
+             name count mean (Histogram.percentile h 50.0) (Histogram.percentile h 90.0)
+             (Histogram.percentile h 95.0) (Histogram.percentile h 99.0) (Histogram.max_value h));
+        let bs = Histogram.buckets h in
+        let biggest = List.fold_left (fun m (_, _, c) -> Int.max m c) 1 bs in
+        List.iter
+          (fun (lo, hi, c) ->
+            let bar = String.make (Int.max 1 (c * 40 / biggest)) '#' in
+            Buffer.add_string buf (Printf.sprintf "  [%9.3g, %9.3g) %8d %s\n" lo hi c bar))
+          bs
+      end)
+    hists;
+  Buffer.contents buf

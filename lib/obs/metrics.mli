@@ -1,0 +1,78 @@
+(** Named counters, gauges and log-scale histograms, zero-cost when
+    disabled.
+
+    Instruments live in one global registry keyed by name: the first
+    [counter]/[gauge]/[histogram] call for a name creates it, later
+    calls return the same instrument (asking for an existing name with
+    a different kind raises [Invalid_argument]). Recording calls check
+    a global enabled flag first — one atomic load, nothing recorded and
+    nothing allocated while metrics are off.
+
+    Counters are Domain-safe atomics. Histograms use fixed power-of-two
+    buckets (log scale, ~1e-12 .. 5e8 with under/overflow buckets), so
+    an observation is a handful of arithmetic ops plus a short
+    mutex-protected bucket bump — cheap enough for once-per-solve and
+    once-per-factor call sites, and exact [min]/[max] are kept so tail
+    percentiles clamp to really-observed values. *)
+
+val on : unit -> bool
+val set_enabled : bool -> unit
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val get : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Record a sample (no-op while disabled). Non-positive values land
+      in the underflow bucket. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val min_value : t -> float
+  (** [nan] when empty. *)
+
+  val max_value : t -> float
+  (** [nan] when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0..100]: nearest-rank over the
+      buckets. The first and last ranks return the exact observed
+      [min]/[max]; interior ranks return the geometric midpoint of the
+      selected bucket clamped to [[min, max]]. [nan] when empty. *)
+
+  val buckets : t -> (float * float * int) list
+  (** Non-empty buckets as [(lower, upper, count)], ascending. *)
+end
+
+val counter : string -> Counter.t
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of Histogram.t
+
+val snapshot : unit -> (string * value) list
+(** Every registered instrument, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registry entries survive). *)
+
+val render : unit -> string
+(** Human-readable summary: counters, gauges, then one block per
+    histogram with count/mean/percentiles and a bucket bar chart. *)

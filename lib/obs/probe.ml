@@ -1,0 +1,12 @@
+type t = { name : string; cat : string; args : (string * string) list; hist : Metrics.Histogram.t }
+
+let make ?(cat = "") ?(args = []) ~hist name = { name; cat; args; hist = Metrics.histogram hist }
+
+let enter _t = if Trace.on () || Metrics.on () then Clock.now_ns () else -1
+
+let leave t t0 =
+  if t0 >= 0 then begin
+    let t1 = Clock.now_ns () in
+    if Metrics.on () then Metrics.Histogram.observe t.hist (Clock.ns_to_s (t1 - t0));
+    if Trace.on () then Trace.complete ~cat:t.cat ~args:t.args ~name:t.name ~t0_ns:t0 ~t1_ns:t1 ()
+  end

@@ -1,0 +1,24 @@
+(** A preallocated leaf instrumentation site: one span name + one
+    duration histogram, sharing a single clock read per edge.
+
+    Made for allocation-sensitive hot loops (LU factor/solve inside
+    Newton): [enter] returns [-1] without touching the clock when both
+    tracing and metrics are off, so the disabled cost is two atomic
+    loads and a compare. The span's category and static args live in
+    the probe, so nothing is allocated per call on the enabled path
+    either (beyond the trace event itself). *)
+
+type t
+
+val make : ?cat:string -> ?args:(string * string) list -> hist:string -> string -> t
+(** [make ~hist name] — [name] is the span name, [hist] the histogram
+    (seconds) registered in {!Metrics}. *)
+
+val enter : t -> int
+(** Start timestamp, or [-1] when both subsystems are disabled. *)
+
+val leave : t -> int -> unit
+(** [leave p t0] with [t0] from [enter p]: observes the duration into
+    the histogram (when metrics are on) and appends a completed span
+    (when tracing is on). Callers on exception paths must call this
+    before re-raising. *)

@@ -2,8 +2,14 @@ module Vec = Lattice_numerics.Vec
 module Lu = Lattice_numerics.Lu
 module Matrix = Lattice_numerics.Matrix
 module Sparse = Lattice_numerics.Sparse
+module Trace = Lattice_obs.Trace
+module Metrics = Lattice_obs.Metrics
 
 exception Convergence_failure of string
+
+let solves_counter = Metrics.counter "dcop.solves"
+let fallback_counter = Metrics.counter "dcop.fallbacks"
+let newton_iter_hist = Metrics.histogram "newton.iterations"
 
 type engine = Auto | Dense | Sparse
 
@@ -16,6 +22,7 @@ type options = {
   source_steps : int;
   damping : float;
   engine : engine;
+  conv_trace : bool;
 }
 
 let default_options =
@@ -28,6 +35,7 @@ let default_options =
     source_steps = 10;
     damping = 1.0;
     engine = Auto;
+    conv_trace = false;
   }
 
 type strategy =
@@ -61,6 +69,7 @@ type diagnostics = {
   strategy : strategy;
   attempts : (strategy * int) list;
   newton_iterations : int;
+  conv_trace : (strategy * float array) list;
 }
 
 type failure = {
@@ -105,6 +114,19 @@ let converged options x_old x_new =
 
 let bump = function None -> () | Some r -> incr r
 
+(* Newton-update inf-norm, reported to the optional convergence-trace
+   hook. Only computed when a hook is installed — the plain solve path
+   pays nothing. *)
+let report_dx on_iter x x_new n =
+  match on_iter with
+  | None -> ()
+  | Some f ->
+    let m = ref 0.0 in
+    for i = 0 to n - 1 do
+      m := Float.max !m (Float.abs (x_new.(i) -. x.(i)))
+    done;
+    f !m
+
 (* KCL residual of the nonlinear system at [x]: the companion
    linearization A(x) x' = b(x) is exact at its own expansion point, so
    r = A(x) x - b(x) is the true device-equation residual. Dense assembly
@@ -133,7 +155,7 @@ let residual_report ?(time = 0.0) ?(gmin = default_options.gmin_final) ?(gshunt 
    plan's first factorization (all buffers are plan-owned). On failure
    the last iterate is left in [dst] for the caller's diagnostics. *)
 let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-    ~nnodes =
+    ~on_iter ~nnodes =
   let n = Stamp_plan.n plan in
   let x = Stamp_plan.x_buffer plan and x_new = Stamp_plan.x_new_buffer plan in
   Array.blit x0 0 x 0 n;
@@ -158,6 +180,7 @@ let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps
       let d = x_new.(i) -. x.(i) in
       if Float.abs d > options.damping then x_new.(i) <- x.(i) +. Float.copy_sign options.damping d
     done;
+    report_dx on_iter x x_new n;
     incr k;
     if converged options x x_new then begin
       Array.blit x_new 0 dst 0 n;
@@ -169,7 +192,7 @@ let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps
 
 (* the dense reference engine: rebuilds the full matrix each iteration *)
 let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-    ~nnodes =
+    ~on_iter ~nnodes =
   let n = Netlist.unknowns netlist in
   let x = Vec.copy x0 in
   let rec iterate k =
@@ -190,6 +213,7 @@ let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~ca
       let d = x_new.(i) -. x.(i) in
       if Float.abs d > options.damping then x_new.(i) <- x.(i) +. Float.copy_sign options.damping d
     done;
+    report_dx on_iter x x_new n;
     if converged options x x_new then begin
       Array.blit x_new 0 dst 0 n;
       k + 1
@@ -201,23 +225,33 @@ let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~ca
   in
   iterate 0
 
-let newton_into ?(gshunt = 0.0) ?plan ?iter_count netlist ~options ~x0 ~dst ~time ~gmin
+let newton_into ?(gshunt = 0.0) ?plan ?iter_count ?on_iter netlist ~options ~x0 ~dst ~time ~gmin
     ~source_scale ~caps =
   let nnodes = Netlist.num_nodes netlist in
   let plan = match plan with Some _ as p -> p | None -> plan_for options netlist in
-  match plan with
-  | Some plan ->
-    newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-      ~nnodes
-  | None ->
-    newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-      ~nnodes
+  let sp = Trace.begin_span ~cat:"spice" "newton" in
+  match
+    match plan with
+    | Some plan ->
+      newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
+        ~on_iter ~nnodes
+    | None ->
+      newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
+        ~on_iter ~nnodes
+  with
+  | k ->
+    Trace.end_span sp;
+    k
+  | exception e ->
+    Trace.end_span sp;
+    raise e
 
-let newton ?gshunt ?plan ?iter_count netlist ~options ~x0 ~time ~gmin ~source_scale ~caps =
+let newton ?gshunt ?plan ?iter_count ?on_iter netlist ~options ~x0 ~time ~gmin ~source_scale
+    ~caps =
   let dst = Array.make (Array.length x0) 0.0 in
   let iters =
-    newton_into ?gshunt ?plan ?iter_count netlist ~options ~x0 ~dst ~time ~gmin ~source_scale
-      ~caps
+    newton_into ?gshunt ?plan ?iter_count ?on_iter netlist ~options ~x0 ~dst ~time ~gmin
+      ~source_scale ~caps
   in
   (dst, iters)
 
@@ -228,22 +262,37 @@ let last_solve_diagnostics () = !last_diag
 let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
   let n = Netlist.unknowns netlist in
   if n = 0 then begin
-    let d = { strategy = Plain; attempts = []; newton_iterations = 0 } in
+    let d = { strategy = Plain; attempts = []; newton_iterations = 0; conv_trace = [] } in
     last_diag := Some (Ok d);
     Ok ([||], d)
   end
   else begin
+    Metrics.Counter.incr solves_counter;
+    let sp = Trace.begin_span ~cat:"spice" "dcop" in
     let plan = match plan with Some _ as p -> p | None -> plan_for options netlist in
     let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.zeros n in
     (* last Newton iterate of the most recent failed attempt, for the
        failure diagnostics *)
     let last_x = Vec.copy x0 in
+    (* per-iteration |dx| inf-norms of the rung currently running, newest
+       first; flushed into [traces] when the rung ends *)
+    let cur_norms = ref [] in
+    let on_iter =
+      if options.conv_trace then Some (fun nrm -> cur_norms := nrm :: !cur_norms) else None
+    in
+    let traces = ref [] in
+    let record_trace tag =
+      if options.conv_trace then begin
+        traces := (tag, Array.of_list (List.rev !cur_norms)) :: !traces;
+        cur_norms := []
+      end
+    in
     let run_newton ?gshunt ~options ~count ~x0 ~gmin ~source_scale () =
       let dst = Array.make n 0.0 in
       (try
          ignore
-           (newton_into ?gshunt ?plan ~iter_count:count netlist ~options ~x0 ~dst ~time ~gmin
-              ~source_scale ~caps:None)
+           (newton_into ?gshunt ?plan ~iter_count:count ?on_iter netlist ~options ~x0 ~dst ~time
+              ~gmin ~source_scale ~caps:None)
        with Convergence_failure _ as e ->
          Array.blit dst 0 last_x 0 n;
          raise e);
@@ -306,20 +355,39 @@ let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
         let f =
           { message = last_msg; attempts = List.rev !attempts; residual_norm; worst_nodes }
         in
+        Metrics.Histogram.observe newton_iter_hist (float_of_int (total ()));
+        Trace.end_span sp;
         last_diag := Some (Error f);
         Error f
       | (tag, attempt) :: rest -> (
         let count = ref 0 in
+        let asp = Trace.begin_span ~cat:"spice" ("dcop:" ^ strategy_name tag) in
         match attempt count () with
         | x ->
+          Trace.end_span asp;
+          record_trace tag;
           attempts := (tag, !count) :: !attempts;
           let d =
-            { strategy = tag; attempts = List.rev !attempts; newton_iterations = total () }
+            {
+              strategy = tag;
+              attempts = List.rev !attempts;
+              newton_iterations = total ();
+              conv_trace = List.rev !traces;
+            }
           in
+          Metrics.Histogram.observe newton_iter_hist (float_of_int d.newton_iterations);
+          Trace.end_span sp;
           last_diag := Some (Ok d);
           Ok (x, d)
         | exception Convergence_failure msg ->
+          Trace.end_span asp;
+          record_trace tag;
           attempts := (tag, !count) :: !attempts;
+          Metrics.Counter.incr fallback_counter;
+          if Trace.on () then
+            Trace.instant ~cat:"spice"
+              ~args:[ ("strategy", strategy_name tag); ("iterations", string_of_int !count) ]
+              "dcop.fallback";
           try_ladder msg rest)
     in
     try_ladder "no strategy attempted" ladder

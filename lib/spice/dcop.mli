@@ -26,6 +26,10 @@ type options = {
   source_steps : int;  (** ramp points for the source-stepping fallback (default 10) *)
   damping : float;  (** max voltage change per Newton step, V (default 1.0) *)
   engine : engine;  (** linear-solver backend (default [Auto]) *)
+  conv_trace : bool;
+      (** record the per-iteration Newton update norm into
+          [diagnostics.conv_trace] (default [false]; costs one extra
+          vector pass per iteration while on) *)
 }
 
 val default_options : options
@@ -54,6 +58,10 @@ type diagnostics = {
       (** every rung tried, in order, with the Newton iterations it
           spent — failed rungs included, the winning rung last *)
   newton_iterations : int;  (** total across all attempts *)
+  conv_trace : (strategy * float array) list;
+      (** with [options.conv_trace] on: for every rung tried, the Newton
+          update inf-norm |dx| of each iteration in order (continuation
+          sub-steps concatenated); [[]] when the option is off *)
 }
 
 type failure = {
@@ -101,11 +109,15 @@ val residual_report :
     [plan] supplies a precompiled sparse stamp plan (overrides
     [options.engine]); [iter_count] is incremented once per iteration as
     it happens, so iterations spent in attempts that end in
-    [Convergence_failure] are still counted. *)
+    [Convergence_failure] are still counted. [on_iter] is called once
+    per iteration with the damped update's inf-norm |dx| (the
+    convergence-trace hook; the norm is only computed when the hook is
+    present). *)
 val newton :
   ?gshunt:float ->
   ?plan:Stamp_plan.t ->
   ?iter_count:int ref ->
+  ?on_iter:(float -> unit) ->
   Netlist.t ->
   options:options ->
   x0:Lattice_numerics.Vec.t ->
@@ -125,6 +137,7 @@ val newton_into :
   ?gshunt:float ->
   ?plan:Stamp_plan.t ->
   ?iter_count:int ref ->
+  ?on_iter:(float -> unit) ->
   Netlist.t ->
   options:options ->
   x0:Lattice_numerics.Vec.t ->

@@ -1,5 +1,15 @@
 type integrator = Backward_euler | Trapezoidal
 
+module Trace = Lattice_obs.Trace
+module Metrics = Lattice_obs.Metrics
+
+let steps_counter = Metrics.counter "transient.steps"
+let halvings_counter = Metrics.counter "transient.halvings"
+let step_dt_hist = Metrics.histogram "transient.step.dt"
+
+(* same registry instrument Dcop feeds for operating-point solves *)
+let newton_iter_hist = Metrics.histogram "newton.iterations"
+
 type options = { integrator : integrator; dc : Dcop.options; max_step_halvings : int }
 
 let default_options =
@@ -10,6 +20,7 @@ type step_stats = {
   steps_taken : int;
   halvings : int;
   min_dt : float;
+  halving_events : (float * float) list;
 }
 
 type result = {
@@ -109,19 +120,41 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
   let steps_taken = ref 0 in
   let halvings = ref 0 in
   let min_dt = ref h in
+  (* (t, dt) of each step whose Newton solve failed and was halved,
+     newest first *)
+  let halving_log = ref [] in
   let stats dc_strategy =
-    { dc_strategy; steps_taken = !steps_taken; halvings = !halvings; min_dt = !min_dt }
+    {
+      dc_strategy;
+      steps_taken = !steps_taken;
+      halvings = !halvings;
+      min_dt = !min_dt;
+      halving_events = List.rev !halving_log;
+    }
+  in
+  let tr_sp =
+    if Trace.on () then
+      Trace.begin_span ~cat:"spice"
+        ~args:[ ("h", Printf.sprintf "%.6g" h); ("t_stop", Printf.sprintf "%.6g" t_stop) ]
+        "transient"
+    else Trace.null
+  in
+  let finish r =
+    Trace.end_span tr_sp;
+    r
   in
   match Dcop.solve_diag ~options:options.dc ?plan ~time:0.0 netlist with
   | Error dc_failure ->
-    Error
-      {
-        at_time = 0.0;
-        dt = h;
-        newton_iterations_total = dc_failure.Dcop.attempts |> List.fold_left (fun a (_, k) -> a + k) 0;
-        stats = stats None;
-        dc_failure;
-      }
+    finish
+      (Error
+         {
+           at_time = 0.0;
+           dt = h;
+           newton_iterations_total =
+             dc_failure.Dcop.attempts |> List.fold_left (fun a (_, k) -> a + k) 0;
+           stats = stats None;
+           dc_failure;
+         })
   | Ok (x_op, op_diag) ->
     newton_total := op_diag.Dcop.newton_iterations;
     let dc_strategy = Some op_diag.Dcop.strategy in
@@ -140,8 +173,24 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
     let comp = { Mna.geq = Array.make ncaps 0.0; ieq = Array.make ncaps 0.0 } in
     let caps_opt = Some comp in
     let first_step = ref true in
-    (* advance from [t] by [dt]; recursive halving on Newton failure *)
+    (* advance from [t] by [dt]; recursive halving on Newton failure.
+       [advance] wraps [advance_body] in a per-step span, so halved
+       sub-steps appear nested under the step that spawned them. *)
     let rec advance t dt halvings_here =
+      if Trace.on () then begin
+        let sp =
+          Trace.begin_span ~cat:"spice"
+            ~args:[ ("t", Printf.sprintf "%.6g" t); ("dt", Printf.sprintf "%.6g" dt) ]
+            "step"
+        in
+        match advance_body t dt halvings_here with
+        | () -> Trace.end_span sp
+        | exception e ->
+          Trace.end_span sp;
+          raise e
+      end
+      else advance_body t dt halvings_here
+    and advance_body t dt halvings_here =
       let use_trap = options.integrator = Trapezoidal && not !first_step in
       for k = 0 to ncaps - 1 do
         if use_trap then begin
@@ -162,6 +211,11 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
       | _iters ->
         newton_total := !newton_total + !step_iters;
         incr steps_taken;
+        Metrics.Counter.incr steps_counter;
+        if Metrics.on () then begin
+          Metrics.Histogram.observe step_dt_hist dt;
+          Metrics.Histogram.observe newton_iter_hist (float_of_int !step_iters)
+        end;
         min_dt := Float.min !min_dt dt;
         let x = !x_next in
         for k = 0 to ncaps - 1 do
@@ -195,6 +249,12 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
                  } ))
         end;
         incr halvings;
+        halving_log := (t, dt) :: !halving_log;
+        Metrics.Counter.incr halvings_counter;
+        if Trace.on () then
+          Trace.instant ~cat:"spice"
+            ~args:[ ("t", Printf.sprintf "%.6g" t); ("dt", Printf.sprintf "%.6g" dt) ]
+            "halve";
         let half = dt /. 2.0 in
         advance t half (halvings_here + 1);
         advance (t +. half) half (halvings_here + 1)
@@ -218,25 +278,27 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
          advance times.(k - 1) (times.(k) -. times.(k - 1)) 0;
          sample k
        done;
-       Ok
-         {
-           times;
-           node_names = Array.of_list record;
-           voltages;
-           current_names = Array.of_list record_currents;
-           currents;
-           newton_iterations_total = !newton_total;
-           stats = stats dc_strategy;
-         }
+       finish
+         (Ok
+            {
+              times;
+              node_names = Array.of_list record;
+              voltages;
+              current_names = Array.of_list record_currents;
+              currents;
+              newton_iterations_total = !newton_total;
+              stats = stats dc_strategy;
+            })
      with Step_failed (at_time, dt, dc_failure) ->
-       Error
-         {
-           at_time;
-           dt;
-           newton_iterations_total = !newton_total;
-           stats = stats dc_strategy;
-           dc_failure;
-         })
+       finish
+         (Error
+            {
+              at_time;
+              dt;
+              newton_iterations_total = !newton_total;
+              stats = stats dc_strategy;
+              dc_failure;
+            }))
 
 let run ?options netlist ~h ~t_stop ~record ?record_currents () =
   match run_diag ?options netlist ~h ~t_stop ~record ?record_currents () with

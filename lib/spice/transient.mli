@@ -28,6 +28,10 @@ type step_stats = {
   steps_taken : int;  (** accepted solver steps, halved micro-steps included *)
   halvings : int;  (** step-halving events across the run *)
   min_dt : float;  (** smallest step actually taken *)
+  halving_events : (float * float) list;
+      (** [(t, dt)] of every step whose Newton solve failed and was
+          split, in chronological order — one entry per halving, so its
+          length equals [halvings] *)
 }
 
 type result = {

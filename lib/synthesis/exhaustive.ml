@@ -79,7 +79,8 @@ let search ~rows ~cols ~alphabet ~pins target on_hit =
       done
     end
   in
-  (try go 0 with Stop -> ());
+  Lattice_obs.Trace.with_span ~cat:"synthesis" "exhaustive-search" (fun () ->
+      try go 0 with Stop -> ());
   site_entries
 
 let grid_of_digits ~rows ~cols site_entries digits =
@@ -152,9 +153,10 @@ let validate_circuit ?engine ?(config = Sp.Lattice_circuit.default_config)
       Bool.equal (v > vdd /. 2.0) (not (Tt.eval target m))
   in
   let oks =
-    match engine with
-    | Some e -> Engine.map e ~phase:"circuit-validate" ~n:states state_ok
-    | None -> Array.init states state_ok
+    Lattice_obs.Trace.with_span ~cat:"synthesis" "circuit-validate" (fun () ->
+        match engine with
+        | Some e -> Engine.map e ~phase:"circuit-validate" ~n:states state_ok
+        | None -> Array.init states state_ok)
   in
   Array.for_all Fun.id oks
 

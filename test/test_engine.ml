@@ -150,6 +150,31 @@ let test_dc_op_memoized () =
     | Error _ -> Alcotest.fail "third solve failed")
   | _ -> Alcotest.fail "maj3 dc op should converge")
 
+let test_reset_telemetry_keeps_cache () =
+  (* reset_telemetry zeroes the counters but must not evict cached
+     results: a key that hit before the reset still hits after it *)
+  let e = Engine.create ~domains:1 () in
+  let netlist = build_netlist Lattice_synthesis.Library.maj3_2x3 in
+  (match Engine.dc_op e netlist with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "warm-up solve failed");
+  ignore (Engine.dc_op e netlist);
+  let t = Engine.telemetry e in
+  Alcotest.(check int) "warm-up: one hit" 1 t.Engine.cache.Cache.hits;
+  Engine.reset_telemetry e;
+  let t0 = Engine.telemetry e in
+  Alcotest.(check int) "hits zeroed" 0 t0.Engine.cache.Cache.hits;
+  Alcotest.(check int) "misses zeroed" 0 t0.Engine.cache.Cache.misses;
+  Alcotest.(check int) "dc_solves zeroed" 0 t0.Engine.dc_solves;
+  (match Engine.dc_op e netlist with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "post-reset solve failed");
+  let t1 = Engine.telemetry e in
+  Alcotest.(check int) "entry survived the reset: hit, not miss" 1
+    t1.Engine.cache.Cache.hits;
+  Alcotest.(check int) "no new miss" 0 t1.Engine.cache.Cache.misses;
+  Alcotest.(check int) "no re-solve" 0 t1.Engine.dc_solves
+
 let test_engine_map_and_phases () =
   let e = Engine.create ~domains:2 () in
   let out = Engine.map e ~phase:"square" ~n:10 (fun i -> i * i) in
@@ -215,6 +240,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "dc_op memoization" `Quick test_dc_op_memoized;
+          Alcotest.test_case "reset_telemetry keeps the cache warm" `Quick
+            test_reset_telemetry_keeps_cache;
           Alcotest.test_case "map + phase telemetry" `Quick test_engine_map_and_phases;
           Alcotest.test_case "FTL_DOMAINS default" `Quick test_default_engine_env;
           Alcotest.test_case "seed-split rng streams" `Quick test_sample_rng_streams;

@@ -174,6 +174,54 @@ let test_reports_render () =
       (E.Exp_fit.report, "Fig10");
     ]
 
+let test_report_formatting () =
+  let r =
+    {
+      E.Report.title = "demo";
+      rows =
+        [
+          E.Report.row ~id:"Fig1" ~metric:"delay" ~paper:"12 ns" ~measured:"11.8 ns" ~note:"ok" ();
+          E.Report.row_f ~id:"Fig2" ~metric:"energy" ~paper:Float.nan ~measured:1.23456e-12 ();
+        ];
+      body = "free-form body";
+    }
+  in
+  let s = E.Report.render r in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | title :: header :: row1 :: row2 :: _ ->
+    Alcotest.(check string) "title banner" "== demo ==" title;
+    Alcotest.(check bool) "header names the columns" true
+      (String.length header > 0 && String.sub header 0 2 = "id");
+    Alcotest.(check bool) "header and rows align" true
+      (String.length header >= 60
+      && String.length row1 >= 60
+      && String.sub row1 0 8 = "Fig1    ");
+    Alcotest.(check bool) "nan paper value renders as dash" true
+      (let rec contains s sub i =
+         i + String.length sub <= String.length s
+         && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+       in
+       contains row2 " - " 0 && contains row2 "1.235e-12" 0)
+  | _ -> Alcotest.fail "render produced too few lines");
+  (* body is separated by a blank line and always newline-terminated *)
+  Alcotest.(check bool) "body separated and terminated" true
+    (String.length s >= 16
+    && String.sub s (String.length s - 16) 16 = "\nfree-form body\n");
+  (* no rows, no body: just the banner *)
+  Alcotest.(check string) "empty report is only the banner" "== empty ==\n"
+    (E.Report.render { E.Report.title = "empty"; rows = []; body = "" });
+  (* a body that already ends in a newline is not double-terminated *)
+  let r' = { E.Report.title = "t"; rows = []; body = "line\n" } in
+  Alcotest.(check string) "trailing newline preserved" "== t ==\n\nline\n"
+    (E.Report.render r')
+
+let test_report_row_f () =
+  let r = E.Report.row_f ~id:"x" ~metric:"m" ~paper:3.14159265 ~measured:Float.nan () in
+  Alcotest.(check string) "paper %.4g" "3.142" r.E.Report.paper;
+  Alcotest.(check string) "nan measured dashes" "-" r.E.Report.measured;
+  Alcotest.(check string) "note defaults empty" "" r.E.Report.note
+
 let () =
   Alcotest.run "experiments"
     [
@@ -193,5 +241,10 @@ let () =
           Alcotest.test_case "Sec VI-A complementary structure" `Slow test_complementary;
           Alcotest.test_case "Sec VI-A frequency and energy" `Slow test_frequency;
           Alcotest.test_case "reports render" `Quick test_reports_render;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "formatting" `Quick test_report_formatting;
+          Alcotest.test_case "row_f float rendering" `Quick test_report_row_f;
         ] );
     ]

@@ -1,0 +1,303 @@
+(* Tests for the observability layer: span recording and parentage,
+   zero-cost disabled paths, Domain-safe buffers, the metrics registry
+   with its log-scale histograms, probes, and the exporters. *)
+
+module Trace = Lattice_obs.Trace
+module Metrics = Lattice_obs.Metrics
+module Probe = Lattice_obs.Probe
+module Export = Lattice_obs.Export
+
+(* Every test owns the global flags: start from a known state and leave
+   everything disabled and empty (the suite may run under FTL_TRACE=1). *)
+let isolated f () =
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Metrics.set_enabled false;
+      Trace.reset ();
+      Metrics.reset ())
+    f
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  let sp = Trace.begin_span ~args:[ ("k", "v") ] "quiet" in
+  Alcotest.(check int) "null token" Trace.null sp;
+  Trace.end_span sp;
+  Trace.instant "nothing";
+  Trace.with_span "also quiet" (fun () -> ());
+  Trace.complete ~name:"leaf" ~t0_ns:0 ~t1_ns:10 ();
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()))
+
+let test_span_nesting () =
+  Trace.set_enabled true;
+  let outer = Trace.begin_span ~cat:"t" "outer" in
+  let inner = Trace.begin_span "inner" in
+  Trace.complete ~name:"leaf" ~t0_ns:(Lattice_obs.Clock.now_ns ())
+    ~t1_ns:(Lattice_obs.Clock.now_ns ()) ();
+  Trace.instant ~args:[ ("why", "test") ] "ping";
+  Trace.end_span inner;
+  Trace.end_span outer;
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  Alcotest.(check int) "four events" 4 (List.length evs);
+  let find name = List.find (fun (e : Trace.event) -> e.Trace.name = name) evs in
+  let outer_e = find "outer" and inner_e = find "inner" in
+  let leaf_e = find "leaf" and ping_e = find "ping" in
+  Alcotest.(check int) "outer is a root" (-1) outer_e.Trace.parent;
+  Alcotest.(check int) "inner under outer" outer_e.Trace.id inner_e.Trace.parent;
+  Alcotest.(check int) "completed leaf under inner" inner_e.Trace.id leaf_e.Trace.parent;
+  Alcotest.(check int) "instant under inner" inner_e.Trace.id ping_e.Trace.parent;
+  Alcotest.(check bool) "outer closed" true (outer_e.Trace.dur_ns >= 0);
+  Alcotest.(check bool) "outer covers inner" true
+    (outer_e.Trace.dur_ns >= inner_e.Trace.dur_ns);
+  Alcotest.(check (list (pair string string))) "instant args kept"
+    [ ("why", "test") ] ping_e.Trace.args;
+  Alcotest.(check string) "category recorded" "t" outer_e.Trace.cat
+
+let test_exception_closes_spans () =
+  Trace.set_enabled true;
+  (try
+     Trace.with_span "guarded" (fun () ->
+         let _abandoned = Trace.begin_span "abandoned" in
+         failwith "boom")
+   with Failure _ -> ());
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  Alcotest.(check int) "both spans recorded" 2 (List.length evs);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check bool) (e.Trace.name ^ " closed") true (e.Trace.dur_ns >= 0))
+    evs
+
+let test_multi_domain_buffers () =
+  Trace.set_enabled true;
+  Trace.with_span "main-side" (fun () -> ());
+  let worker () = Trace.with_span "worker-side" (fun () -> ()) in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  Alcotest.(check int) "all domains merged" 3 (List.length evs);
+  let tids =
+    List.sort_uniq Int.compare (List.map (fun (e : Trace.event) -> e.Trace.tid) evs)
+  in
+  Alcotest.(check int) "three distinct domains" 3 (List.length tids);
+  let ids = List.map (fun (e : Trace.event) -> e.Trace.id) evs in
+  Alcotest.(check int) "ids unique across domains" 3 (List.length (List.sort_uniq Int.compare ids))
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_counter_gated () =
+  let c = Metrics.counter "test.gated.counter" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 10;
+  Alcotest.(check int) "disabled counter stays 0" 0 (Metrics.Counter.get c);
+  Metrics.set_enabled true;
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  Alcotest.(check int) "enabled counter counts" 5 (Metrics.Counter.get c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.Counter.get c)
+
+let test_registry_identity_and_kinds () =
+  let c1 = Metrics.counter "test.registry.c" in
+  let c2 = Metrics.counter "test.registry.c" in
+  Metrics.set_enabled true;
+  Metrics.Counter.incr c1;
+  Alcotest.(check int) "same name, same instrument" 1 (Metrics.Counter.get c2);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics.histogram: \"test.registry.c\" is registered as another kind")
+    (fun () -> ignore (Metrics.histogram "test.registry.c"))
+
+let test_histogram_stats () =
+  Metrics.set_enabled true;
+  let h = Metrics.histogram "test.hist" in
+  let samples = [ 1.0; 2.0; 4.0; 8.0; 1000.0 ] in
+  List.iter (Metrics.Histogram.observe h) samples;
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1015.0 (Metrics.Histogram.sum h);
+  Alcotest.(check (float 0.0)) "min exact" 1.0 (Metrics.Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 1000.0 (Metrics.Histogram.max_value h);
+  (* the extreme ranks are exact; interior ranks are bucket midpoints *)
+  Alcotest.(check (float 0.0)) "p0 = exact min" 1.0 (Metrics.Histogram.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 = exact max" 1000.0 (Metrics.Histogram.percentile h 100.0);
+  let p50 = Metrics.Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "p50 in the bucket of 4.0" true (p50 >= 2.0 && p50 <= 8.0);
+  (* power-of-two buckets: each sample inside its bucket bounds *)
+  let buckets = Metrics.Histogram.buckets h in
+  Alcotest.(check int) "five non-empty buckets" 5 (List.length buckets);
+  List.iter2
+    (fun v (lo, hi, n) ->
+      Alcotest.(check int) "one sample per bucket" 1 n;
+      Alcotest.(check bool)
+        (Printf.sprintf "%g in [%g, %g)" v lo hi)
+        true
+        (lo <= v && v < hi))
+    (List.sort Float.compare samples)
+    buckets
+
+let test_histogram_disabled_and_reset () =
+  let h = Metrics.histogram "test.hist.off" in
+  Metrics.Histogram.observe h 3.0;
+  Alcotest.(check int) "disabled observe dropped" 0 (Metrics.Histogram.count h);
+  Metrics.set_enabled true;
+  Metrics.Histogram.observe h 3.0;
+  Metrics.reset ();
+  Alcotest.(check int) "reset empties" 0 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "min nan when empty" true
+    (Float.is_nan (Metrics.Histogram.min_value h));
+  Alcotest.(check bool) "percentile nan when empty" true
+    (Float.is_nan (Metrics.Histogram.percentile h 50.0))
+
+let test_gauge () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.Gauge.set g 2.5;
+  Alcotest.(check (float 0.0)) "disabled set dropped" 0.0 (Metrics.Gauge.get g);
+  Metrics.set_enabled true;
+  Metrics.Gauge.set g 2.5;
+  Alcotest.(check (float 0.0)) "enabled set lands" 2.5 (Metrics.Gauge.get g)
+
+(* --- probes --------------------------------------------------------------- *)
+
+let test_probe () =
+  let p = Probe.make ~cat:"test" ~hist:"test.probe.seconds" "probed" in
+  Alcotest.(check int) "enter is -1 while both off" (-1) (Probe.enter p);
+  Probe.leave p (-1);
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  let t0 = Probe.enter p in
+  Alcotest.(check bool) "enter reads the clock when on" true (t0 >= 0);
+  Probe.leave p t0;
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  let h = Metrics.histogram "test.probe.seconds" in
+  Alcotest.(check int) "one observation" 1 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "non-negative duration" true (Metrics.Histogram.min_value h >= 0.0);
+  let evs = Trace.events () in
+  Alcotest.(check int) "one span" 1 (List.length evs);
+  Alcotest.(check string) "span name" "probed" (List.hd evs).Trace.name
+
+(* --- export --------------------------------------------------------------- *)
+
+let test_chrome_export () =
+  Trace.set_enabled true;
+  Trace.with_span ~cat:"x" ~args:[ ("quote", "a\"b"); ("nl", "a\nb") ] "escaped" (fun () ->
+      Trace.instant "mark");
+  Trace.set_enabled false;
+  let json = Export.chrome_json () in
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length json > 0
+    && String.sub json 0 16 = "{\"traceEvents\":[");
+  let contains needle =
+    let n = String.length needle and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "complete event" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "instant event" true (contains "\"ph\":\"i\"");
+  Alcotest.(check bool) "thread metadata" true (contains "\"thread_name\"");
+  Alcotest.(check bool) "quote escaped" true (contains "a\\\"b");
+  Alcotest.(check bool) "newline escaped" true (contains "a\\nb");
+  Alcotest.(check bool) "object closed" true
+    (String.length json >= 2 && String.sub json (String.length json - 2) 2 = "}\n")
+
+let test_jsonl_export () =
+  Trace.set_enabled true;
+  Metrics.set_enabled true;
+  Trace.with_span "line-span" (fun () -> ());
+  Metrics.Counter.incr (Metrics.counter "test.jsonl.counter");
+  Metrics.Histogram.observe (Metrics.histogram "test.jsonl.hist") 2.0;
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  let lines =
+    String.split_on_char '\n' (Export.jsonl ()) |> List.filter (fun l -> l <> "")
+  in
+  (* one span line + counter + non-empty histogram (empty histograms from
+     other registrations are skipped) *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("line is an object: " ^ l) true
+        (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let count_type t =
+    List.length
+      (List.filter
+         (fun l ->
+           let needle = Printf.sprintf "{\"type\":\"%s\"" t in
+           String.length l >= String.length needle
+           && String.sub l 0 (String.length needle) = needle)
+         lines)
+  in
+  Alcotest.(check int) "one span line" 1 (count_type "span");
+  Alcotest.(check bool) "counter lines present" true (count_type "counter" >= 1);
+  Alcotest.(check int) "one histogram line" 1 (count_type "histogram")
+
+let test_write_dispatch () =
+  Trace.set_enabled true;
+  Trace.with_span "disk" (fun () -> ());
+  Trace.set_enabled false;
+  let chrome = Filename.temp_file "obs" ".json" in
+  let jsonl = Filename.temp_file "obs" ".jsonl" in
+  Export.write ~path:chrome;
+  Export.write ~path:jsonl;
+  let read p =
+    let ic = open_in p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Alcotest.(check bool) "chrome file" true (String.length (read chrome) > 20);
+  Alcotest.(check bool) "chrome format" true (String.sub (read chrome) 0 1 = "{");
+  Alcotest.(check bool) "jsonl format" true (String.sub (read jsonl) 0 8 = "{\"type\":");
+  Sys.remove chrome;
+  Sys.remove jsonl
+
+let test_summary_render () =
+  Metrics.set_enabled true;
+  Metrics.Counter.add (Metrics.counter "test.render.counter") 3;
+  Metrics.Histogram.observe (Metrics.histogram "test.render.hist") 5.0;
+  Metrics.set_enabled false;
+  let s = Export.summary () in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter listed" true (contains "test.render.counter");
+  Alcotest.(check bool) "histogram listed" true (contains "test.render.hist");
+  Alcotest.(check bool) "percentiles rendered" true (contains "p95")
+
+let () =
+  let t name f = Alcotest.test_case name `Quick (isolated f) in
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          t "disabled records nothing" test_disabled_records_nothing;
+          t "span nesting and parentage" test_span_nesting;
+          t "exceptions close spans" test_exception_closes_spans;
+          t "per-domain buffers merge" test_multi_domain_buffers;
+        ] );
+      ( "metrics",
+        [
+          t "counter gating" test_counter_gated;
+          t "registry identity and kind clash" test_registry_identity_and_kinds;
+          t "histogram statistics" test_histogram_stats;
+          t "histogram gating and reset" test_histogram_disabled_and_reset;
+          t "gauge" test_gauge;
+        ] );
+      ("probe", [ t "probe spans and histograms" test_probe ]);
+      ( "export",
+        [
+          t "chrome trace-event JSON" test_chrome_export;
+          t "jsonl" test_jsonl_export;
+          t "write dispatch by suffix" test_write_dispatch;
+          t "metrics summary" test_summary_render;
+        ] );
+    ]

@@ -334,6 +334,43 @@ let test_measure_plot () =
   let s = Sp.Measure.ascii_plot ~width:40 ~height:8 ~label:"sine" times values in
   Alcotest.(check bool) "plot non-empty" true (String.length s > 100)
 
+let test_measure_no_crossing () =
+  let times = Array.init 10 (fun i -> float_of_int i) in
+  let flat = Array.make 10 0.5 in
+  Alcotest.(check bool) "flat signal has no rise" true
+    (Sp.Measure.rise_time times flat ~low:0.0 ~high:1.0 = None);
+  Alcotest.(check bool) "flat signal has no fall" true
+    (Sp.Measure.fall_time times flat ~low:0.0 ~high:1.0 = None)
+
+let test_measure_boundary_samples () =
+  (* thresholds met exactly at the first and last samples still count as
+     crossings *)
+  let times = [| 0.0; 1.0 |] in
+  (match Sp.Measure.rise_time times [| 0.1; 0.9 |] ~low:0.0 ~high:1.0 with
+  | Some t -> check_close "edge spans the whole record" 1e-12 1.0 t
+  | None -> Alcotest.fail "boundary-sample rise missed");
+  match Sp.Measure.fall_time times [| 0.9; 0.1 |] ~low:0.0 ~high:1.0 with
+  | Some t -> check_close "falling edge symmetric" 1e-12 1.0 t
+  | None -> Alcotest.fail "boundary-sample fall missed"
+
+let test_measure_picks_clean_edge () =
+  (* bouncy signal: only the final 10% crossing starts a clean edge, the
+     earlier ones are interrupted by re-crossings *)
+  let times = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let values = [| 0.0; 1.0; 0.0; 1.0; 2.0 |] in
+  match Sp.Measure.rise_time times values ~low:0.0 ~high:2.0 with
+  | Some t -> check_close "measures the last monotone edge" 1e-9 1.6 t
+  | None -> Alcotest.fail "clean edge not found"
+
+let test_measure_rejects_bad_span () =
+  let times = [| 0.0; 1.0 |] and values = [| 0.0; 1.0 |] in
+  Alcotest.check_raises "rise_time validates span"
+    (Invalid_argument "Measure.rise_time: high must exceed low") (fun () ->
+      ignore (Sp.Measure.rise_time times values ~low:1.0 ~high:1.0));
+  Alcotest.check_raises "fall_time validates span"
+    (Invalid_argument "Measure.fall_time: high must exceed low") (fun () ->
+      ignore (Sp.Measure.fall_time times values ~low:2.0 ~high:1.0))
+
 (* --- Ac --------------------------------------------------------------------- *)
 
 let rc_lowpass () =
@@ -892,6 +929,37 @@ let test_solve_diag_plain_wins () =
         (Sp.Dcop.strategy_index d'.Sp.Dcop.strategy)
     | _ -> Alcotest.fail "last_solve_diagnostics empty after solve_diag")
 
+let test_solve_diag_conv_trace () =
+  let make () =
+    let ckt = Sp.Netlist.create () in
+    let a = Sp.Netlist.node ckt "a" and b = Sp.Netlist.node ckt "b" in
+    Sp.Netlist.vsource ckt "V1" a Sp.Netlist.ground (Sp.Source.Dc 2.0);
+    Sp.Netlist.resistor ckt "R1" a b 1e3;
+    Sp.Netlist.resistor ckt "R2" b Sp.Netlist.ground 1e3;
+    ckt
+  in
+  (* off by default: no per-iteration norms are collected *)
+  (match Sp.Dcop.solve_diag (make ()) with
+  | Error f -> Alcotest.fail (Sp.Dcop.pp_failure f)
+  | Ok (_, d) ->
+    Alcotest.(check bool) "no trace by default" true (d.Sp.Dcop.conv_trace = []));
+  let options = { Sp.Dcop.default_options with Sp.Dcop.conv_trace = true } in
+  match Sp.Dcop.solve_diag ~options (make ()) with
+  | Error f -> Alcotest.fail (Sp.Dcop.pp_failure f)
+  | Ok (_, d) -> (
+    match d.Sp.Dcop.conv_trace with
+    | [ (Sp.Dcop.Plain, norms) ] ->
+      Alcotest.(check int) "one |dx| norm per Newton iteration"
+        d.Sp.Dcop.newton_iterations (Array.length norms);
+      Array.iter
+        (fun nrm ->
+          Alcotest.(check bool) "norms finite and non-negative" true
+            (Float.is_finite nrm && nrm >= 0.0))
+        norms;
+      Alcotest.(check bool) "final |dx| below tolerance scale" true
+        (norms.(Array.length norms - 1) < 1e-3)
+    | _ -> Alcotest.fail "expected a single Plain trace")
+
 (* a circuit no rung can solve in so few iterations: the vsource forces a
    1.2 V jump but every Newton step is clamped to 1e-6 V *)
 let unsolvable_circuit () =
@@ -970,6 +1038,7 @@ let test_transient_run_diag_stats () =
     let s = r.Sp.Transient.stats in
     Alcotest.(check int) "20 steps taken" 20 s.Sp.Transient.steps_taken;
     Alcotest.(check int) "no halvings on a linear circuit" 0 s.Sp.Transient.halvings;
+    Alcotest.(check bool) "no halving events either" true (s.Sp.Transient.halving_events = []);
     check_close "min dt is h" 1e-21 1e-9 s.Sp.Transient.min_dt;
     Alcotest.(check bool) "dc strategy recorded" true
       (s.Sp.Transient.dc_strategy = Some Sp.Dcop.Plain);
@@ -1165,6 +1234,10 @@ let () =
           Alcotest.test_case "rise/fall of trapezoid" `Quick test_measure_edges;
           Alcotest.test_case "steady levels" `Quick test_measure_levels;
           Alcotest.test_case "ascii plot" `Quick test_measure_plot;
+          Alcotest.test_case "no crossing -> None" `Quick test_measure_no_crossing;
+          Alcotest.test_case "boundary-sample crossings" `Quick test_measure_boundary_samples;
+          Alcotest.test_case "clean edge on bouncy signal" `Quick test_measure_picks_clean_edge;
+          Alcotest.test_case "degenerate span rejected" `Quick test_measure_rejects_bad_span;
           Alcotest.test_case "integral" `Quick test_measure_integral;
           Alcotest.test_case "supply energy" `Quick test_energy_from_supply;
         ] );
@@ -1210,6 +1283,7 @@ let () =
           Alcotest.test_case "transient partial final step" `Quick
             test_transient_partial_final_step;
           Alcotest.test_case "solve_diag: plain wins" `Quick test_solve_diag_plain_wins;
+          Alcotest.test_case "solve_diag: convergence trace" `Quick test_solve_diag_conv_trace;
           Alcotest.test_case "solve_diag: full ladder failure" `Quick
             test_solve_diag_failure_ladder;
           Alcotest.test_case "legacy solve raises with diagnostics" `Quick
