@@ -18,11 +18,11 @@ let experiments () =
 (* --- kernels, one per experiment ------------------------------------- *)
 
 let bench_table1 =
-  Test.make ~name:"TableI: count products 6x6 (1668 paths)" (Staged.stage (fun () ->
+  Test.make ~name:"TableI: count products 6x6, ZDD (1668 paths)" (Staged.stage (fun () ->
       ignore (Lattice_core.Paths.count_irredundant ~rows:6 ~cols:6)))
 
 let bench_table1_large =
-  Test.make ~name:"TableI: count products 7x7 (26317 paths)" (Staged.stage (fun () ->
+  Test.make ~name:"TableI: count products 7x7, ZDD (26317 paths)" (Staged.stage (fun () ->
       ignore (Lattice_core.Paths.count_irredundant ~rows:7 ~cols:7)))
 
 let bench_lattice_function =
@@ -88,7 +88,7 @@ let bench_connectivity_uf =
 
 let bench_paths_pruned =
   Test.make ~name:"ablation: pruned path DFS 4x4" (Staged.stage (fun () ->
-      ignore (Lattice_core.Paths.count_irredundant ~rows:4 ~cols:4)))
+      ignore (Lattice_core.Paths.count_irredundant_enum ~rows:4 ~cols:4)))
 
 let bench_paths_brute =
   Test.make ~name:"ablation: brute-force minimal sets 4x4" (Staged.stage (fun () ->
@@ -460,6 +460,80 @@ let obs_report () =
     ("obs_trace_events", float_of_int n_events);
   ]
 
+(* Asymptotic hot-spot kernels (DESIGN.md, "Geometric multigrid field
+   solver" and "ZDD path counting"). These are multi-millisecond-to-
+   multi-second kernels, so a min-of-k wall clock beats Bechamel's
+   per-run OLS here. [--smoke] trims the size ladder for CI while
+   keeping every ratio field present in the JSON. *)
+
+let wall_ms ?(runs = 3) f =
+  f ();
+  (* warm-up *)
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Lattice_obs.Clock.now_ns () in
+    f ();
+    let dt = float_of_int (Lattice_obs.Clock.now_ns () - t0) /. 1e6 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let asymptotics_report ~smoke =
+  print_endline "==================================================================";
+  print_endline " Asymptotic hot spots: multigrid field solve and ZDD path counting";
+  print_endline "==================================================================";
+  let module D = Lattice_device in
+  let solve_field solver n =
+    ignore
+      (D.Field2d.solve ~n ~solver square_hfo2 ~case:D.Op_case.dsss ~vgs:5.0 ~vds:5.0)
+  in
+  let cg_48 = wall_ms (fun () -> solve_field D.Field2d.Cg 48) in
+  Printf.printf "  field solve 48x48   CG        %10.2f ms\n%!" cg_48;
+  let mg_sizes = if smoke then [ 48; 96 ] else [ 48; 96; 192; 256 ] in
+  let mg =
+    List.map
+      (fun n ->
+        let runs = if n >= 192 then 2 else 3 in
+        let ms = wall_ms ~runs (fun () -> solve_field D.Field2d.Multigrid n) in
+        Printf.printf "  field solve %3dx%-3d multigrid %10.2f ms\n%!" n n ms;
+        (n, ms))
+      mg_sizes
+  in
+  let mg_ms n = List.assoc n mg in
+  let field_extras =
+    (("field_cg_ms_48", cg_48)
+     :: List.map (fun (n, ms) -> (Printf.sprintf "field_mg_ms_%d" n, ms)) mg)
+    @ [ ("field_cg_over_mg_ratio_48", cg_48 /. mg_ms 48) ]
+    @
+    (* in smoke mode the largest grid run stands in for 256 so the ratio
+       field is always present for the CI gate *)
+    let largest = List.fold_left (fun acc (n, _) -> Int.max acc n) 0 mg in
+    [ ("field_mg_256_over_cg_48_ratio", mg_ms (if smoke then largest else 256) /. cg_48) ]
+  in
+  Printf.printf "  CG/MG speedup at 48x48: %.1fx\n%!" (cg_48 /. mg_ms 48);
+  (* the enum/ZDD crossover sits at 8x8, so smoke keeps that size *)
+  let dims = if smoke then [ 7; 8 ] else [ 7; 8; 9 ] in
+  let table1_extras =
+    List.concat_map
+      (fun d ->
+        let runs = if d >= 9 then 1 else if d = 8 then 2 else 3 in
+        let enum_ms =
+          wall_ms ~runs (fun () -> ignore (Lattice_core.Paths.count_irredundant_enum ~rows:d ~cols:d))
+        in
+        let zdd_ms =
+          wall_ms ~runs:3 (fun () -> ignore (Lattice_core.Paths.count_irredundant ~rows:d ~cols:d))
+        in
+        Printf.printf "  Table I %dx%d        enum %10.2f ms   ZDD %10.2f ms   (%.1fx)\n%!" d d
+          enum_ms zdd_ms (enum_ms /. zdd_ms);
+        [
+          (Printf.sprintf "table1_enum_ms_%dx%d" d d, enum_ms);
+          (Printf.sprintf "table1_zdd_ms_%dx%d" d d, zdd_ms);
+          (Printf.sprintf "table1_enum_over_zdd_ratio_%dx%d" d d, enum_ms /. zdd_ms);
+        ])
+      dims
+  in
+  field_extras @ table1_extras
+
 (* Serial-vs-parallel ratios of the engine benches, by kernel name. On a
    single-core host these hover around 1.0 (domains timeshare one CPU);
    the JSON reports whatever was measured. *)
@@ -536,15 +610,27 @@ let write_json path ~newton_allocation_free ~extras results =
 
 let () =
   let json = Array.exists (String.equal "--json") Sys.argv in
-  if not json then experiments ();
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  if not (json || smoke) then experiments ();
   let allocation_free = allocation_check () in
-  let cache_hit_rate = cache_rerun_report () in
-  let obs_extras = obs_report () in
-  let results = run_benchmarks () in
-  let extras =
-    engine_speedups results
-    @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
-    @ obs_extras
-  in
-  if json then
-    write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free ~extras results
+  let asym_extras = asymptotics_report ~smoke in
+  if smoke then begin
+    (* CI smoke: only the hot-spot kernels at reduced sizes; skip the
+       Bechamel suite and the cache/obs reports to keep the job short. *)
+    if json then
+      write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free ~extras:asym_extras
+        []
+  end
+  else begin
+    let cache_hit_rate = cache_rerun_report () in
+    let obs_extras = obs_report () in
+    let results = run_benchmarks () in
+    let extras =
+      engine_speedups results
+      @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
+      @ obs_extras
+      @ asym_extras
+    in
+    if json then
+      write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free ~extras results
+  end

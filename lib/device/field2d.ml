@@ -1,12 +1,23 @@
+type solver = Auto | Cg | Multigrid
+
+let solver_name = function Auto -> "auto" | Cg -> "cg" | Multigrid -> "multigrid"
+
+(* grids at or above this edge go through multigrid under [Auto]; below it
+   plain CG is already fast and stays the reference *)
+let mg_threshold = 32
+
 type result = {
   n : int;
   potential : float array;
+  sigma : float array;
   jx : float array;
   jy : float array;
   terminal_currents : float array;
   channel_cv : float;
   source_share_cv : float;
   cg_iterations : int;
+  v_cycles : int;
+  solver_used : solver;
   converged : bool;
 }
 
@@ -60,7 +71,7 @@ let classify geometry ~x ~y =
     | Geometry.Junctionless -> Channel
   end
 
-let solve ?(n = 48) (variant : Presets.variant) ~case ~vgs ~vds =
+let solve ?(n = 48) ?(solver = Auto) ?(tol = 1e-10) (variant : Presets.variant) ~case ~vgs ~vds =
   if not (Op_case.is_valid case) then invalid_arg "Field2d.solve: case needs a drain and a source";
   if n < 8 then invalid_arg "Field2d.solve: grid too coarse";
   let geometry = variant.Presets.geometry in
@@ -126,28 +137,65 @@ let solve ?(n = 48) (variant : Presets.variant) ~case ~vgs ~vds =
           (fun j -> if is_fixed j then b.(free_index.(i)) <- b.(free_index.(i)) +. (face_g i j *. fixed_potential.(j)))
           (neighbors i))
     kinds;
-  let apply x out =
-    Array.fill out 0 nfree 0.0;
-    for i = 0 to (n * n) - 1 do
-      if not (is_fixed i) then begin
-        let fi = free_index.(i) in
-        let acc = ref 0.0 in
-        List.iter
-          (fun j ->
-            let g = face_g i j in
-            acc := !acc +. g;
-            if not (is_fixed j) then out.(fi) <- out.(fi) -. (g *. x.(free_index.(j))))
-          (neighbors i);
-        out.(fi) <- out.(fi) +. (!acc *. x.(fi))
-      end
-    done
+  let solver_used =
+    match solver with
+    | Auto -> if n >= mg_threshold then Multigrid else Cg
+    | (Cg | Multigrid) as s -> s
   in
-  let cg = Lattice_numerics.Cg.solve ~apply ~b ~tol:1e-10 ~max_iter:(8 * nfree) () in
   let potential = Array.make (n * n) 0.0 in
-  Array.iteri
-    (fun i _ ->
-      potential.(i) <- (if is_fixed i then fixed_potential.(i) else cg.Lattice_numerics.Cg.solution.(free_index.(i))))
-    kinds;
+  let iterations, v_cycles, converged =
+    match solver_used with
+    | Cg ->
+      let apply x out =
+        Array.fill out 0 nfree 0.0;
+        for i = 0 to (n * n) - 1 do
+          if not (is_fixed i) then begin
+            let fi = free_index.(i) in
+            let acc = ref 0.0 in
+            List.iter
+              (fun j ->
+                let g = face_g i j in
+                acc := !acc +. g;
+                if not (is_fixed j) then out.(fi) <- out.(fi) -. (g *. x.(free_index.(j))))
+              (neighbors i);
+            out.(fi) <- out.(fi) +. (!acc *. x.(fi))
+          end
+        done
+      in
+      let cg = Lattice_numerics.Cg.solve ~apply ~b ~tol ~max_iter:(8 * nfree) () in
+      Array.iteri
+        (fun i _ ->
+          potential.(i) <-
+            (if is_fixed i then fixed_potential.(i)
+             else cg.Lattice_numerics.Cg.solution.(free_index.(i))))
+        kinds;
+      (cg.Lattice_numerics.Cg.iterations, 0, cg.Lattice_numerics.Cg.converged)
+    | Multigrid | Auto ->
+      let module Mg = Lattice_numerics.Multigrid in
+      let nn = n * n in
+      let gx = Mg.vec nn and gy = Mg.vec nn in
+      for r = 0 to n - 1 do
+        for c = 0 to n - 1 do
+          let i = (r * n) + c in
+          if c < n - 1 then gx.{i} <- face_g i (i + 1);
+          if r < n - 1 then gy.{i} <- face_g i (i + n)
+        done
+      done;
+      let fixed = Bytes.make nn '\000' in
+      let dirichlet = Mg.vec nn in
+      for i = 0 to nn - 1 do
+        if is_fixed i then begin
+          Bytes.set fixed i '\001';
+          dirichlet.{i} <- fixed_potential.(i)
+        end
+      done;
+      let mg = Mg.create ~n ~gx ~gy ~fixed in
+      let x, st = Mg.solve_dirichlet mg ~dirichlet ~tol () in
+      for i = 0 to nn - 1 do
+        potential.(i) <- x.{i}
+      done;
+      (st.Mg.iterations, st.Mg.v_cycles, st.Mg.converged)
+  in
   (* current density: J = -sigma grad V (central differences, grid units) *)
   let jx = Array.make (n * n) 0.0 and jy = Array.make (n * n) 0.0 in
   for r = 0 to n - 1 do
@@ -205,13 +253,16 @@ let solve ?(n = 48) (variant : Presets.variant) ~case ~vgs ~vds =
   {
     n;
     potential;
+    sigma;
     jx;
     jy;
     terminal_currents;
     channel_cv;
     source_share_cv;
-    cg_iterations = cg.Lattice_numerics.Cg.iterations;
-    converged = cg.Lattice_numerics.Cg.converged;
+    cg_iterations = iterations;
+    v_cycles;
+    solver_used;
+    converged;
   }
 
 let ascii result ~width =

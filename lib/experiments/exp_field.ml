@@ -23,11 +23,17 @@ let run ?n () =
   }
 
 let describe name (r : D.Field2d.result) =
+  let solver =
+    match r.D.Field2d.solver_used with
+    | D.Field2d.Multigrid ->
+      Printf.sprintf "MG %d iters, %d V-cycles" r.D.Field2d.cg_iterations r.D.Field2d.v_cycles
+    | D.Field2d.Cg | D.Field2d.Auto -> Printf.sprintf "CG %d iters" r.D.Field2d.cg_iterations
+  in
   Printf.sprintf
-    "%-13s terminals [%8.3g %8.3g %8.3g %8.3g]  source-split CV %.3f  |J| CV %.3f  (CG %d iters)"
+    "%-13s terminals [%8.3g %8.3g %8.3g %8.3g]  source-split CV %.3f  |J| CV %.3f  (%s)"
     name r.D.Field2d.terminal_currents.(0) r.D.Field2d.terminal_currents.(1)
     r.D.Field2d.terminal_currents.(2) r.D.Field2d.terminal_currents.(3)
-    r.D.Field2d.source_share_cv r.D.Field2d.channel_cv r.D.Field2d.cg_iterations
+    r.D.Field2d.source_share_cv r.D.Field2d.channel_cv solver
 
 let report ?n () =
   let r = run ?n () in

@@ -7,9 +7,11 @@ type result = {
   table_text : string;
 }
 
-(** [run ?max_dim ()] recomputes Table I up to [max_dim] (default 8; the
-    9 x 9 entry enumerates 38.9 M paths and takes seconds — enable it with
-    [max_dim:9] or by setting the [FTL_TABLE1_FULL] environment variable). *)
+(** [run ?max_dim ()] recomputes Table I up to [max_dim] (default 8, full
+    paper table with [max_dim:9] or the [FTL_TABLE1_FULL] environment
+    variable). Counting runs on the path-family ZDD, so [max_dim] may
+    extend past the published table up to 12; entries beyond 9 are
+    printed but have no paper value to compare against. *)
 val run : ?max_dim:int -> unit -> result
 
 val report : ?max_dim:int -> unit -> Report.t

@@ -49,20 +49,28 @@ let iter_irredundant ~rows ~cols f =
     visited.(start) <- false
   done
 
-let count_irredundant ~rows ~cols =
+let count_irredundant_enum ~rows ~cols =
   let count = ref 0 in
   iter_irredundant ~rows ~cols (fun _ -> incr count);
   !count
+
+let count_irredundant ~rows ~cols =
+  check_dims rows cols;
+  Zdd.count (Zdd.of_lattice ~rows ~cols)
 
 let irredundant_paths ~rows ~cols =
   let acc = ref [] in
   iter_irredundant ~rows ~cols (fun p -> acc := Array.copy p :: !acc);
   List.rev !acc
 
-let length_histogram ~rows ~cols =
+let length_histogram_enum ~rows ~cols =
   let hist = Array.make ((rows * cols) + 1) 0 in
   iter_irredundant ~rows ~cols (fun p -> hist.(Array.length p) <- hist.(Array.length p) + 1);
   hist
+
+let length_histogram ~rows ~cols =
+  check_dims rows cols;
+  Zdd.count_by_size (Zdd.of_lattice ~rows ~cols)
 
 (* Reference implementation straight from the definition. *)
 let irredundant_sets_brute ~rows ~cols =

@@ -24,8 +24,16 @@
 val iter_irredundant : rows:int -> cols:int -> (int array -> unit) -> unit
 
 (** [count_irredundant ~rows ~cols] is the number of irredundant paths —
-    the entry of paper Table I — without materializing them. *)
+    the entry of paper Table I — without materializing them, counted on
+    the {!Zdd} of the family (polynomial-ish in the lattice size; the
+    9 x 9 entry that enumeration walks in seconds counts in
+    milliseconds). Raises [Zdd.Overflow] past [max_int].
+    [count_irredundant_enum] is the original DFS enumeration, kept as the
+    parity reference and for benchmarking the two kernels against each
+    other. *)
 val count_irredundant : rows:int -> cols:int -> int
+
+val count_irredundant_enum : rows:int -> cols:int -> int
 
 (** [irredundant_paths ~rows ~cols] collects the paths of
     [iter_irredundant] as fresh arrays. *)
@@ -42,5 +50,9 @@ val irredundant_sets_brute : rows:int -> cols:int -> int list list
     unused for [rows >= 1]). Quantifies the paper's remark that lattice
     functions contain "a wide range of functions with different number of
     products": e.g. the 3 x 3 function has 3 products of size 3, 4 of size
-    4 and 2 of size 5. The histogram length is [rows * cols + 1]. *)
+    4 and 2 of size 5. The histogram length is [rows * cols + 1].
+    Computed on the {!Zdd} ([length_histogram_enum] is the enumeration
+    reference). *)
 val length_histogram : rows:int -> cols:int -> int array
+
+val length_histogram_enum : rows:int -> cols:int -> int array

@@ -4,10 +4,17 @@
     by counting irredundant paths and also ships the printed values for
     regression checks. *)
 
-(** [count ~rows ~cols] computes the entry by path enumeration. The largest
-    published entry (9 x 9, 38 930 447 products) takes on the order of
-    seconds. Results are memoized per dimension pair. *)
+(** [count ~rows ~cols] computes the entry on the {!Zdd} of the path
+    family (the largest published entry, 9 x 9 with 38 930 447 products,
+    counts in well under a second; 12 x 12 stays tractable). Results are
+    memoized per dimension pair behind a mutex, so the engine's Domain
+    pool can call this concurrently. *)
 val count : rows:int -> cols:int -> int
+
+(** [extended_diagonal] is the [(d, count)] list of diagonal entries past
+    the published table ([10 <= d <= 12]), computed by the ZDD counter
+    and regression-pinned by the test suite. *)
+val extended_diagonal : (int * int) list
 
 (** [paper_value ~rows ~cols] is the value printed in Table I, for
     [2 <= rows, cols <= 9]; raises [Invalid_argument] outside that range. *)
@@ -18,7 +25,8 @@ val paper_value : rows:int -> cols:int -> int
 val dimensions : (int * int) list
 
 (** [render ?max_dim ~compute ()] formats the table like the paper
-    (rows [m], columns [n]); with [compute = true] values are recomputed,
-    otherwise the published values are printed. [max_dim] (default 9) trims
-    the table for quick runs. *)
+    (rows [m], columns [n]); with [compute = true] values are recomputed
+    and [max_dim] may extend to 12, otherwise the published values are
+    printed (capped at 9). [max_dim] (default 9) trims the table for
+    quick runs. *)
 val render : ?max_dim:int -> compute:bool -> unit -> string

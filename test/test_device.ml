@@ -318,6 +318,67 @@ let test_field_gate_control () =
   Alcotest.(check bool) "gate modulates current" true
     (Float.abs hi.D.Field2d.terminal_currents.(0) > Float.abs lo.D.Field2d.terminal_currents.(0))
 
+let test_field_solver_dispatch () =
+  let v = D.Presets.find ~shape:D.Geometry.Square ~dielectric:D.Material.HfO2 in
+  let small = D.Field2d.solve ~n:24 v ~case:D.Op_case.dsss ~vgs:5.0 ~vds:5.0 in
+  Alcotest.(check string) "small grids use CG" "cg"
+    (D.Field2d.solver_name small.D.Field2d.solver_used);
+  Alcotest.(check int) "no V-cycles on the CG path" 0 small.D.Field2d.v_cycles;
+  let large = D.Field2d.solve ~n:32 v ~case:D.Op_case.dsss ~vgs:5.0 ~vds:5.0 in
+  Alcotest.(check string) "n >= 32 uses multigrid" "multigrid"
+    (D.Field2d.solver_name large.D.Field2d.solver_used);
+  Alcotest.(check bool) "V-cycles counted" true (large.D.Field2d.v_cycles > 0);
+  Alcotest.(check bool) "multigrid converged" true large.D.Field2d.converged
+
+let test_field_mg_cg_parity () =
+  (* the two paths solve the same discrete system: at a tight tolerance
+     the fields must agree to well below physical accuracy. The potential
+     comparison is restricted to conducting cells (sigma > 1e-3): in the
+     near-insulating background the 9-decade conductivity contrast
+     amplifies the residual and no iterative solver pins those potentials
+     to 1e-8. *)
+  List.iter
+    (fun shape ->
+      let v = D.Presets.find ~shape ~dielectric:D.Material.HfO2 in
+      let name = D.Geometry.shape_name shape in
+      let cg =
+        D.Field2d.solve ~n:48 ~solver:D.Field2d.Cg ~tol:1e-12 v ~case:D.Op_case.dsss
+          ~vgs:5.0 ~vds:5.0
+      in
+      let mg =
+        D.Field2d.solve ~n:48 ~solver:D.Field2d.Multigrid ~tol:1e-12 v ~case:D.Op_case.dsss
+          ~vgs:5.0 ~vds:5.0
+      in
+      Alcotest.(check bool) (name ^ " cg converged") true cg.D.Field2d.converged;
+      Alcotest.(check bool) (name ^ " mg converged") true mg.D.Field2d.converged;
+      let dv = ref 0.0 in
+      Array.iteri
+        (fun i s ->
+          if s > 1e-3 then
+            dv :=
+              Float.max !dv
+                (Float.abs (cg.D.Field2d.potential.(i) -. mg.D.Field2d.potential.(i))))
+        cg.D.Field2d.sigma;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s potential parity on conducting cells (got %.3e)" name !dv)
+        true (!dv < 1e-8);
+      let i_scale =
+        Array.fold_left
+          (fun a x -> Float.max a (Float.abs x))
+          0.0 cg.D.Field2d.terminal_currents
+      in
+      Array.iteri
+        (fun k i_cg ->
+          let d = Float.abs (i_cg -. mg.D.Field2d.terminal_currents.(k)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s terminal %d parity (got %.3e rel)" name k (d /. i_scale))
+            true
+            (d < 1e-6 *. i_scale))
+        cg.D.Field2d.terminal_currents;
+      check_close (name ^ " channel CV parity") 1e-6 cg.D.Field2d.channel_cv
+        mg.D.Field2d.channel_cv)
+    [ D.Geometry.Square; D.Geometry.Cross; D.Geometry.Junctionless ]
+
 let test_field_ascii () =
   let v = D.Presets.find ~shape:D.Geometry.Cross ~dielectric:D.Material.HfO2 in
   let r = D.Field2d.solve ~n:24 v ~case:D.Op_case.dsss ~vgs:5.0 ~vds:5.0 in
@@ -400,6 +461,8 @@ let () =
           Alcotest.test_case "cross uniformity" `Slow test_field_cross_uniformity;
           Alcotest.test_case "mirror symmetry" `Quick test_field_symmetric_case;
           Alcotest.test_case "gate control" `Quick test_field_gate_control;
+          Alcotest.test_case "solver dispatch" `Quick test_field_solver_dispatch;
+          Alcotest.test_case "MG/CG parity" `Slow test_field_mg_cg_parity;
           Alcotest.test_case "ascii render" `Quick test_field_ascii;
         ] );
       ( "presets", [ Alcotest.test_case "variants and Table II" `Quick test_presets ] );

@@ -160,6 +160,37 @@ let test_count_edge_cases () =
   Alcotest.(check int) "5x1: single column path" 1 (Paths.count_irredundant ~rows:5 ~cols:1);
   Alcotest.(check int) "2x2" 2 (Paths.count_irredundant ~rows:2 ~cols:2)
 
+(* --- ZDD ----------------------------------------------------------------- *)
+
+module Zdd = Lattice_core.Zdd
+
+let test_zdd_matches_enum () =
+  (* the ZDD and the reference DFS enumeration agree on every small board *)
+  for m = 1 to 7 do
+    for n = 1 to 7 do
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d" m n)
+        (Paths.count_irredundant_enum ~rows:m ~cols:n)
+        (Paths.count_irredundant ~rows:m ~cols:n)
+    done
+  done
+
+let test_zdd_histogram_matches_enum () =
+  List.iter
+    (fun (m, n) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%dx%d histogram" m n)
+        (Paths.length_histogram_enum ~rows:m ~cols:n)
+        (Paths.length_histogram ~rows:m ~cols:n))
+    [ (5, 5); (3, 6); (6, 3); (1, 4); (4, 1) ]
+
+let test_zdd_structure () =
+  let z = Zdd.of_lattice ~rows:4 ~cols:4 in
+  Alcotest.(check int) "vars = cells" 16 (Zdd.n_vars z);
+  Alcotest.(check int) "count = paper 4x4" (Table1.paper_value ~rows:4 ~cols:4) (Zdd.count z);
+  (* the reduced DAG is tiny compared to the 53-path family *)
+  Alcotest.(check bool) "reduced" true (Zdd.node_count z < 200)
+
 (* --- Table 1 ------------------------------------------------------------ *)
 
 let test_table1_paper_values () =
@@ -188,6 +219,50 @@ let test_table1_render () =
   let s = Table1.render ~max_dim:4 ~compute:false () in
   Alcotest.(check bool) "contains 36" true (contains s "36");
   Alcotest.(check bool) "contains header" true (contains s "m/n")
+
+let test_table1_extended_diagonal () =
+  (* shipped constants for the diagonal past the published table *)
+  match Table1.extended_diagonal with
+  | [ (10, c10); (11, c11); (12, c12) ] ->
+    Alcotest.(check int) "10x10" 2_864_677_868 c10;
+    Alcotest.(check int) "11x11" 328_777_220_927 c11;
+    Alcotest.(check int) "12x12" 63_076_542_161_104 c12
+  | _ -> Alcotest.fail "expected exactly the 10..12 diagonal"
+
+let test_table1_extended_recompute_10 () =
+  Alcotest.(check int) "10x10 recomputed" 2_864_677_868 (Table1.count ~rows:10 ~cols:10)
+
+let test_table1_extended_recompute_full () =
+  (* 12x12 takes ~10 s, so it only recomputes under FTL_TABLE1_FULL=1
+     (the same switch the Table I experiment uses); 11x11 always runs *)
+  let full =
+    match Sys.getenv_opt "FTL_TABLE1_FULL" with Some ("1" | "true") -> true | _ -> false
+  in
+  List.iter
+    (fun (d, want) ->
+      if d <= 11 || full then
+        Alcotest.(check int) (Printf.sprintf "%dx%d recomputed" d d) want
+          (Table1.count ~rows:d ~cols:d))
+    Table1.extended_diagonal
+
+let test_table1_memo_hammer () =
+  (* four domains hammer the memoized counter on overlapping fresh
+     dimensions; without the mutex this races on the memo Hashtbl *)
+  let dims = [ (8, 5); (5, 8); (8, 6); (6, 8); (7, 7) ] in
+  let expected = List.map (fun (m, n) -> Paths.count_irredundant ~rows:m ~cols:n) dims in
+  let worker () =
+    let ok = ref true in
+    for _ = 1 to 3 do
+      List.iter2
+        (fun (m, n) want -> if Table1.count ~rows:m ~cols:n <> want then ok := false)
+        dims expected
+    done;
+    !ok
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "domain saw consistent counts" true (Domain.join d))
+    domains
 
 let test_table1_transpose_symmetry () =
   (* path counting is not symmetric in general (cf. 6x6 vs published
@@ -373,11 +448,23 @@ let () =
           Alcotest.test_case "length histogram" `Quick test_length_histogram;
           Alcotest.test_case "edge cases" `Quick test_count_edge_cases;
         ] );
+      ( "zdd",
+        [
+          Alcotest.test_case "matches enumeration to 7x7" `Quick test_zdd_matches_enum;
+          Alcotest.test_case "histogram matches enumeration" `Quick
+            test_zdd_histogram_matches_enum;
+          Alcotest.test_case "structure of 4x4" `Quick test_zdd_structure;
+        ] );
       ( "table1",
         [
           Alcotest.test_case "paper values" `Quick test_table1_paper_values;
           Alcotest.test_case "range check" `Quick test_table1_out_of_range;
           Alcotest.test_case "render" `Quick test_table1_render;
+          Alcotest.test_case "extended diagonal constants" `Quick test_table1_extended_diagonal;
+          Alcotest.test_case "extended 10x10 recompute" `Quick test_table1_extended_recompute_10;
+          Alcotest.test_case "extended diagonal recompute" `Slow
+            test_table1_extended_recompute_full;
+          Alcotest.test_case "memo hammer, 4 domains" `Quick test_table1_memo_hammer;
           Alcotest.test_case "asymmetry 2x9 vs 9x2" `Quick test_table1_transpose_symmetry;
         ] );
       ( "lattice_function",

@@ -5,6 +5,7 @@ module Matrix = Lattice_numerics.Matrix
 module Lu = Lattice_numerics.Lu
 module Sparse = Lattice_numerics.Sparse
 module Cg = Lattice_numerics.Cg
+module Mg = Lattice_numerics.Multigrid
 module Stats = Lattice_numerics.Stats
 module Interp = Lattice_numerics.Interp
 module Optimize = Lattice_numerics.Optimize
@@ -292,6 +293,169 @@ let test_cg_matches_lu () =
   let r = Cg.solve ~apply ~b () in
   Alcotest.(check bool) "CG = LU" true (Vec.max_abs_diff r.Cg.solution x_lu < 1e-6)
 
+let test_cg_status_max_iterations () =
+  let n = 50 in
+  let apply x out =
+    for i = 0 to n - 1 do
+      let left = if i > 0 then x.(i - 1) else 0.0 in
+      let right = if i < n - 1 then x.(i + 1) else 0.0 in
+      out.(i) <- (2.0 *. x.(i)) -. left -. right
+    done
+  in
+  let r = Cg.solve ~apply ~b:(Array.make n 1.0) ~max_iter:2 () in
+  Alcotest.(check bool) "not converged" false r.Cg.converged;
+  Alcotest.(check string) "status" "max-iterations" (Cg.status_name r.Cg.status)
+
+let test_cg_status_stagnated () =
+  (* an unreachable tolerance: the residual hits the round-off floor and
+     then fails to improve, which must be reported as Stagnated rather
+     than burning the full iteration budget. A positive diagonal operator
+     keeps [p' A p = sum d_i p_i^2] strictly positive even in floating
+     point, so the indefinite guard cannot mask the stagnation exit. *)
+  let n = 40 in
+  let d = Array.init n (fun i -> 10.0 ** (-12.0 *. float_of_int i /. float_of_int (n - 1))) in
+  let apply x out = Array.iteri (fun i xi -> out.(i) <- d.(i) *. xi) x in
+  let b = Array.init n (fun i -> 1.0 +. sin (float_of_int i)) in
+  let r = Cg.solve ~apply ~b ~tol:0.0 ~max_iter:1_000_000 () in
+  Alcotest.(check bool) "not converged" false r.Cg.converged;
+  Alcotest.(check string) "status" "stagnated" (Cg.status_name r.Cg.status);
+  Alcotest.(check bool) "stopped well before the cap" true (r.Cg.iterations < 100_000);
+  Alcotest.(check bool) "residual at the floor" true (r.Cg.residual_norm < 1e-10)
+
+let test_cg_status_indefinite () =
+  (* -I is symmetric negative definite: first curvature check must fire *)
+  let apply x out = Array.iteri (fun i xi -> out.(i) <- -.xi) x in
+  let r = Cg.solve ~apply ~b:[| 1.0; 2.0 |] () in
+  Alcotest.(check string) "status" "indefinite" (Cg.status_name r.Cg.status)
+
+(* --- Multigrid ---------------------------------------------------------- *)
+
+(* 16x16 manufactured problem: coefficient jump of 1:100 down the middle,
+   Dirichlet top and bottom rows with a linear ramp on top. *)
+let mg_n = 16
+
+let mg_sigma i = if i mod mg_n < mg_n / 2 then 1.0 else 100.0
+let mg_face a b = 2.0 *. a *. b /. (a +. b)
+
+let mg_problem () =
+  let n = mg_n in
+  let gx = Mg.vec (n * n) and gy = Mg.vec (n * n) in
+  for i = 0 to (n * n) - 1 do
+    let r = i / n and c = i mod n in
+    if c < n - 1 then gx.{i} <- mg_face (mg_sigma i) (mg_sigma (i + 1));
+    if r < n - 1 then gy.{i} <- mg_face (mg_sigma i) (mg_sigma (i + n))
+  done;
+  let fixed = Bytes.make (n * n) '\000' in
+  for c = 0 to n - 1 do
+    Bytes.set fixed c '\001';
+    Bytes.set fixed (((n - 1) * n) + c) '\001'
+  done;
+  let dirichlet = Mg.vec (n * n) in
+  for c = 0 to n - 1 do
+    dirichlet.{c} <- 1.0 +. (0.05 *. float_of_int c)
+  done;
+  (gx, gy, fixed, dirichlet)
+
+let mg_neighbors n gx gy i =
+  let r = i / n and c = i mod n in
+  List.concat
+    [
+      (if c > 0 then [ (i - 1, Bigarray.Array1.get gx (i - 1)) ] else []);
+      (if c < n - 1 then [ (i + 1, Bigarray.Array1.get gx i) ] else []);
+      (if r > 0 then [ (i - n, Bigarray.Array1.get gy (i - n)) ] else []);
+      (if r < n - 1 then [ (i + n, Bigarray.Array1.get gy i) ] else []);
+    ]
+
+let test_mg_constant_field () =
+  (* constant Dirichlet data is in the operator's null space: the full
+     solve must reproduce the constant exactly (lifting + writeback) *)
+  let n = mg_n in
+  let gx, gy, fixed, _ = mg_problem () in
+  let dirichlet = Mg.vec (n * n) in
+  Bigarray.Array1.fill dirichlet 2.5;
+  let t = Mg.create ~n ~gx ~gy ~fixed in
+  let x, st = Mg.solve_dirichlet t ~dirichlet ~tol:1e-12 () in
+  Alcotest.(check bool) "converged" true st.Mg.converged;
+  for i = 0 to (n * n) - 1 do
+    if Float.abs (x.{i} -. 2.5) > 1e-8 then
+      Alcotest.failf "cell %d: %.3e away from constant" i (Float.abs (x.{i} -. 2.5))
+  done
+
+let test_mg_matches_cg () =
+  let n = mg_n in
+  let gx, gy, fixed, dirichlet = mg_problem () in
+  let t = Mg.create ~n ~gx ~gy ~fixed in
+  Alcotest.(check bool) "multiple levels" true (Mg.n_levels t > 1);
+  let x_mg, st = Mg.solve_dirichlet t ~dirichlet ~tol:1e-12 () in
+  Alcotest.(check bool) "mg converged" true st.Mg.converged;
+  Alcotest.(check bool) "v-cycles counted" true (st.Mg.v_cycles >= st.Mg.iterations);
+  Alcotest.(check bool) "sweeps counted" true (st.Mg.sweeps > 0);
+  (* reference: plain CG on the Dirichlet-eliminated free system *)
+  let is_fixed i = Bytes.get fixed i <> '\000' in
+  let free =
+    Array.of_seq (Seq.filter (fun i -> not (is_fixed i)) (Seq.init (n * n) Fun.id))
+  in
+  let index = Array.make (n * n) (-1) in
+  Array.iteri (fun k i -> index.(i) <- k) free;
+  let apply x out =
+    Array.iteri
+      (fun k i ->
+        let acc = ref 0.0 in
+        List.iter
+          (fun (j, g) ->
+            acc := !acc +. (g *. (x.(k) -. (if is_fixed j then 0.0 else x.(index.(j))))))
+          (mg_neighbors n gx gy i);
+        out.(k) <- !acc)
+      free
+  in
+  let b = Array.make (Array.length free) 0.0 in
+  Array.iteri
+    (fun k i ->
+      List.iter
+        (fun (j, g) -> if is_fixed j then b.(k) <- b.(k) +. (g *. dirichlet.{j}))
+        (mg_neighbors n gx gy i))
+    free;
+  let r = Cg.solve ~apply ~b ~tol:1e-12 () in
+  Alcotest.(check bool) "cg converged" true r.Cg.converged;
+  let max_diff = ref 0.0 in
+  Array.iteri
+    (fun k i -> max_diff := Float.max !max_diff (Float.abs (x_mg.{i} -. r.Cg.solution.(k))))
+    free;
+  Alcotest.(check bool)
+    (Printf.sprintf "MG = CG to 1e-8 (got %.3e)" !max_diff)
+    true (!max_diff < 1e-8);
+  (* fixed cells carry the Dirichlet data verbatim *)
+  for c = 0 to n - 1 do
+    check_float "top row" dirichlet.{c} x_mg.{c}
+  done
+
+let test_mg_vcycle_solve () =
+  (* stationary V-cycle iteration reaches the same solution as PCG *)
+  let n = mg_n in
+  let gx, gy, fixed, dirichlet = mg_problem () in
+  let tp = Mg.create ~n ~gx ~gy ~fixed in
+  let b = Mg.dirichlet_rhs tp ~dirichlet in
+  let x_p, _ = Mg.pcg tp ~b ~tol:1e-12 () in
+  let tv = Mg.create ~n ~gx ~gy ~fixed in
+  let x_v, st = Mg.vcycle_solve tv ~b ~tol:1e-12 () in
+  Alcotest.(check bool) "vcycle converged" true st.Mg.converged;
+  let d = ref 0.0 in
+  for i = 0 to (n * n) - 1 do
+    d := Float.max !d (Float.abs (x_p.{i} -. x_v.{i}))
+  done;
+  Alcotest.(check bool) (Printf.sprintf "pcg = vcycle (got %.3e)" !d) true (!d < 1e-8)
+
+let test_mg_bad_sizes () =
+  let gx = Mg.vec 16 and gy = Mg.vec 16 in
+  Alcotest.(check bool) "n too small" true
+    (match Mg.create ~n:2 ~gx:(Mg.vec 4) ~gy:(Mg.vec 4) ~fixed:(Bytes.make 4 '\000') with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "size mismatch" true
+    (match Mg.create ~n:4 ~gx ~gy ~fixed:(Bytes.make 9 '\000') with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* --- Stats -------------------------------------------------------------- *)
 
 let test_stats_basics () =
@@ -433,6 +597,16 @@ let () =
         [
           Alcotest.test_case "1-D laplacian" `Quick test_cg_laplacian;
           Alcotest.test_case "matches LU on SPD" `Quick test_cg_matches_lu;
+          Alcotest.test_case "status: max-iterations" `Quick test_cg_status_max_iterations;
+          Alcotest.test_case "status: stagnated" `Quick test_cg_status_stagnated;
+          Alcotest.test_case "status: indefinite" `Quick test_cg_status_indefinite;
+        ] );
+      ( "multigrid",
+        [
+          Alcotest.test_case "constant Dirichlet field" `Quick test_mg_constant_field;
+          Alcotest.test_case "matches CG on jump coefficients" `Quick test_mg_matches_cg;
+          Alcotest.test_case "v-cycle iteration matches PCG" `Quick test_mg_vcycle_solve;
+          Alcotest.test_case "rejects bad sizes" `Quick test_mg_bad_sizes;
         ] );
       ( "stats",
         [
