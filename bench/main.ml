@@ -392,6 +392,52 @@ let cache_rerun_report () =
   Printf.printf "  %s\n%!" (E.summary engine);
   rate
 
+(* Crash-safe persistent cache: two engines that share nothing but an
+   on-disk store directory run the same campaign. The second engine's
+   in-memory cache starts cold, so every hit it records is served by the
+   persistent tier — the same cross-process replay the CI smoke job
+   exercises with two sequential [ftl] invocations. Returns the second
+   engine's hit rate (the acceptance target is 1.0) after checking the
+   two result sets are bit-identical. *)
+let persistent_cache_report () =
+  print_endline "==================================================================";
+  print_endline " Persistent store: cold-engine campaign over a warm cache dir";
+  print_endline "==================================================================";
+  let module E = Lattice_engine.Engine in
+  let module C = Lattice_engine.Cache in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftl-bench-store-%d" (Unix.getpid ()))
+  in
+  let run () =
+    let engine = E.create ~domains:2 ~store_dir:dir () in
+    let r =
+      Lattice_flow.Fault_campaign.run ~engine ~options:campaign_bench_options
+        Lattice_synthesis.Library.maj3_2x3 ~target:mc_bench_target
+    in
+    (engine, r)
+  in
+  let _cold, r1 = run () in
+  let warm, r2 = run () in
+  let t = E.telemetry warm in
+  let lookups = t.E.cache.C.hits + t.E.cache.C.misses in
+  let rate = if lookups = 0 then 0.0 else float_of_int t.E.cache.C.hits /. float_of_int lookups in
+  let identical = compare r1 r2 = 0 in
+  Printf.printf "  cold engine over warm store: %d/%d lookups hit (%.1f%%); results %s\n"
+    t.E.cache.C.hits lookups (100.0 *. rate)
+    (if identical then "bit-identical to the cold run" else "DIVERGED from the cold run");
+  Printf.printf "  %s\n%!" (E.summary warm);
+  (* best-effort cleanup of the temp store *)
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  (try rm_rf dir with Sys_error _ -> ());
+  if identical then rate else 0.0
+
 (* Observability check: the tracing hooks compiled into the hot loops must
    be invisible while disabled (< 2%, DESIGN.md "Observability layer").
    Two identical min-of-N measurements of the XOR3 transient with obs off
@@ -614,12 +660,15 @@ let () =
   if not (json || smoke) then experiments ();
   let allocation_free = allocation_check () in
   let asym_extras = asymptotics_report ~smoke in
+  let persistent_rate = persistent_cache_report () in
+  let persistent_extras = [ ("persistent_cache_hit_rate", persistent_rate) ] in
   if smoke then begin
-    (* CI smoke: only the hot-spot kernels at reduced sizes; skip the
-       Bechamel suite and the cache/obs reports to keep the job short. *)
+    (* CI smoke: the hot-spot kernels at reduced sizes plus the (cheap)
+       persistent-store replay; skip the Bechamel suite and the in-memory
+       cache/obs reports to keep the job short. *)
     if json then
-      write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free ~extras:asym_extras
-        []
+      write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free
+        ~extras:(persistent_extras @ asym_extras) []
   end
   else begin
     let cache_hit_rate = cache_rerun_report () in
@@ -628,6 +677,7 @@ let () =
     let extras =
       engine_speedups results
       @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
+      @ persistent_extras
       @ obs_extras
       @ asym_extras
     in

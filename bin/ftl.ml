@@ -19,7 +19,53 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-let make_engine domains = Lattice_engine.Engine.create ?domains ()
+let cache_dir_arg =
+  let doc =
+    "Root of the crash-safe persistent DC-result cache. Results are spilled \
+     to content-addressed entry files under $(docv) (atomic writes, \
+     per-entry checksums; corrupt entries are detected and treated as \
+     misses), so a re-run of an identical campaign in a fresh process \
+     starts warm. Defaults to the $(b,FTL_CACHE_DIR) environment variable \
+     when set; an empty string disables the store."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-job wall-clock deadline in seconds. A job (one Monte-Carlo die, \
+     one defect sample) that overruns is stopped at the next solver \
+     checkpoint and classified as timed out instead of stalling the batch; \
+     with $(b,--retries), timed-out jobs are retried under a deadline grown \
+     by 2x per attempt."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let batch_deadline_arg =
+  let doc =
+    "Whole-batch wall-clock deadline in seconds. When it expires, in-flight \
+     jobs stop at their next checkpoint and remaining jobs are classified \
+     as cancelled; the command still reports every job."
+  in
+  Arg.(value & opt (some float) None & info [ "batch-deadline" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retries per job on top of the first attempt. Crashed jobs are always \
+     eligible; timed-out jobs when $(b,--deadline) is set (budget doubles \
+     each attempt); non-convergent defect samples are re-run under an \
+     escalated Newton budget."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let make_engine ?cache_dir domains =
+  Lattice_engine.Engine.create ?domains ?store_dir:cache_dir ()
+
+let job_policy deadline retries =
+  {
+    Lattice_engine.Engine.deadline_s = deadline;
+    attempts = 1 + Int.max 0 retries;
+    backoff = 2.0;
+  }
 
 (* telemetry is diagnostics, not results: keep stdout machine-parseable *)
 let print_engine_summary e = prerr_endline (Lattice_engine.Engine.summary e)
@@ -113,7 +159,7 @@ let function_cmd =
 
 (* --- synth ------------------------------------------------------------ *)
 
-let synth () expr exhaustive max_area domains =
+let synth () expr exhaustive max_area domains cache_dir =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -128,7 +174,7 @@ let synth () expr exhaustive max_area domains =
     Printf.printf "validates: %b\n"
       (Lattice_synthesis.Validate.realizes grid tt);
     if exhaustive then begin
-      let engine = make_engine domains in
+      let engine = make_engine ?cache_dir domains in
       (match
          Lattice_synthesis.Exhaustive.minimal
            ~alphabet:Lattice_synthesis.Exhaustive.Literals_and_constants ~max_area tt
@@ -156,7 +202,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"synthesize a lattice for a Boolean expression")
-    Term.(const synth $ obs_term $ expr $ exhaustive $ max_area $ domains_arg)
+    Term.(const synth $ obs_term $ expr $ exhaustive $ max_area $ domains_arg $ cache_dir_arg)
 
 (* --- device experiments ---------------------------------------------- *)
 
@@ -171,13 +217,13 @@ let shape_arg =
        & info [ "s"; "shape" ] ~docv:"SHAPE" ~doc:"Device shape: square, cross or junctionless.")
 
 let iv_cmd =
-  let run () shape domains =
-    let engine = make_engine domains in
+  let run () shape domains cache_dir =
+    let engine = make_engine ?cache_dir domains in
     print_report (Lattice_experiments.Exp_iv.report ~engine shape);
     print_engine_summary engine
   in
   Cmd.v (Cmd.info "iv" ~doc:"device I-V curves and figures of merit (Figs 5-7)")
-    Term.(const run $ obs_term $ shape_arg $ domains_arg)
+    Term.(const run $ obs_term $ shape_arg $ domains_arg $ cache_dir_arg)
 
 let field_cmd =
   let run () n = print_report (Lattice_experiments.Exp_field.report ~n ()) in
@@ -300,7 +346,7 @@ let frequency_cmd =
 
 (* --- yield ------------------------------------------------------------- *)
 
-let yield () expr samples sigma_vth domains =
+let yield () expr samples sigma_vth domains cache_dir deadline batch_deadline retries =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -310,9 +356,12 @@ let yield () expr samples sigma_vth domains =
     let grid = r.Lattice_synthesis.Altun_riedel.grid in
     Printf.printf "lattice: %dx%d (dual-based)\n" grid.Lattice_core.Grid.rows
       grid.Lattice_core.Grid.cols;
-    let engine = make_engine domains in
+    let engine = make_engine ?cache_dir domains in
     let mc =
-      Lattice_flow.Monte_carlo.run ~engine grid ~target:tt ~samples
+      Lattice_flow.Monte_carlo.run ~engine
+        ~policy:(job_policy deadline retries)
+        ~cancel:(Lattice_engine.Cancel.of_deadline_s batch_deadline)
+        grid ~target:tt ~samples
         ~variation:{ Lattice_flow.Monte_carlo.sigma_vth; sigma_kp_rel = 0.1 }
     in
     Printf.printf
@@ -336,11 +385,13 @@ let yield_cmd =
   in
   Cmd.v
     (Cmd.info "yield" ~doc:"Monte-Carlo process-variation yield of a synthesized lattice")
-    Term.(const yield $ obs_term $ expr $ samples $ sigma $ domains_arg)
+    Term.(
+      const yield $ obs_term $ expr $ samples $ sigma $ domains_arg $ cache_dir_arg
+      $ deadline_arg $ batch_deadline_arg $ retries_arg)
 
 (* --- defects ----------------------------------------------------------- *)
 
-let defects () expr all_classes domains =
+let defects () expr all_classes domains cache_dir deadline batch_deadline retries =
   match Lattice_boolfn.Expr.parse expr with
   | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
   | ast, names ->
@@ -356,8 +407,13 @@ let defects () expr all_classes domains =
       else [ Lattice_spice.Defects.Opens; Lattice_spice.Defects.Shorts ]
     in
     let options = { Fc.default_options with Fc.classes } in
-    let engine = make_engine domains in
-    let rep = Fc.run ~engine ~options grid ~target:tt in
+    let engine = make_engine ?cache_dir domains in
+    let rep =
+      Fc.run ~engine
+        ~policy:(job_policy deadline retries)
+        ~cancel:(Lattice_engine.Cancel.of_deadline_s batch_deadline)
+        ~options grid ~target:tt
+    in
     Printf.printf
       "campaign: %d samples — %d functional, %d degraded, %d faulty, %d non-convergent\n"
       (Array.length rep.Fc.samples) rep.Fc.counts.Fc.functional rep.Fc.counts.Fc.degraded
@@ -387,7 +443,9 @@ let defects_cmd =
   Cmd.v
     (Cmd.info "defects"
        ~doc:"circuit-level defect campaign (classification, detection, remapping) for a synthesized lattice")
-    Term.(const defects $ obs_term $ expr $ all_classes $ domains_arg)
+    Term.(
+      const defects $ obs_term $ expr $ all_classes $ domains_arg $ cache_dir_arg
+      $ deadline_arg $ batch_deadline_arg $ retries_arg)
 
 (* --- export ------------------------------------------------------------ *)
 

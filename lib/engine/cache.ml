@@ -23,18 +23,22 @@ type 'a t = {
   table : (string, 'a) Hashtbl.t;
   order : string Queue.t;  (* insertion order, front = oldest *)
   lock : Mutex.t;
+  fallback : (string -> 'a option) option;
+  spill : (string -> 'a -> unit) option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create ?(capacity = 4096) () =
+let create ?(capacity = 4096) ?fallback ?spill () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
   {
     capacity;
     table = Hashtbl.create 256;
     order = Queue.create ();
     lock = Mutex.create ();
+    fallback;
+    spill;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -44,18 +48,47 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* insert under the caller's lock; true iff the key was fresh *)
+let insert_locked t ~key v =
+  if Hashtbl.mem t.table key then false
+  else begin
+    if Hashtbl.length t.table >= t.capacity then begin
+      match Queue.take_opt t.order with
+      | Some victim ->
+        Hashtbl.remove t.table victim;
+        t.evictions <- t.evictions + 1;
+        Metrics.Counter.incr evictions_counter;
+        if Trace.on () then
+          Trace.instant ~cat:"engine" ~args:[ ("key", victim) ] "cache.evict"
+      | None -> ()
+    end;
+    Hashtbl.replace t.table key v;
+    Queue.add key t.order;
+    true
+  end
+
 let find t ~key =
   let t0 = Lattice_obs.Probe.enter lookup_probe in
+  let in_memory = locked t (fun () -> Hashtbl.find_opt t.table key) in
   let r =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
+    match in_memory with
+    | Some _ -> in_memory
+    | None -> (
+      (* second tier, consulted outside the lock; a hit is promoted to
+         memory but not re-spilled — it already lives on disk *)
+      match t.fallback with
+      | None -> None
+      | Some fb -> (
+        match fb key with
+        | None -> None
         | Some v ->
-          t.hits <- t.hits + 1;
-          Some v
-        | None ->
-          t.misses <- t.misses + 1;
-          None)
+          locked t (fun () -> ignore (insert_locked t ~key v));
+          Some v))
   in
+  locked t (fun () ->
+      match r with
+      | Some _ -> t.hits <- t.hits + 1
+      | None -> t.misses <- t.misses + 1);
   Lattice_obs.Probe.leave lookup_probe t0;
   (match r with
   | Some _ -> Metrics.Counter.incr hits_counter
@@ -63,21 +96,8 @@ let find t ~key =
   r
 
 let add t ~key v =
-  locked t (fun () ->
-      if not (Hashtbl.mem t.table key) then begin
-        if Hashtbl.length t.table >= t.capacity then begin
-          match Queue.take_opt t.order with
-          | Some victim ->
-            Hashtbl.remove t.table victim;
-            t.evictions <- t.evictions + 1;
-            Metrics.Counter.incr evictions_counter;
-            if Trace.on () then
-              Trace.instant ~cat:"engine" ~args:[ ("key", victim) ] "cache.evict"
-          | None -> ()
-        end;
-        Hashtbl.replace t.table key v;
-        Queue.add key t.order
-      end)
+  let fresh = locked t (fun () -> insert_locked t ~key v) in
+  if fresh then Option.iter (fun spill -> spill key v) t.spill
 
 let find_or_compute t ~key f =
   match find t ~key with

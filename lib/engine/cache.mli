@@ -1,5 +1,5 @@
 (** Bounded content-addressed result cache with hit/miss/eviction
-    counters.
+    counters and an optional persistent second tier.
 
     Keys are content digests (see {!Key}); values are whatever the call
     site memoizes — DC operating points, sweep results. The cache is a
@@ -8,6 +8,16 @@
     two domains missing the same key concurrently both compute (a
     benign duplicate) and the first [add] wins, keeping cached values
     stable for the cache's lifetime.
+
+    {2 Persistent tier}
+
+    [create ?fallback ?spill] wires a second tier (in practice
+    {!Store}): on a memory miss, [find] consults [fallback] {e outside}
+    the lock and, on a hit, promotes the value into memory — without
+    re-spilling, since it already lives in the second tier. [add]
+    calls [spill] only for keys it actually inserted (first write
+    wins), so concurrent duplicate computes spill once. Both hooks run
+    unlocked and must be domain-safe themselves.
 
     When {!Lattice_obs} is enabled, lookups feed the
     ["engine.cache.lookup.seconds"] histogram and the process-wide
@@ -19,21 +29,29 @@ type 'a t
 
 type stats = {
   hits : int;
-  misses : int;  (** [find] calls that found nothing *)
+      (** [find] calls served — from memory or promoted from [fallback] *)
+  misses : int;  (** [find] calls that found nothing in either tier *)
   evictions : int;  (** entries dropped to respect [capacity] *)
   size : int;  (** current entry count *)
   capacity : int;
 }
 
-(** [create ?capacity ()] — capacity defaults to 4096 entries; eviction
-    is FIFO (oldest insertion first). Raises [Invalid_argument] when
-    [capacity < 1]. *)
-val create : ?capacity:int -> unit -> 'a t
+(** [create ?capacity ?fallback ?spill ()] — capacity defaults to 4096
+    entries; eviction is FIFO (oldest insertion first) and evicted
+    entries survive in the [fallback] tier if one is wired. Raises
+    [Invalid_argument] when [capacity < 1]. *)
+val create :
+  ?capacity:int ->
+  ?fallback:(string -> 'a option) ->
+  ?spill:(string -> 'a -> unit) ->
+  unit ->
+  'a t
 
 val find : 'a t -> key:string -> 'a option
 
 (** [add t ~key v] inserts unless the key is already present (first
-    write wins), evicting the oldest entry when full. *)
+    write wins), evicting the oldest entry when full; freshly inserted
+    entries are handed to [spill]. *)
 val add : 'a t -> key:string -> 'a -> unit
 
 (** [find_or_compute t ~key f] — [f] runs outside the lock on a miss. *)
@@ -41,7 +59,8 @@ val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
 
 val stats : 'a t -> stats
 
-(** [clear t] drops every entry and zeroes the counters. *)
+(** [clear t] drops every entry and zeroes the counters (the persistent
+    tier, if any, is untouched). *)
 val clear : 'a t -> unit
 
 (** [reset_stats t] zeroes the counters, keeping the entries. *)

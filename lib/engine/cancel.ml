@@ -1,0 +1,6 @@
+include Lattice_spice.Cancel
+
+let of_deadline_s ?parent d =
+  match d with
+  | None -> ( match parent with Some p -> p | None -> none)
+  | Some seconds -> with_deadline ?parent ~seconds ()

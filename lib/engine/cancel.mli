@@ -1,0 +1,12 @@
+(** Engine-side view of {!Lattice_spice.Cancel}: the same token type
+    (so engine call sites and spice inner loops share one token), plus
+    batch-layer conveniences. *)
+
+include module type of struct
+  include Lattice_spice.Cancel
+end
+
+val of_deadline_s : ?parent:t -> float option -> t
+(** [of_deadline_s ?parent d] — the token a CLI [--deadline] argument
+    means: [None] is [parent] (or {!none}), [Some s] a fresh token
+    firing [s] seconds from now, parented under [parent]. *)

@@ -7,6 +7,9 @@ module Metrics = Lattice_obs.Metrics
 let jobs_counter = Metrics.counter "engine.jobs"
 let dc_solves_counter = Metrics.counter "engine.dc_solves"
 let newton_counter = Metrics.counter "engine.newton_iterations"
+let retries_counter = Metrics.counter "engine.retries"
+let timeouts_counter = Metrics.counter "engine.timeouts"
+let job_failures_counter = Metrics.counter "engine.job_failures"
 
 type dc_result =
   (Lattice_numerics.Vec.t * Sp.Dcop.diagnostics, Sp.Dcop.failure) result
@@ -14,25 +17,55 @@ type dc_result =
 type t = {
   pool : Pool.t;
   dc_cache : dc_result Cache.t;
+  store : dc_result Store.t option;
   jobs : int Atomic.t;
   dc_solves : int Atomic.t;
   newton : int Atomic.t;
+  retries : int Atomic.t;
+  timeouts : int Atomic.t;
+  job_failures : int Atomic.t;
   phase_lock : Mutex.t;
   mutable phases : (string * float) list;  (* reversed first-use order *)
 }
 
-let create ?domains ?(cache_capacity = 4096) () =
+let env_store_dir () =
+  match Sys.getenv_opt "FTL_CACHE_DIR" with
+  | None | Some "" -> None
+  | Some dir -> Some dir
+
+let create ?domains ?(cache_capacity = 4096) ?store_dir () =
+  let store_dir =
+    match store_dir with
+    | Some "" -> None  (* explicit empty string disables the store *)
+    | Some _ as dir -> dir
+    | None -> env_store_dir ()
+  in
+  let store = Option.map (fun dir -> Store.open_ ~dir) store_dir in
+  let dc_cache =
+    match store with
+    | None -> Cache.create ~capacity:cache_capacity ()
+    | Some s ->
+      Cache.create ~capacity:cache_capacity
+        ~fallback:(fun key -> Store.find s ~key)
+        ~spill:(fun key v -> Store.add s ~key v)
+        ()
+  in
   {
     pool = Pool.create ?domains ();
-    dc_cache = Cache.create ~capacity:cache_capacity ();
+    dc_cache;
+    store;
     jobs = Atomic.make 0;
     dc_solves = Atomic.make 0;
     newton = Atomic.make 0;
+    retries = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    job_failures = Atomic.make 0;
     phase_lock = Mutex.create ();
     phases = [];
   }
 
 let domains (t : t) = Pool.domains t.pool
+let store_dir (t : t) = Option.map Store.dir t.store
 
 (* Seed-splitting: the stream is a function of (seed, index) alone. The
    third word decorrelates streams whose (seed, index) pairs collide
@@ -57,17 +90,107 @@ let timed t ~phase f =
       add_phase t phase (Unix.gettimeofday () -. t0))
     f
 
+let traced_job ?phase f =
+  if Trace.on () then (
+    let name = match phase with Some p -> p ^ ".job" | None -> "job" in
+    fun i ->
+      Trace.with_span ~cat:"engine" ~args:[ ("index", string_of_int i) ] name (fun () -> f i))
+  else f
+
 let map t ?phase ~n f =
   let run () =
     ignore (Atomic.fetch_and_add t.jobs n);
     Metrics.Counter.add jobs_counter n;
-    let f =
-      if Trace.on () then (
-        let name = match phase with Some p -> p ^ ".job" | None -> "job" in
-        fun i -> Trace.with_span ~cat:"engine" ~args:[ ("index", string_of_int i) ] name (fun () -> f i))
-      else f
+    Pool.map t.pool ~n (traced_job ?phase f)
+  in
+  match phase with None -> run () | Some phase -> timed t ~phase run
+
+type job_policy = { deadline_s : float option; attempts : int; backoff : float }
+
+let default_policy = { deadline_s = None; attempts = 1; backoff = 2.0 }
+
+let run_jobs (type a) t ?(policy = default_policy) ?(cancel = Cancel.none) ?phase
+    ?(retryable = fun (_ : a) -> false) ~n (f : attempt:int -> cancel:Cancel.t -> int -> a) =
+  if policy.attempts < 1 then invalid_arg "Engine.run_jobs: attempts must be >= 1";
+  if n < 0 then invalid_arg "Engine.run_jobs: negative n";
+  let out : a Pool.outcome array = Array.make n Pool.Cancelled in
+  (* one dispatch wave: run [f] over the given original-index set,
+     each job under its own deadline token (grown by backoff per
+     attempt), and scatter the outcomes back by original index *)
+  let dispatch ~attempt indices =
+    let m = Array.length indices in
+    ignore (Atomic.fetch_and_add t.jobs m);
+    Metrics.Counter.add jobs_counter m;
+    let job k =
+      let idx = indices.(k) in
+      let job_cancel =
+        match policy.deadline_s with
+        | None -> cancel
+        | Some d ->
+          let seconds = d *. (policy.backoff ** float_of_int attempt) in
+          Cancel.with_deadline ~parent:cancel ~seconds ()
+      in
+      f ~attempt ~cancel:job_cancel idx
     in
-    Pool.map t.pool ~n f
+    let job = traced_job ?phase job in
+    let wave = Pool.map_outcomes t.pool ~cancel ~n:m job in
+    Array.iteri (fun k o -> out.(indices.(k)) <- o) wave
+  in
+  let wants_retry = function
+    | Pool.Failed _ -> true
+    | Pool.Timed_out ->
+      (* without a per-job deadline there is no bigger budget to grant *)
+      policy.deadline_s <> None
+    | Pool.Done v -> retryable v
+    | Pool.Cancelled -> false
+  in
+  let run () =
+    dispatch ~attempt:0 (Array.init n Fun.id);
+    let attempt = ref 1 in
+    let draining = ref (policy.attempts > 1) in
+    while !draining do
+      if !attempt >= policy.attempts || Cancel.is_cancelled cancel then draining := false
+      else begin
+        let again = ref [] in
+        for i = n - 1 downto 0 do
+          if wants_retry out.(i) then again := i :: !again
+        done;
+        match !again with
+        | [] -> draining := false
+        | indices ->
+          let indices = Array.of_list indices in
+          ignore (Atomic.fetch_and_add t.retries (Array.length indices));
+          Metrics.Counter.add retries_counter (Array.length indices);
+          if Trace.on () then
+            Trace.instant ~cat:"engine"
+              ~args:
+                [
+                  ("attempt", string_of_int !attempt);
+                  ("jobs", string_of_int (Array.length indices));
+                ]
+              "engine.retry";
+          dispatch ~attempt:!attempt indices;
+          incr attempt
+      end
+    done;
+    (* final-outcome accounting: a job that timed out on attempt 0 but
+       succeeded on a retry is not a timeout *)
+    let timeouts = ref 0 and failures = ref 0 in
+    Array.iter
+      (function
+        | Pool.Timed_out -> incr timeouts
+        | Pool.Failed _ -> incr failures
+        | Pool.Done _ | Pool.Cancelled -> ())
+      out;
+    if !timeouts > 0 then begin
+      ignore (Atomic.fetch_and_add t.timeouts !timeouts);
+      Metrics.Counter.add timeouts_counter !timeouts
+    end;
+    if !failures > 0 then begin
+      ignore (Atomic.fetch_and_add t.job_failures !failures);
+      Metrics.Counter.add job_failures_counter !failures
+    end;
+    out
   in
   match phase with None -> run () | Some phase -> timed t ~phase run
 
@@ -78,12 +201,14 @@ let copy_result = function
 let failure_iterations (f : Sp.Dcop.failure) =
   List.fold_left (fun acc (_, n) -> acc + n) 0 f.Sp.Dcop.attempts
 
-let dc_op t ?(options = Sp.Dcop.default_options) netlist =
+let dc_op t ?(options = Sp.Dcop.default_options) ?cancel netlist =
   let key = Key.dc_op ~options netlist in
   match Cache.find t.dc_cache ~key with
   | Some r -> copy_result r
   | None ->
-    let r = Sp.Dcop.solve_diag ~options netlist in
+    (* a cancelled solve raises out of [solve_diag] before any of the
+       bookkeeping below — partial results are never cached *)
+    let r = Sp.Dcop.solve_diag ~options ?cancel netlist in
     ignore (Atomic.fetch_and_add t.dc_solves 1);
     Metrics.Counter.incr dc_solves_counter;
     let iters =
@@ -101,7 +226,11 @@ type telemetry = {
   jobs : int;
   dc_solves : int;
   cache : Cache.stats;
+  store : Store.stats option;
   newton_total : int;
+  retries : int;
+  timeouts : int;
+  job_failures : int;
   phases : (string * float) list;
 }
 
@@ -114,7 +243,11 @@ let telemetry (t : t) =
     jobs = Atomic.get t.jobs;
     dc_solves = Atomic.get t.dc_solves;
     cache = Cache.stats t.dc_cache;
+    store = Option.map Store.stats t.store;
     newton_total = Atomic.get t.newton;
+    retries = Atomic.get t.retries;
+    timeouts = Atomic.get t.timeouts;
+    job_failures = Atomic.get t.job_failures;
     phases;
   }
 
@@ -122,10 +255,14 @@ let reset_telemetry (t : t) =
   Atomic.set t.jobs 0;
   Atomic.set t.dc_solves 0;
   Atomic.set t.newton 0;
+  Atomic.set t.retries 0;
+  Atomic.set t.timeouts 0;
+  Atomic.set t.job_failures 0;
   Mutex.lock t.phase_lock;
   t.phases <- [];
   Mutex.unlock t.phase_lock;
-  Cache.reset_stats t.dc_cache
+  Cache.reset_stats t.dc_cache;
+  Option.iter Store.reset_stats t.store
 
 let summary (t : t) =
   let tel = telemetry t in
@@ -133,6 +270,21 @@ let summary (t : t) =
   let hit_pct =
     if lookups = 0 then 0.0
     else 100.0 *. float_of_int tel.cache.Cache.hits /. float_of_int lookups
+  in
+  let store =
+    match tel.store with
+    | None -> ""
+    | Some s ->
+      Printf.sprintf " | store %d/%d hits, %d writes, %d corrupt"
+        s.Store.hits
+        (s.Store.hits + s.Store.misses)
+        s.Store.writes s.Store.corrupt
+  in
+  let faults =
+    if tel.retries = 0 && tel.timeouts = 0 && tel.job_failures = 0 then ""
+    else
+      Printf.sprintf " | %d retries, %d timeouts, %d failures" tel.retries tel.timeouts
+        tel.job_failures
   in
   let phases =
     match tel.phases with
@@ -143,8 +295,8 @@ let summary (t : t) =
           (List.map (fun (p, s) -> Printf.sprintf "%s %.2fs" p s) ps)
   in
   Printf.sprintf
-    "engine: %d domain%s | %d jobs | %d dc solves, cache %d/%d hits (%.1f%%), %d evictions | %d newton iters%s"
+    "engine: %d domain%s | %d jobs | %d dc solves, cache %d/%d hits (%.1f%%), %d evictions%s | %d newton iters%s%s"
     tel.domains
     (if tel.domains = 1 then "" else "s")
     tel.jobs tel.dc_solves tel.cache.Cache.hits lookups hit_pct
-    tel.cache.Cache.evictions tel.newton_total phases
+    tel.cache.Cache.evictions store tel.newton_total faults phases

@@ -1,33 +1,57 @@
-(** Parallel batch-simulation engine.
+(** Parallel batch-simulation engine, hardened for faulty jobs.
 
     Every heavy workload in this reproduction is a fan-out of
     independent circuit/device simulations: Monte-Carlo dies, fault
     -campaign samples, I-V sweep points, exhaustive-search circuit
     validations. The engine runs those jobs on a {!Pool} of OCaml 5
     Domains, memoizes repeated DC operating points in a
-    content-addressed {!Cache}, and keeps lightweight telemetry (jobs,
-    cache traffic, Newton iterations, wall time per phase).
+    content-addressed {!Cache} (optionally backed by a crash-safe
+    on-disk {!Store}), and keeps lightweight telemetry (jobs, cache and
+    store traffic, Newton iterations, retries/timeouts/failures, wall
+    time per phase).
+
+    {2 Fault tolerance}
+
+    {!run_jobs} is the resilient dispatch path: every job runs under
+    its own {!Cancel} deadline token, exceptions are contained per job
+    ({!Pool.outcome}), and jobs classified as failed (or, with a
+    deadline policy, timed out, or [Done] values the caller deems
+    retryable) are re-dispatched up to [policy.attempts] times with the
+    deadline budget growing by [policy.backoff] each attempt. No
+    exception from a job ever escapes [run_jobs].
 
     {2 Determinism contract}
 
-    [map] merges results by job index and jobs must be pure in their
-    index, so a 4-domain run is bit-identical to the 1-domain (serial)
-    run. Randomized workloads get per-job RNG streams from
+    [map]/[run_jobs] merge results by job index and jobs must be pure
+    in their index, so a 4-domain run is bit-identical to the 1-domain
+    (serial) run. Randomized workloads get per-job RNG streams from
     {!sample_rng} (seed-splitting by hash of [seed, index]) instead of
     one sequential stream. Cached DC results replay the original solver
     output — solution vector {e and} diagnostics, including Newton
     iteration counts — so accounting (e.g. a fault campaign's
-    per-sample Newton budget) is identical on warm and cold caches. *)
+    per-sample Newton budget) is identical on warm and cold caches,
+    and (via the persistent store) across processes. *)
 
 type t
 
-(** [create ?domains ?cache_capacity ()] — [domains] defaults to
-    [FTL_DOMAINS] when set, else [Domain.recommended_domain_count ()];
-    [cache_capacity] (DC-result entries, FIFO eviction) defaults to
-    4096. One domain is the degenerate serial engine. *)
-val create : ?domains:int -> ?cache_capacity:int -> unit -> t
+(** [create ?domains ?cache_capacity ?store_dir ()] — [domains]
+    defaults to [FTL_DOMAINS] when set, else
+    [Domain.recommended_domain_count ()]; [cache_capacity] (DC-result
+    entries, FIFO eviction) defaults to 4096. One domain is the
+    degenerate serial engine.
+
+    [store_dir] roots the crash-safe persistent DC-result store
+    ({!Store}): it defaults to the [FTL_CACHE_DIR] environment variable
+    when that is set non-empty, and passing [Some ""] explicitly
+    disables the store even then. With a store, in-memory misses fall
+    back to disk and fresh results are spilled through, so a second
+    process re-running an identical campaign starts warm. *)
+val create : ?domains:int -> ?cache_capacity:int -> ?store_dir:string -> unit -> t
 
 val domains : t -> int
+
+val store_dir : t -> string option
+(** The persistent store's root directory, when one is wired. *)
 
 (** [sample_rng ~seed ~index] is the RNG stream of sample [index]:
     seeded by a hash of [(seed, index)], so the stream is a function of
@@ -38,46 +62,101 @@ val sample_rng : seed:int -> index:int -> Random.State.t
 
 (** [map e ?phase ~n f] runs [f] over [0 .. n-1] on the pool and merges
     by index (see {!Pool.map}); counts [n] jobs in the telemetry and,
-    when [phase] is given, accrues the call's wall time to it. *)
+    when [phase] is given, accrues the call's wall time to it.
+    Fail-fast: the first job exception aborts the batch and re-raises.
+    Prefer {!run_jobs} where faulty jobs must not sink the batch. *)
 val map : t -> ?phase:string -> n:int -> (int -> 'a) -> 'a array
+
+(** Retry/deadline policy for {!run_jobs}. [deadline_s] is the per-job
+    wall-clock budget of the {e first} attempt ([None]: no per-job
+    deadline); [attempts] the total number of tries per job (default 1
+    = no retries); [backoff] the factor (default 2.0) by which the
+    deadline budget grows each attempt — retrying a timed-out solve
+    under the same budget would just time out again. *)
+type job_policy = {
+  deadline_s : float option;
+  attempts : int;
+  backoff : float;
+}
+
+val default_policy : job_policy
+(** [{ deadline_s = None; attempts = 1; backoff = 2.0 }] *)
+
+(** [run_jobs e ?policy ?cancel ?phase ?retryable ~n f] — fault
+    -isolated, retrying dispatch of [f] over [0 .. n-1].
+
+    Each job invocation receives its [attempt] number (0-based) and a
+    [cancel] token combining the batch token with the per-attempt
+    deadline from [policy]; the job must thread that token into its
+    solver calls ({!dc_op}'s [?cancel], [Dcop.solve_diag], …) for
+    deadlines to bite. Outcomes are classified per job ({!Pool.outcome})
+    and jobs are re-dispatched — [Failed] always, [Timed_out] when a
+    per-job deadline policy is set, [Done v] when [retryable v] (e.g. a
+    non-convergent sample worth a bigger Newton budget) — until they
+    settle or [policy.attempts] is exhausted. The batch [cancel] token
+    stops everything: remaining jobs finish as [Cancelled].
+
+    Telemetry: every dispatched attempt counts into [jobs]; each
+    re-dispatch counts into [retries]; [timeouts]/[job_failures] count
+    {e final} outcomes only. *)
+val run_jobs :
+  t ->
+  ?policy:job_policy ->
+  ?cancel:Cancel.t ->
+  ?phase:string ->
+  ?retryable:('a -> bool) ->
+  n:int ->
+  (attempt:int -> cancel:Cancel.t -> int -> 'a) ->
+  'a Pool.outcome array
 
 (** [timed e ~phase f] runs [f ()], accruing its wall-clock time to
     [phase] (times with the same phase name accumulate). *)
 val timed : t -> phase:string -> (unit -> 'a) -> 'a
 
-(** [dc_op e ?options netlist] is
+(** [dc_op e ?options ?cancel netlist] is
     [Lattice_spice.Dcop.solve_diag ?options netlist] memoized under the
     content key {!Key.dc_op}. The returned solution vector is a private
     copy (callers may keep or mutate it). Hits replay the original
-    diagnostics verbatim. Safe to call from inside [map] jobs on any
-    domain. *)
+    diagnostics verbatim — from memory or from the persistent store.
+    [cancel] is threaded into the solver; a cancelled solve raises
+    {!Cancel.Cancelled} and caches nothing. Safe to call from inside
+    [map]/[run_jobs] jobs on any domain. *)
 val dc_op :
   t ->
   ?options:Lattice_spice.Dcop.options ->
+  ?cancel:Cancel.t ->
   Lattice_spice.Netlist.t ->
   (Lattice_numerics.Vec.t * Lattice_spice.Dcop.diagnostics, Lattice_spice.Dcop.failure) result
 
 type telemetry = {
   domains : int;
-  jobs : int;  (** jobs dispatched through {!map} *)
+  jobs : int;  (** job attempts dispatched through {!map}/{!run_jobs} *)
   dc_solves : int;  (** actual (uncached) DC solver invocations *)
   cache : Cache.stats;  (** DC-result cache counters *)
+  store : Store.stats option;  (** persistent-store counters, when wired *)
   newton_total : int;  (** Newton iterations spent in uncached solves *)
+  retries : int;  (** job re-dispatches by {!run_jobs} *)
+  timeouts : int;  (** jobs whose {e final} outcome was [Timed_out] *)
+  job_failures : int;  (** jobs whose {e final} outcome was [Failed] *)
   phases : (string * float) list;  (** wall seconds per phase, first-use order *)
 }
 
 val telemetry : t -> telemetry
 
-(** [reset_telemetry e] zeroes the job/solve/Newton counters, the phase
-    timers and the cache's hit/miss/eviction counters. The cache
-    {e contents} are untouched: entries stay resident, so a lookup that
-    hit before the reset still hits after it (with [telemetry] then
-    reporting that hit against fresh counters, and [dc_solves] staying
-    at 0). Use {!Cache.clear} semantics via a fresh engine when the
-    entries themselves must go. *)
+(** [reset_telemetry e] zeroes the job/solve/Newton counters, the
+    retry/timeout/failure counters, the phase timers, the cache's
+    hit/miss/eviction counters and the persistent store's counters.
+    The cache and store {e contents} are untouched: entries stay
+    resident, so a lookup that hit before the reset still hits after it
+    (with [telemetry] then reporting that hit against fresh counters,
+    and [dc_solves] staying at 0). Use {!Cache.clear} semantics via a
+    fresh engine when the entries themselves must go. *)
 val reset_telemetry : t -> unit
 
 (** One-line rendering for CLI output, e.g.
     ["engine: 4 domains | 500 jobs | 3896 dc solves, cache 104/4000 hits
-      (2.6%), 0 evictions | 18234 newton iters | monte-carlo 1.23s"]. *)
+      (2.6%), 0 evictions | store 0/104 hits, 3896 writes, 0 corrupt |
+      18234 newton iters | 3 retries, 1 timeouts, 2 failures |
+      monte-carlo 1.23s"] (store and fault segments appear only when
+    a store is wired / faults occurred). *)
 val summary : t -> string

@@ -20,6 +20,54 @@ let create ?domains () =
 
 let domains t = t.domains
 
+(* about 8 claims per worker: one fetch-and-add amortized over the
+   chunk, small enough that the tail stays balanced *)
+let chunk_size ~domains ~n = Int.max 1 (n / (8 * domains))
+
+(* Shared driver: claim indices in chunks, run [body] on each claimed
+   index until [stop ()] flips. [body] must not raise — both callers
+   catch inside it. *)
+let drive t ~n ~stop ~body =
+  if t.domains = 1 || n = 1 then begin
+    let i = ref 0 in
+    while !i < n && not (stop ()) do
+      body !i;
+      incr i
+    done
+  end
+  else begin
+    let chunk = chunk_size ~domains:t.domains ~n in
+    let next = Atomic.make 0 in
+    let worker () =
+      let sp =
+        if Lattice_obs.Trace.on () then Lattice_obs.Trace.begin_span ~cat:"engine" "pool.worker"
+        else Lattice_obs.Trace.null
+      in
+      let running = ref true in
+      while !running do
+        if stop () then running := false
+        else begin
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= n then running := false
+          else begin
+            let hi = Int.min n (lo + chunk) in
+            let i = ref lo in
+            while !i < hi && not (stop ()) do
+              body !i;
+              incr i
+            done
+          end
+        end
+      done;
+      Lattice_obs.Trace.end_span sp
+    in
+    (* the calling domain is worker 0 *)
+    let spawned = Int.min (t.domains - 1) (n - 1) in
+    let others = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others
+  end
+
 let map t ~n f =
   if n < 0 then invalid_arg "Pool.map: negative n";
   if n = 0 then [||]
@@ -28,31 +76,14 @@ let map t ~n f =
     let results = Array.make n None in
     let errors = Array.make n None in
     let failed = Atomic.make false in
-    let next = Atomic.make 0 in
-    let worker () =
-      let sp =
-        if Lattice_obs.Trace.on () then Lattice_obs.Trace.begin_span ~cat:"engine" "pool.worker"
-        else Lattice_obs.Trace.null
-      in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && not (Atomic.get failed) then begin
-          (match f i with
-          | v -> results.(i) <- Some v
-          | exception e ->
-            errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
-            Atomic.set failed true);
-          loop ()
-        end
-      in
-      loop ();
-      Lattice_obs.Trace.end_span sp
+    let body i =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+        Atomic.set failed true
     in
-    (* the calling domain is worker 0 *)
-    let spawned = Int.min (t.domains - 1) (n - 1) in
-    let others = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join others;
+    drive t ~n ~stop:(fun () -> Atomic.get failed) ~body;
     if Atomic.get failed then begin
       Array.iter
         (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
@@ -61,3 +92,26 @@ let map t ~n f =
     end
     else Array.map (function Some v -> v | None -> assert false) results
   end
+
+type exn_info = { printed : string; backtrace : string }
+
+type 'a outcome = Done of 'a | Failed of exn_info | Timed_out | Cancelled
+
+let map_outcomes t ?(cancel = Cancel.none) ~n f =
+  if n < 0 then invalid_arg "Pool.map_outcomes: negative n";
+  let out = Array.make n Cancelled in
+  let body i =
+    out.(i) <-
+      (if Cancel.is_cancelled cancel then Cancelled
+       else
+         match f i with
+         | v -> Done v
+         | exception Cancel.Cancelled Cancel.Deadline -> Timed_out
+         | exception Cancel.Cancelled Cancel.Requested -> Cancelled
+         | exception e ->
+           let printed = Printexc.to_string e in
+           let backtrace = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+           Failed { printed; backtrace })
+  in
+  drive t ~n ~stop:(fun () -> Cancel.is_cancelled cancel) ~body;
+  out

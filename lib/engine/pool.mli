@@ -9,10 +9,19 @@
     accumulator). One domain is the degenerate serial case: the job
     runs entirely on the calling domain with no spawns.
 
-    Jobs are claimed from a shared atomic counter, one index at a time:
-    the intended granularity is a whole circuit simulation (a
-    Monte-Carlo die, a fault-campaign sample, an I-V sweep point), not
-    a micro-kernel. *)
+    Workers claim indices from a shared atomic counter in {e adaptive
+    chunks} of [max 1 (n / (8 * domains))] indices per claim — large
+    batches pay one atomic fetch-and-add per chunk instead of per job,
+    while small batches degrade to per-job claiming so the tail stays
+    balanced. Chunking is invisible in the results (index-merged) and
+    the intended job granularity is unchanged: a whole circuit
+    simulation (a Monte-Carlo die, a fault-campaign sample, an I-V
+    sweep point), not a micro-kernel.
+
+    {!map} aborts the batch on the first exception (legacy fail-fast
+    contract); {!map_outcomes} is the fault-isolating variant the
+    resilient engine builds on — every job is classified, nothing
+    escapes. *)
 
 type t
 
@@ -26,8 +35,39 @@ val domains : t -> int
     a positive integer, else [Domain.recommended_domain_count ()]. *)
 val default_domains : unit -> int
 
+val chunk_size : domains:int -> n:int -> int
+(** The claim granularity [map]/[map_outcomes] use:
+    [max 1 (n / (8 * domains))], i.e. about 8 claims per worker. *)
+
 (** [map t ~n f] is [Array.init n f] computed on the pool's domains.
     Results are merged by index. If any [f i] raises, the remaining
     unclaimed indices are abandoned and the recorded exception with the
     lowest index is re-raised (with its backtrace) on the caller. *)
 val map : t -> n:int -> (int -> 'a) -> 'a array
+
+(** A worker exception, captured printably so outcomes can cross domain
+    (and, marshalled, process) boundaries — exception values themselves
+    may hold unmarshalable payloads. *)
+type exn_info = {
+  printed : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;  (** raw backtrace, rendered; may be empty *)
+}
+
+(** Per-job classification of a fault-isolated batch. *)
+type 'a outcome =
+  | Done of 'a
+  | Failed of exn_info  (** the job raised; the batch kept going *)
+  | Timed_out  (** a {!Cancel} deadline fired inside the job *)
+  | Cancelled
+      (** explicit cancellation, or the job never ran because the
+          batch token fired first *)
+
+(** [map_outcomes t ?cancel ~n f] runs [f] over [0 .. n-1] with
+    {e crash isolation}: a job that raises is recorded as [Failed] (or
+    [Timed_out]/[Cancelled] for {!Cancel.Cancelled}) and the batch
+    continues — no exception escapes this call. When [cancel] fires,
+    in-flight jobs stop at their next cancellation checkpoint and
+    unclaimed jobs are left [Cancelled] without running. Outcomes are
+    merged by index like {!map}. *)
+val map_outcomes :
+  t -> ?cancel:Cancel.t -> n:int -> (int -> 'a) -> 'a outcome array

@@ -1,0 +1,177 @@
+module Metrics = Lattice_obs.Metrics
+module Trace = Lattice_obs.Trace
+
+(* process-wide registry counters, aggregated across store instances;
+   per-instance counts live in [stats] *)
+let hits_counter = Metrics.counter "engine.store.hits"
+let misses_counter = Metrics.counter "engine.store.misses"
+let writes_counter = Metrics.counter "engine.store.writes"
+let corrupt_counter = Metrics.counter "engine.store.corrupt"
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  corrupt : int;
+  errors : int;
+}
+
+type 'a t = {
+  dir : string;
+  lock : Mutex.t;  (* guards the stat fields only; IO runs unlocked *)
+  temp_seq : int Atomic.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable corrupt : int;
+  mutable errors : int;
+}
+
+let magic = "FTLSTORE1"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~dir =
+  if dir = "" then invalid_arg "Store.open_: empty directory";
+  mkdir_p dir;
+  {
+    dir;
+    lock = Mutex.create ();
+    temp_seq = Atomic.make 0;
+    hits = 0;
+    misses = 0;
+    writes = 0;
+    corrupt = 0;
+    errors = 0;
+  }
+
+let dir t = t.dir
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+let shard_of hex = String.sub hex 0 2
+
+let entry_path t ~key =
+  let hex = Digest.to_hex (Digest.string key) in
+  Filename.concat (Filename.concat t.dir (shard_of hex)) (hex ^ ".entry")
+
+(* Anything wrong with an entry file's framing or checksum. *)
+exception Corrupt of string
+
+let input_header_line ic =
+  match In_channel.input_line ic with
+  | Some l -> l
+  | None -> raise (Corrupt "truncated header")
+
+let read_entry ~key path =
+  In_channel.with_open_bin path (fun ic ->
+      if input_header_line ic <> magic then raise (Corrupt "bad magic");
+      if input_header_line ic <> key then raise (Corrupt "key mismatch");
+      let len =
+        match int_of_string_opt (input_header_line ic) with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> raise (Corrupt "bad length")
+      in
+      let digest = input_header_line ic in
+      let payload =
+        match In_channel.really_input_string ic len with
+        | Some s -> s
+        | None -> raise (Corrupt "truncated payload")
+      in
+      if In_channel.input_char ic <> None then raise (Corrupt "trailing bytes");
+      if Digest.to_hex (Digest.string payload) <> digest then
+        raise (Corrupt "checksum mismatch");
+      match Marshal.from_string payload 0 with
+      | v -> v
+      | exception _ -> raise (Corrupt "unmarshalable payload"))
+
+let find t ~key =
+  let path = entry_path t ~key in
+  if not (Sys.file_exists path) then begin
+    bump t (fun t -> t.misses <- t.misses + 1);
+    Metrics.Counter.incr misses_counter;
+    None
+  end
+  else
+    match read_entry ~key path with
+    | v ->
+      bump t (fun t -> t.hits <- t.hits + 1);
+      Metrics.Counter.incr hits_counter;
+      Some v
+    | exception Corrupt why ->
+      (* a torn or alien entry is a miss, never a crash: count it,
+         drop the file so the slot heals on the next write *)
+      bump t (fun t -> t.corrupt <- t.corrupt + 1);
+      Metrics.Counter.incr corrupt_counter;
+      if Trace.on () then
+        Trace.instant ~cat:"engine"
+          ~args:[ ("path", path); ("why", why) ]
+          "store.corrupt";
+      (try Sys.remove path with Sys_error _ -> ());
+      None
+    | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+      bump t (fun t -> t.errors <- t.errors + 1);
+      None
+
+let add t ~key v =
+  if String.contains key '\n' then
+    invalid_arg "Store.add: keys must not contain newlines";
+  match Marshal.to_string v [] with
+  | exception _ ->
+    (* unmarshalable value (closure in the payload): drop the spill *)
+    bump t (fun t -> t.errors <- t.errors + 1)
+  | payload -> (
+    let path = entry_path t ~key in
+    let shard = Filename.dirname path in
+    let tmp =
+      Printf.sprintf "%s/.tmp.%d.%d.%s" shard (Unix.getpid ())
+        (Atomic.fetch_and_add t.temp_seq 1)
+        (Filename.basename path)
+    in
+    match
+      mkdir_p shard;
+      Out_channel.with_open_bin tmp (fun oc ->
+          Printf.fprintf oc "%s\n%s\n%d\n%s\n" magic key (String.length payload)
+            (Digest.to_hex (Digest.string payload));
+          Out_channel.output_string oc payload);
+      (* the entry appears atomically: readers see the old file, no
+         file, or the complete new one — never a partial write *)
+      Sys.rename tmp path
+    with
+    | () ->
+      bump t (fun t -> t.writes <- t.writes + 1);
+      Metrics.Counter.incr writes_counter
+    | exception (Sys_error _ | Unix.Unix_error _) ->
+      bump t (fun t -> t.errors <- t.errors + 1);
+      (try Sys.remove tmp with Sys_error _ -> ()))
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      writes = t.writes;
+      corrupt = t.corrupt;
+      errors = t.errors;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let reset_stats t =
+  bump t (fun t ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.writes <- 0;
+      t.corrupt <- 0;
+      t.errors <- 0)

@@ -29,11 +29,17 @@ let describe name (r : D.Field2d.result) =
       Printf.sprintf "MG %d iters, %d V-cycles" r.D.Field2d.cg_iterations r.D.Field2d.v_cycles
     | D.Field2d.Cg | D.Field2d.Auto -> Printf.sprintf "CG %d iters" r.D.Field2d.cg_iterations
   in
+  let sigma =
+    let mn = Array.fold_left Float.min infinity r.D.Field2d.sigma in
+    let mx = Array.fold_left Float.max neg_infinity r.D.Field2d.sigma in
+    let contrast = if mn > 0.0 then Float.log10 (mx /. mn) else infinity in
+    Printf.sprintf "sigma %.2g..%.2g S/m, %.1f decades" mn mx contrast
+  in
   Printf.sprintf
-    "%-13s terminals [%8.3g %8.3g %8.3g %8.3g]  source-split CV %.3f  |J| CV %.3f  (%s)"
+    "%-13s terminals [%8.3g %8.3g %8.3g %8.3g]  source-split CV %.3f  |J| CV %.3f  (%s; %s)"
     name r.D.Field2d.terminal_currents.(0) r.D.Field2d.terminal_currents.(1)
     r.D.Field2d.terminal_currents.(2) r.D.Field2d.terminal_currents.(3)
-    r.D.Field2d.source_share_cv r.D.Field2d.channel_cv solver
+    r.D.Field2d.source_share_cv r.D.Field2d.channel_cv solver sigma
 
 let report ?n () =
   let r = run ?n () in

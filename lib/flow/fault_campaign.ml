@@ -5,6 +5,8 @@ module Faults = Lattice_synthesis.Faults
 module Exhaustive = Lattice_synthesis.Exhaustive
 module Defects = Sp.Defects
 module Engine = Lattice_engine.Engine
+module Pool = Lattice_engine.Pool
+module Cancel = Lattice_engine.Cancel
 
 type classification = Functional | Degraded | Faulty | Non_convergent
 
@@ -61,12 +63,13 @@ let iterations_of_attempts attempts = List.fold_left (fun acc (_, n) -> acc + n)
 (* DC solve routed through the engine's content-addressed cache when one
    is given. Cached hits replay the original diagnostics (including
    Newton counts), so budget accounting is identical on warm caches. *)
-let solve_state ?engine ~options netlist =
+let solve_state ?engine ?cancel ~options netlist =
   match engine with
-  | Some e -> Engine.dc_op e ~options:options.dc netlist
-  | None -> Sp.Dcop.solve_diag ~options:options.dc netlist
+  | Some e -> Engine.dc_op e ~options:options.dc ?cancel netlist
+  | None -> Sp.Dcop.solve_diag ~options:options.dc ?cancel netlist
 
-let simulate ?engine ?(options = default_options) grid ~target ~test_set defects =
+let simulate ?engine ?(cancel = Cancel.none) ?(options = default_options) grid ~target ~test_set
+    defects =
   let nvars = Tt.nvars target in
   if nvars > 5 then invalid_arg "Fault_campaign.simulate: too many inputs";
   if options.budget.newton_per_sample <= 0 then
@@ -79,6 +82,10 @@ let simulate ?engine ?(options = default_options) grid ~target ~test_set defects
   let failure = ref None in
   (try
      for m = 0 to states - 1 do
+       (* per-state checkpoint so deadlines bite even when every solve
+          is a cache hit (the solver's own per-iteration checks never
+          run on a warm cache) *)
+       Cancel.check cancel;
        if !used >= options.budget.newton_per_sample then begin
          failure :=
            Some
@@ -94,7 +101,7 @@ let simulate ?engine ?(options = default_options) grid ~target ~test_set defects
        end;
        let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then vdd else 0.0) in
        let lc = Defects.build ~config:options.config ~params:options.params ~defects grid ~stimulus in
-       match solve_state ?engine ~options lc.Sp.Lattice_circuit.netlist with
+       match solve_state ?engine ~cancel ~options lc.Sp.Lattice_circuit.netlist with
        | Error f ->
          used := !used + iterations_of_attempts f.Sp.Dcop.attempts;
          failure := Some f;
@@ -243,7 +250,36 @@ let multi_defect_sets rng universe ~samples ~order =
         done;
         List.map (fun i -> arr.(i)) (List.sort Int.compare !chosen))
 
-let run ?engine ?(options = default_options) ?universe grid ~target =
+(* a sample the engine could not classify normally: worker crash,
+   deadline, cancellation — reported as [Non_convergent] with a
+   synthetic failure record so the campaign report stays total *)
+let synthetic_sample ~defects message =
+  {
+    defects;
+    classification = Non_convergent;
+    worst_v_low = 0.0;
+    worst_v_high = infinity;
+    mismatches = [];
+    detected_by = [];
+    failure =
+      Some { Sp.Dcop.message; attempts = []; residual_norm = Float.nan; worst_nodes = [] };
+    newton_iterations = 0;
+  }
+
+(* retry escalation: attempt [k] runs under a Newton budget grown by
+   [backoff^k] — a budget-exhausted sample gets a real second chance,
+   not a replay of the same starvation *)
+let options_for_attempt ~policy ~attempt options =
+  if attempt = 0 then options
+  else
+    let factor = policy.Engine.backoff ** float_of_int attempt in
+    let grown =
+      int_of_float (Float.ceil (float_of_int options.budget.newton_per_sample *. factor))
+    in
+    { options with budget = { newton_per_sample = Int.max 1 grown } }
+
+let run ?engine ?(policy = Engine.default_policy) ?(cancel = Cancel.none)
+    ?(options = default_options) ?universe grid ~target =
   let nvars = Tt.nvars target in
   if nvars > 5 then invalid_arg "Fault_campaign.run: too many inputs";
   let universe =
@@ -262,13 +298,30 @@ let run ?engine ?(options = default_options) ?universe grid ~target =
   let samples =
     (* Each defect set is an independent job: results merge by index, so
        the report is bit-identical to the serial loop at any domain
-       count. *)
+       count. The engine path is fault-isolated: a crashing, stalling or
+       cancelled sample becomes a synthetic Non_convergent record, and
+       Non_convergent samples are retried under an escalated Newton
+       budget when the policy allows. *)
     Lattice_obs.Trace.with_span ~cat:"flow" "fault-campaign" (fun () ->
         match engine with
         | Some e ->
-          Engine.map e ~phase:"fault-campaign" ~n:(Array.length sets) (fun i ->
-              simulate ~engine:e ~options grid ~target ~test_set sets.(i))
-        | None -> Array.map (fun ds -> simulate ~options grid ~target ~test_set ds) sets)
+          let outcomes =
+            Engine.run_jobs e ~policy ~cancel ~phase:"fault-campaign"
+              ~retryable:(fun s -> s.classification = Non_convergent)
+              ~n:(Array.length sets)
+              (fun ~attempt ~cancel i ->
+                let options = options_for_attempt ~policy ~attempt options in
+                simulate ~engine:e ~cancel ~options grid ~target ~test_set sets.(i))
+          in
+          Array.mapi
+            (fun i -> function
+              | Pool.Done s -> s
+              | Pool.Failed e ->
+                synthetic_sample ~defects:sets.(i) ("worker exception: " ^ e.Pool.printed)
+              | Pool.Timed_out -> synthetic_sample ~defects:sets.(i) "deadline exceeded"
+              | Pool.Cancelled -> synthetic_sample ~defects:sets.(i) "cancelled")
+            outcomes
+        | None -> Array.map (fun ds -> simulate ~cancel ~options grid ~target ~test_set ds) sets)
   in
   let count c =
     Array.fold_left (fun acc s -> if s.classification = c then acc + 1 else acc) 0 samples

@@ -83,9 +83,13 @@ type sample = {
     under the Newton budget. Never raises on convergence trouble. With
     [engine], DC solves go through the engine's content-addressed cache;
     cached hits replay the original diagnostics, so Newton-budget
-    accounting is identical on warm and cold caches. *)
+    accounting is identical on warm and cold caches. [cancel] is checked
+    before every input state (and inside every solve); a fired token
+    raises {!Lattice_engine.Cancel.Cancelled} — inside {!run}'s engine
+    path that exception is converted to a classified sample. *)
 val simulate :
   ?engine:Lattice_engine.Engine.t ->
+  ?cancel:Lattice_engine.Cancel.t ->
   ?options:options ->
   Lattice_core.Grid.t ->
   target:Lattice_boolfn.Truthtable.t ->
@@ -136,17 +140,28 @@ type report = {
   total_newton : int;
 }
 
-(** [run ?engine ?options ?universe grid ~target] runs the whole
-    campaign. [universe] overrides the enumerated single-defect list (the
-    multi-defect combos are sampled from it too). Continues past every
-    failure; the only exceptions raised are argument errors.
+(** [run ?engine ?policy ?cancel ?options ?universe grid ~target] runs
+    the whole campaign. [universe] overrides the enumerated
+    single-defect list (the multi-defect combos are sampled from it
+    too). Continues past every failure; the only exceptions raised are
+    argument errors (and, on the engine-less serial path, a fired
+    [cancel] token).
 
     With [engine], the independent defect samples fan out over the
-    engine's Domain pool (phase ["fault-campaign"]) and repairs are timed
-    under ["campaign-repair"]; results merge by sample index, so the
-    report is bit-identical to the serial run at any domain count. *)
+    engine's fault-isolated {!Lattice_engine.Engine.run_jobs} (phase
+    ["fault-campaign"]) and repairs are timed under ["campaign-repair"];
+    results merge by sample index, so the report is bit-identical to
+    the serial run at any domain count. A sample whose worker crashes,
+    blows its [policy] deadline, or is cancelled becomes a
+    [Non_convergent] sample whose failure message says why
+    (["worker exception: …"], ["deadline exceeded"], ["cancelled"]) —
+    no exception escapes. With [policy.attempts > 1], [Non_convergent]
+    samples (budget exhaustion included) are retried under a Newton
+    budget and deadline grown by [policy.backoff] per attempt. *)
 val run :
   ?engine:Lattice_engine.Engine.t ->
+  ?policy:Lattice_engine.Engine.job_policy ->
+  ?cancel:Lattice_engine.Cancel.t ->
   ?options:options ->
   ?universe:Lattice_spice.Defects.t list ->
   Lattice_core.Grid.t ->

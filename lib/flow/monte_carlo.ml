@@ -4,6 +4,8 @@ module Tt = Lattice_boolfn.Truthtable
 module L1 = Lattice_mosfet.Level1
 module Model = Lattice_mosfet.Model
 module Engine = Lattice_engine.Engine
+module Pool = Lattice_engine.Pool
+module Cancel = Lattice_engine.Cancel
 
 type variation = { sigma_vth : float; sigma_kp_rel : float }
 
@@ -44,14 +46,15 @@ let perturb_types rng variation (t : Sp.Fts.mosfet_types) =
     type_b = perturb_model rng variation t.Sp.Fts.type_b;
   }
 
-let run ?engine ?(config = Sp.Lattice_circuit.default_config) ?(variation = default_variation)
+let run ?engine ?(policy = Engine.default_policy) ?(cancel = Cancel.none)
+    ?(config = Sp.Lattice_circuit.default_config) ?(variation = default_variation)
     ?(samples = 100) ?(seed = 42) grid ~target =
   let nvars = Tt.nvars target in
   if nvars > 5 then invalid_arg "Monte_carlo.run: too many inputs";
   if samples < 1 then invalid_arg "Monte_carlo.run: need at least one sample";
   let vdd = config.Sp.Lattice_circuit.vdd in
   let states = 1 lsl nvars in
-  let one_sample index =
+  let one_sample ~cancel index =
     (* One die: a fixed per-site perturbation reused across input states.
        Each die draws from an index-derived RNG stream (seed-splitting by
        hash of [seed, index]) instead of one sequential stream, so die k
@@ -65,12 +68,14 @@ let run ?engine ?(config = Sp.Lattice_circuit.default_config) ?(variation = defa
     let types_of_site r c = site_types.((r * grid.Grid.cols) + c) in
     let worst_low = ref 0.0 and worst_high = ref infinity and ok = ref true in
     for m = 0 to states - 1 do
+      (* per-state checkpoint: deadlines bite on warm caches too *)
+      Cancel.check cancel;
       let stimulus v = Sp.Source.Dc (if (m lsr v) land 1 = 1 then vdd else 0.0) in
       let lc = Sp.Lattice_circuit.build ~config ~types_of_site grid ~stimulus in
       let solved =
         match engine with
-        | Some e -> Engine.dc_op e lc.Sp.Lattice_circuit.netlist
-        | None -> Sp.Dcop.solve_diag lc.Sp.Lattice_circuit.netlist
+        | Some e -> Engine.dc_op e ~cancel lc.Sp.Lattice_circuit.netlist
+        | None -> Sp.Dcop.solve_diag ~cancel lc.Sp.Lattice_circuit.netlist
       in
       match solved with
       | Error _ ->
@@ -87,11 +92,22 @@ let run ?engine ?(config = Sp.Lattice_circuit.default_config) ?(variation = defa
   in
   let outcomes =
     (* campaign span covers the serial path too; the engine path nests
-       its own "monte-carlo" phase span inside *)
+       its own "monte-carlo" phase span inside. Engine dispatch is
+       fault-isolated: a die whose worker crashes or blows its deadline
+       is scored as a failed die, never an exception out of the yield
+       run. Retrying a die never changes its perturbations (the RNG
+       stream is a pure function of (seed, index)). *)
     Lattice_obs.Trace.with_span ~cat:"flow" "monte-carlo" (fun () ->
         match engine with
-        | Some e -> Engine.map e ~phase:"monte-carlo" ~n:samples one_sample
-        | None -> Array.init samples one_sample)
+        | Some e ->
+          Engine.run_jobs e ~policy ~cancel ~phase:"monte-carlo" ~n:samples
+            (fun ~attempt:_ ~cancel i -> one_sample ~cancel i)
+          |> Array.map (function
+               | Pool.Done o -> o
+               | Pool.Failed _ | Pool.Timed_out | Pool.Cancelled ->
+                 (* an unscorable die counts against yield *)
+                 { functional = false; worst_v_low = 0.0; worst_v_high = infinity })
+        | None -> Array.init samples (one_sample ~cancel))
   in
   let functional_count =
     Array.fold_left (fun acc o -> if o.functional then acc + 1 else acc) 0 outcomes

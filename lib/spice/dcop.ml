@@ -155,7 +155,7 @@ let residual_report ?(time = 0.0) ?(gmin = default_options.gmin_final) ?(gshunt 
    plan's first factorization (all buffers are plan-owned). On failure
    the last iterate is left in [dst] for the caller's diagnostics. *)
 let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-    ~on_iter ~nnodes =
+    ~on_iter ~cancel ~nnodes =
   let n = Stamp_plan.n plan in
   let x = Stamp_plan.x_buffer plan and x_new = Stamp_plan.x_new_buffer plan in
   Array.blit x0 0 x 0 n;
@@ -163,6 +163,13 @@ let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps
   let k = ref 0 in
   let done_ = ref false in
   while not !done_ do
+    (* iteration boundary: a blown deadline stops here, leaving the last
+       iterate in [dst] exactly like a convergence failure would *)
+    (match Cancel.state cancel with
+    | None -> ()
+    | Some r ->
+      Array.blit x 0 dst 0 n;
+      raise (Cancel.Cancelled r));
     if !k >= options.max_iterations then begin
       Array.blit x 0 dst 0 n;
       raise
@@ -192,10 +199,15 @@ let newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps
 
 (* the dense reference engine: rebuilds the full matrix each iteration *)
 let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-    ~on_iter ~nnodes =
+    ~on_iter ~cancel ~nnodes =
   let n = Netlist.unknowns netlist in
   let x = Vec.copy x0 in
   let rec iterate k =
+    (match Cancel.state cancel with
+    | None -> ()
+    | Some r ->
+      Array.blit x 0 dst 0 n;
+      raise (Cancel.Cancelled r));
     if k >= options.max_iterations then begin
       Array.blit x 0 dst 0 n;
       raise (Convergence_failure (Printf.sprintf "Newton: no convergence after %d iterations" k))
@@ -225,8 +237,8 @@ let newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~ca
   in
   iterate 0
 
-let newton_into ?(gshunt = 0.0) ?plan ?iter_count ?on_iter netlist ~options ~x0 ~dst ~time ~gmin
-    ~source_scale ~caps =
+let newton_into ?(gshunt = 0.0) ?plan ?iter_count ?on_iter ?(cancel = Cancel.none) netlist
+    ~options ~x0 ~dst ~time ~gmin ~source_scale ~caps =
   let nnodes = Netlist.num_nodes netlist in
   let plan = match plan with Some _ as p -> p | None -> plan_for options netlist in
   let sp = Trace.begin_span ~cat:"spice" "newton" in
@@ -234,10 +246,10 @@ let newton_into ?(gshunt = 0.0) ?plan ?iter_count ?on_iter netlist ~options ~x0 
     match plan with
     | Some plan ->
       newton_sparse plan ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-        ~on_iter ~nnodes
+        ~on_iter ~cancel ~nnodes
     | None ->
       newton_dense netlist ~options ~x0 ~dst ~time ~gmin ~gshunt ~source_scale ~caps ~iter_count
-        ~on_iter ~nnodes
+        ~on_iter ~cancel ~nnodes
   with
   | k ->
     Trace.end_span sp;
@@ -246,11 +258,11 @@ let newton_into ?(gshunt = 0.0) ?plan ?iter_count ?on_iter netlist ~options ~x0 
     Trace.end_span sp;
     raise e
 
-let newton ?gshunt ?plan ?iter_count ?on_iter netlist ~options ~x0 ~time ~gmin ~source_scale
-    ~caps =
+let newton ?gshunt ?plan ?iter_count ?on_iter ?cancel netlist ~options ~x0 ~time ~gmin
+    ~source_scale ~caps =
   let dst = Array.make (Array.length x0) 0.0 in
   let iters =
-    newton_into ?gshunt ?plan ?iter_count ?on_iter netlist ~options ~x0 ~dst ~time ~gmin
+    newton_into ?gshunt ?plan ?iter_count ?on_iter ?cancel netlist ~options ~x0 ~dst ~time ~gmin
       ~source_scale ~caps
   in
   (dst, iters)
@@ -259,7 +271,8 @@ let last_diag : (diagnostics, failure) result option ref = ref None
 
 let last_solve_diagnostics () = !last_diag
 
-let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
+let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) ?(cancel = Cancel.none)
+    netlist =
   let n = Netlist.unknowns netlist in
   if n = 0 then begin
     let d = { strategy = Plain; attempts = []; newton_iterations = 0; conv_trace = [] } in
@@ -291,9 +304,9 @@ let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
       let dst = Array.make n 0.0 in
       (try
          ignore
-           (newton_into ?gshunt ?plan ~iter_count:count ?on_iter netlist ~options ~x0 ~dst ~time
-              ~gmin ~source_scale ~caps:None)
-       with Convergence_failure _ as e ->
+           (newton_into ?gshunt ?plan ~iter_count:count ?on_iter ~cancel netlist ~options ~x0
+              ~dst ~time ~gmin ~source_scale ~caps:None)
+       with (Convergence_failure _ | Cancel.Cancelled _) as e ->
          Array.blit dst 0 last_x 0 n;
          raise e);
       dst
@@ -360,6 +373,7 @@ let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
         last_diag := Some (Error f);
         Error f
       | (tag, attempt) :: rest -> (
+        Cancel.check cancel;
         let count = ref 0 in
         let asp = Trace.begin_span ~cat:"spice" ("dcop:" ^ strategy_name tag) in
         match attempt count () with
@@ -388,12 +402,18 @@ let solve_diag ?(options = default_options) ?plan ?x0 ?(time = 0.0) netlist =
             Trace.instant ~cat:"spice"
               ~args:[ ("strategy", strategy_name tag); ("iterations", string_of_int !count) ]
               "dcop.fallback";
-          try_ladder msg rest)
+          try_ladder msg rest
+        | exception e ->
+          (* cancellation (and anything else unexpected) aborts the whole
+             ladder — it is not a convergence failure and must escape *)
+          Trace.end_span asp;
+          Trace.end_span sp;
+          raise e)
     in
     try_ladder "no strategy attempted" ladder
   end
 
-let solve ?options ?plan ?x0 ?time netlist =
-  match solve_diag ?options ?plan ?x0 ?time netlist with
+let solve ?options ?plan ?x0 ?time ?cancel netlist =
+  match solve_diag ?options ?plan ?x0 ?time ?cancel netlist with
   | Ok (x, _) -> x
   | Error f -> raise (Convergence_failure ("all DC strategies failed: " ^ pp_failure f))

@@ -112,12 +112,15 @@ val residual_report :
     [Convergence_failure] are still counted. [on_iter] is called once
     per iteration with the damped update's inf-norm |dx| (the
     convergence-trace hook; the norm is only computed when the hook is
-    present). *)
+    present). [cancel] is checked at every iteration boundary; a fired
+    token raises {!Cancel.Cancelled} with the last iterate left in the
+    destination buffer. *)
 val newton :
   ?gshunt:float ->
   ?plan:Stamp_plan.t ->
   ?iter_count:int ref ->
   ?on_iter:(float -> unit) ->
+  ?cancel:Cancel.t ->
   Netlist.t ->
   options:options ->
   x0:Lattice_numerics.Vec.t ->
@@ -138,6 +141,7 @@ val newton_into :
   ?plan:Stamp_plan.t ->
   ?iter_count:int ref ->
   ?on_iter:(float -> unit) ->
+  ?cancel:Cancel.t ->
   Netlist.t ->
   options:options ->
   x0:Lattice_numerics.Vec.t ->
@@ -148,16 +152,21 @@ val newton_into :
   caps:Mna.cap_companion option ->
   int
 
-(** [solve_diag ?options ?plan ?x0 ?time netlist] computes the operating
-    point at [time] (default 0) and never raises on convergence trouble:
-    [Ok (x, diagnostics)] tells which rung of the fallback ladder won and
-    what each rung cost; [Error failure] carries the failed ladder, the
-    residual norm and the worst offending nodes. *)
+(** [solve_diag ?options ?plan ?x0 ?time ?cancel netlist] computes the
+    operating point at [time] (default 0) and never raises on
+    convergence trouble: [Ok (x, diagnostics)] tells which rung of the
+    fallback ladder won and what each rung cost; [Error failure]
+    carries the failed ladder, the residual norm and the worst
+    offending nodes. [cancel] is checked at every Newton iteration and
+    every ladder rung; a fired token raises {!Cancel.Cancelled} — a
+    deadline is {e not} a convergence failure, so it aborts the whole
+    ladder instead of escalating it. *)
 val solve_diag :
   ?options:options ->
   ?plan:Stamp_plan.t ->
   ?x0:Lattice_numerics.Vec.t ->
   ?time:float ->
+  ?cancel:Cancel.t ->
   Netlist.t ->
   (Lattice_numerics.Vec.t * diagnostics, failure) result
 
@@ -170,6 +179,7 @@ val solve :
   ?plan:Stamp_plan.t ->
   ?x0:Lattice_numerics.Vec.t ->
   ?time:float ->
+  ?cancel:Cancel.t ->
   Netlist.t ->
   Lattice_numerics.Vec.t
 

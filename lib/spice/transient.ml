@@ -100,8 +100,8 @@ let sample_times ~h ~t_stop =
 
 exception Step_failed of float * float * Dcop.failure
 
-let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_currents = []) ()
-    =
+let run_diag ?(options = default_options) ?(cancel = Cancel.none) netlist ~h ~t_stop ~record
+    ?(record_currents = []) () =
   if h <= 0.0 || t_stop <= 0.0 then invalid_arg "Transient.run: h and t_stop must be positive";
   let record_nodes = Array.of_list (List.map (fun name -> Netlist.node netlist name) record) in
   let record_rows =
@@ -143,7 +143,10 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
     Trace.end_span tr_sp;
     r
   in
-  match Dcop.solve_diag ~options:options.dc ?plan ~time:0.0 netlist with
+  match Dcop.solve_diag ~options:options.dc ?plan ~time:0.0 ~cancel netlist with
+  | exception e ->
+    Trace.end_span tr_sp;
+    raise e
   | Error dc_failure ->
     finish
       (Error
@@ -191,6 +194,9 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
       end
       else advance_body t dt halvings_here
     and advance_body t dt halvings_here =
+      (* step boundary: a blown deadline stops the run here rather than
+         escalating into the halving machinery *)
+      Cancel.check cancel;
       let use_trap = options.integrator = Trapezoidal && not !first_step in
       for k = 0 to ncaps - 1 do
         if use_trap then begin
@@ -289,19 +295,24 @@ let run_diag ?(options = default_options) netlist ~h ~t_stop ~record ?(record_cu
               newton_iterations_total = !newton_total;
               stats = stats dc_strategy;
             })
-     with Step_failed (at_time, dt, dc_failure) ->
-       finish
-         (Error
-            {
-              at_time;
-              dt;
-              newton_iterations_total = !newton_total;
-              stats = stats dc_strategy;
-              dc_failure;
-            }))
+     with
+    | Step_failed (at_time, dt, dc_failure) ->
+      finish
+        (Error
+           {
+             at_time;
+             dt;
+             newton_iterations_total = !newton_total;
+             stats = stats dc_strategy;
+             dc_failure;
+           })
+    | e ->
+      (* cancellation (or anything unexpected) escapes with the span closed *)
+      Trace.end_span tr_sp;
+      raise e)
 
-let run ?options netlist ~h ~t_stop ~record ?record_currents () =
-  match run_diag ?options netlist ~h ~t_stop ~record ?record_currents () with
+let run ?options ?cancel netlist ~h ~t_stop ~record ?record_currents () =
+  match run_diag ?options ?cancel netlist ~h ~t_stop ~record ?record_currents () with
   | Ok r -> r
   | Error f ->
     raise

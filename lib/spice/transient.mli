@@ -72,12 +72,16 @@ val sample_times : h:float -> t_stop:float -> float array
     multiple of [h] (beyond 1e-6 relative tolerance) the grid gains one
     final {e partial} step instead of silently rounding the duration. *)
 
-(** [run_diag ?options netlist ~h ~t_stop ~record ?record_currents ()]
-    simulates from 0 to [t_stop] with step [h] and never raises on
-    convergence trouble: [Error failure] pinpoints the failing step and
-    carries the residual diagnostics. *)
+(** [run_diag ?options ?cancel netlist ~h ~t_stop ~record
+    ?record_currents ()] simulates from 0 to [t_stop] with step [h] and
+    never raises on convergence trouble: [Error failure] pinpoints the
+    failing step and carries the residual diagnostics. [cancel] is
+    checked at every step (and every Newton iteration inside it); a
+    fired token raises {!Cancel.Cancelled} — a deadline aborts the run
+    instead of being mistaken for a convergence failure. *)
 val run_diag :
   ?options:options ->
+  ?cancel:Cancel.t ->
   Netlist.t ->
   h:float ->
   t_stop:float ->
@@ -91,6 +95,7 @@ val run_diag :
     [Dcop.Convergence_failure] with the rendered diagnostic on failure. *)
 val run :
   ?options:options ->
+  ?cancel:Cancel.t ->
   Netlist.t ->
   h:float ->
   t_stop:float ->
