@@ -438,6 +438,81 @@ let persistent_cache_report () =
   (try rm_rf dir with Sys_error _ -> ());
   if identical then rate else 0.0
 
+(* Service layer: a live in-process daemon over a Unix socket. Two
+   numbers land in the JSON: the warm/cold latency ratio of a dc_op
+   batch (the second pass answers from the engine cache, so the ratio
+   quantifies what the long-lived daemon buys over per-request
+   processes) and the ping round-trip throughput (the protocol +
+   framing + dispatch overhead floor, with no solver work inside). *)
+let serve_report ~smoke =
+  print_endline "==================================================================";
+  print_endline " Service layer: daemon round-trip latency and throughput";
+  print_endline "==================================================================";
+  let module S = Lattice_serve.Server in
+  let module C = Lattice_serve.Client in
+  let module J = Lattice_serve.Json in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftl-bench-serve-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  let path = Filename.concat dir "daemon.sock" in
+  let config =
+    { S.default_config with S.socket_path = Some path; domains = Some 2; workers = 2 }
+  in
+  let t = S.create ~config () in
+  S.start t;
+  Fun.protect
+    ~finally:(fun () ->
+      S.stop t;
+      try rm_rf dir with Sys_error _ -> ())
+  @@ fun () ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let states = if smoke then 4 else 8 in
+  let requests =
+    List.concat_map
+      (fun expr ->
+        List.init states (fun state ->
+            J.to_string
+              (J.Obj
+                 [
+                   ("type", J.String "dc_op");
+                   ("expr", J.String expr);
+                   ("state", J.Int state);
+                 ])))
+      [ "a&b|c"; "a^b^c" ]
+  in
+  let time_pass () =
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun line -> ignore (C.call_raw c line)) requests;
+    Unix.gettimeofday () -. t0
+  in
+  let cold = time_pass () in
+  let warm = time_pass () in
+  let ratio = if cold > 0.0 then warm /. cold else 1.0 in
+  Printf.printf "  dc_op batch (%d requests): cold %.1f ms, warm %.1f ms (ratio %.3f)\n"
+    (List.length requests) (1e3 *. cold) (1e3 *. warm) ratio;
+  let pings = if smoke then 500 else 3000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to pings do
+    ignore (C.ping c)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let rps = if elapsed > 0.0 then float_of_int pings /. elapsed else 0.0 in
+  Printf.printf "  ping round-trips: %d in %.2f s (%.0f req/s)\n%!" pings elapsed rps;
+  [
+    ("serve_warm_over_cold_latency_ratio", ratio);
+    ("serve_requests_per_second", rps);
+  ]
+
 (* Observability check: the tracing hooks compiled into the hot loops must
    be invisible while disabled (< 2%, DESIGN.md "Observability layer").
    Two identical min-of-N measurements of the XOR3 transient with obs off
@@ -662,13 +737,14 @@ let () =
   let asym_extras = asymptotics_report ~smoke in
   let persistent_rate = persistent_cache_report () in
   let persistent_extras = [ ("persistent_cache_hit_rate", persistent_rate) ] in
+  let serve_extras = serve_report ~smoke in
   if smoke then begin
     (* CI smoke: the hot-spot kernels at reduced sizes plus the (cheap)
-       persistent-store replay; skip the Bechamel suite and the in-memory
-       cache/obs reports to keep the job short. *)
+       persistent-store replay and daemon round-trips; skip the Bechamel
+       suite and the in-memory cache/obs reports to keep the job short. *)
     if json then
       write_json "BENCH_spice.json" ~newton_allocation_free:allocation_free
-        ~extras:(persistent_extras @ asym_extras) []
+        ~extras:(persistent_extras @ serve_extras @ asym_extras) []
   end
   else begin
     let cache_hit_rate = cache_rerun_report () in
@@ -678,6 +754,7 @@ let () =
       engine_speedups results
       @ [ ("engine_cache_hit_rate_rerun", cache_hit_rate) ]
       @ persistent_extras
+      @ serve_extras
       @ obs_extras
       @ asym_extras
     in

@@ -492,13 +492,165 @@ let histogram_cmd =
     (Cmd.info "histogram" ~doc:"product-size distribution of the generic m x n lattice function")
     Term.(const histogram $ obs_term $ rows_arg $ cols_arg)
 
+(* --- serve ------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on (serve) or connect to (client)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_port_arg =
+  let doc = "TCP port to listen on (serve; 0 picks an ephemeral port) or connect to (client)." in
+  Arg.(value & opt (some int) None & info [ "tcp-port" ] ~docv:"PORT" ~doc)
+
+let tcp_host_arg =
+  let doc = "Host for $(b,--tcp-port)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "tcp-host" ] ~docv:"HOST" ~doc)
+
+let serve () socket tcp_port tcp_host domains cache_dir workers queue quota default_deadline
+    max_frame drain allow_sleep quiet =
+  let module S = Lattice_serve.Server in
+  if socket = None && tcp_port = None then begin
+    prerr_endline "ftl serve: pass --socket PATH and/or --tcp-port N";
+    exit 2
+  end;
+  let config =
+    {
+      S.default_config with
+      S.socket_path = socket;
+      tcp_port;
+      tcp_host;
+      domains;
+      store_dir = cache_dir;
+      workers;
+      queue_capacity = queue;
+      max_inflight_per_client = quota;
+      default_deadline_s = (if default_deadline > 0.0 then Some default_deadline else None);
+      max_frame;
+      drain_deadline_s = drain;
+      allow_sleep;
+      log =
+        (if quiet then None
+         else Some (fun line -> Printf.eprintf "[ftl-serve] %s\n%!" line));
+    }
+  in
+  let t = S.create ~config () in
+  S.run t;
+  print_engine_summary (S.engine t)
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker threads executing compute requests against the shared engine.")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-queue capacity; a full queue answers $(b,overloaded).")
+  in
+  let quota =
+    Arg.(value & opt int 16 & info [ "quota" ] ~docv:"N"
+           ~doc:"Per-connection in-flight request quota; beyond it the daemon answers \
+                 $(b,quota_exceeded).")
+  in
+  let default_deadline =
+    Arg.(value & opt float 30.0 & info [ "default-deadline" ] ~docv:"SECONDS"
+           ~doc:"Deadline applied to requests that name none (0 disables).")
+  in
+  let max_frame =
+    Arg.(value & opt int 65536 & info [ "max-frame" ] ~docv:"BYTES"
+           ~doc:"Request-line byte cap; longer frames answer $(b,frame_too_long).")
+  in
+  let drain =
+    Arg.(value & opt float 10.0 & info [ "drain" ] ~docv:"SECONDS"
+           ~doc:"Graceful-shutdown budget for draining queued and in-flight jobs.")
+  in
+  let allow_sleep =
+    Arg.(value & flag & info [ "allow-sleep" ]
+           ~doc:"Accept the test-only $(b,sleep) request (load/backpressure testing).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle logging.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"long-running simulation daemon over newline-delimited JSON (Unix socket and/or TCP)")
+    Term.(
+      const serve $ obs_term $ socket_arg $ tcp_port_arg $ tcp_host_arg $ domains_arg
+      $ cache_dir_arg $ workers $ queue $ quota $ default_deadline $ max_frame $ drain
+      $ allow_sleep $ quiet)
+
+(* --- client ------------------------------------------------------------ *)
+
+let client () socket tcp_port tcp_host deadline requests =
+  let module C = Lattice_serve.Client in
+  let module J = Lattice_serve.Json in
+  let addr =
+    match (socket, tcp_port) with
+    | Some path, _ -> C.Unix_socket path
+    | None, Some port -> C.Tcp (tcp_host, port)
+    | None, None ->
+      prerr_endline "ftl client: pass --socket PATH or --tcp-port N";
+      exit 2
+  in
+  let c = C.connect addr in
+  let all_ok = ref true in
+  let send line =
+    let line = String.trim line in
+    if line <> "" then begin
+      (* a bare word is shorthand for {"type": word}; JSON passes through *)
+      let line =
+        if line.[0] = '{' then line
+        else
+          J.to_string
+            (J.Obj
+               (( "type", J.String line )
+               ::
+               (match deadline with
+               | None -> []
+               | Some d -> [ ("deadline_s", J.Float d) ])))
+      in
+      match C.call_raw c line with
+      | resp ->
+        print_endline resp;
+        (match Lattice_serve.Protocol.parse_response resp with
+        | Ok { Lattice_serve.Protocol.payload = Ok _; _ } -> ()
+        | Ok _ | Error _ -> all_ok := false)
+      | exception C.Protocol_error msg ->
+        Printf.eprintf "ftl client: %s\n" msg;
+        all_ok := false
+    end
+  in
+  (match requests with
+  | [] -> ( try
+      while true do
+        send (input_line stdin)
+      done
+    with End_of_file -> ())
+  | rs -> List.iter send rs);
+  C.close c;
+  if not !all_ok then exit 1
+
+let client_cmd =
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Attach $(b,deadline_s) to shorthand (non-JSON) requests.")
+  in
+  let requests =
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"Requests: raw JSON objects, or bare type names (e.g. $(b,ping), \
+                 $(b,stats), $(b,shutdown)). With none, NDJSON is read from stdin. \
+                 Responses print to stdout, one line per request; the exit code is \
+                 non-zero when any response is an error.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"send requests to a running ftl serve daemon")
+    Term.(
+      const client $ obs_term $ socket_arg $ tcp_port_arg $ tcp_host_arg $ deadline $ requests)
+
 let main =
   let doc = "four-terminal switching lattice toolkit (DATE 2019 reproduction)" in
   Cmd.group (Cmd.info "ftl" ~version:"1.0.0" ~doc)
     [
       all_cmd; table1_cmd; table2_cmd; function_cmd; synth_cmd; iv_cmd; field_cmd; fit_cmd;
       xor3_cmd; series_cmd; optimize_cmd; faults_cmd; complementary_cmd; frequency_cmd;
-      yield_cmd; defects_cmd; export_cmd; histogram_cmd;
+      yield_cmd; defects_cmd; export_cmd; histogram_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -251,6 +251,37 @@ let telemetry (t : t) =
     phases;
   }
 
+(* live-telemetry gauges: instantaneous instance counters published under
+   [engine.live.*], distinct from the process-wide monotonic counters
+   ([engine.jobs], [engine.cache.hits], ...) that accumulate across every
+   engine ever created. A long-running daemon republishes these on each
+   stats/metrics export so scrapes see current serving health. *)
+let publish_gauges (t : t) =
+  if Metrics.on () then begin
+    let tel = telemetry t in
+    let set name v =
+      Metrics.Gauge.set (Metrics.gauge ("engine.live." ^ name)) (float_of_int v)
+    in
+    set "jobs" tel.jobs;
+    set "dc_solves" tel.dc_solves;
+    set "newton_total" tel.newton_total;
+    set "retries" tel.retries;
+    set "timeouts" tel.timeouts;
+    set "job_failures" tel.job_failures;
+    set "cache_hits" tel.cache.Cache.hits;
+    set "cache_misses" tel.cache.Cache.misses;
+    set "cache_evictions" tel.cache.Cache.evictions;
+    set "cache_size" tel.cache.Cache.size;
+    match tel.store with
+    | None -> ()
+    | Some s ->
+      set "store_hits" s.Store.hits;
+      set "store_misses" s.Store.misses;
+      set "store_writes" s.Store.writes;
+      set "store_corrupt" s.Store.corrupt;
+      set "store_errors" s.Store.errors
+  end
+
 let reset_telemetry (t : t) =
   Atomic.set t.jobs 0;
   Atomic.set t.dc_solves 0;
@@ -262,7 +293,9 @@ let reset_telemetry (t : t) =
   t.phases <- [];
   Mutex.unlock t.phase_lock;
   Cache.reset_stats t.dc_cache;
-  Option.iter Store.reset_stats t.store
+  Option.iter Store.reset_stats t.store;
+  (* keep published live gauges in step with the zeroed counters *)
+  publish_gauges t
 
 let summary (t : t) =
   let tel = telemetry t in

@@ -143,6 +143,18 @@ type telemetry = {
 
 val telemetry : t -> telemetry
 
+(** [publish_gauges e] snapshots {!telemetry} into the process-wide
+    {!Lattice_obs.Metrics} registry as [engine.live.*] gauges (jobs,
+    dc_solves, newton_total, retries, timeouts, job_failures,
+    cache_hits/misses/evictions/size, and — when a store is wired —
+    store_hits/misses/writes/corrupt/errors). Unlike the monotonic
+    [engine.*] counters, which accumulate across every engine the
+    process ever created, these reflect {e this} instance's current
+    telemetry — what a long-running daemon's stats endpoint and
+    [--metrics] export should report as live serving health. No-op
+    while metrics are disabled. *)
+val publish_gauges : t -> unit
+
 (** [reset_telemetry e] zeroes the job/solve/Newton counters, the
     retry/timeout/failure counters, the phase timers, the cache's
     hit/miss/eviction counters and the persistent store's counters.
@@ -150,7 +162,8 @@ val telemetry : t -> telemetry
     resident, so a lookup that hit before the reset still hits after it
     (with [telemetry] then reporting that hit against fresh counters,
     and [dc_solves] staying at 0). Use {!Cache.clear} semantics via a
-    fresh engine when the entries themselves must go. *)
+    fresh engine when the entries themselves must go. The
+    [engine.live.*] gauges are republished (zeroed) in the same call. *)
 val reset_telemetry : t -> unit
 
 (** One-line rendering for CLI output, e.g.

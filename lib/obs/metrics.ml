@@ -24,6 +24,13 @@ module Gauge = struct
       Mutex.unlock t.lock
     end
 
+  let add t dv =
+    if on () then begin
+      Mutex.lock t.lock;
+      t.v <- t.v +. dv;
+      Mutex.unlock t.lock
+    end
+
   let get t =
     Mutex.lock t.lock;
     let v = t.v in

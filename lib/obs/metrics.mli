@@ -30,6 +30,13 @@ module Gauge : sig
   type t
 
   val set : t -> float -> unit
+
+  val add : t -> float -> unit
+  (** [add g dv] shifts the gauge by [dv] (no-op while disabled) — the
+      primitive for level gauges maintained by concurrent inc/dec pairs,
+      e.g. a server's live queue depth or in-flight request count, where
+      [set] from several threads would lose updates. *)
+
   val get : t -> float
 end
 

@@ -1,0 +1,89 @@
+type reader = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  chunk : bytes;
+  buf : Buffer.t;  (* bytes read past previously returned frames *)
+  mutable scanned : int;  (* prefix of [buf] already known newline-free *)
+  mutable eof : bool;
+}
+
+let reader ?(max_frame = 65536) fd =
+  if max_frame < 1 then invalid_arg "Framing.reader: max_frame must be >= 1";
+  { fd; max_frame; chunk = Bytes.create 8192; buf = Buffer.create 256; scanned = 0; eof = false }
+
+type frame = Frame of string | Too_long of int | Nul | Eof
+
+(* index of '\n' in [r.buf] at or past [r.scanned], advancing [scanned]
+   so repeated scans of a growing partial line stay linear *)
+let find_newline r =
+  let s = Buffer.contents r.buf in
+  match String.index_from_opt s r.scanned '\n' with
+  | Some i -> Some (s, i)
+  | None ->
+    r.scanned <- String.length s;
+    None
+
+let refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> r.eof <- true
+  | n -> Buffer.add_subbytes r.buf r.chunk 0 n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> r.eof <- true
+
+(* extract the line ending at [s.[i] = '\n'], keep the tail buffered *)
+let take_line r s i =
+  let rest_start = i + 1 in
+  let rest = String.sub s rest_start (String.length s - rest_start) in
+  Buffer.clear r.buf;
+  Buffer.add_string r.buf rest;
+  r.scanned <- 0;
+  if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1) else String.sub s 0 i
+
+(* drop pending bytes until a newline goes by, so the connection stays
+   framed after an overlong line; returns the total bytes dropped *)
+let discard_through_newline r already =
+  let dropped = ref already in
+  Buffer.clear r.buf;
+  r.scanned <- 0;
+  let result = ref None in
+  while !result = None do
+    match find_newline r with
+    | Some (s, i) ->
+      dropped := !dropped + i + 1;
+      ignore (take_line r s i);
+      result := Some (Too_long !dropped)
+    | None ->
+      let pending = Buffer.length r.buf in
+      dropped := !dropped + pending;
+      Buffer.clear r.buf;
+      r.scanned <- 0;
+      if r.eof then result := Some Eof else refill r
+  done;
+  Option.get !result
+
+let rec read_frame r =
+  match find_newline r with
+  | Some (s, i) ->
+    let line = take_line r s i in
+    if String.length line > r.max_frame then Too_long (String.length line)
+    else if String.contains line '\000' then Nul
+    else Frame line
+  | None ->
+    if Buffer.length r.buf > r.max_frame then
+      (* the unterminated line already blew the cap *)
+      discard_through_newline r (Buffer.length r.buf)
+    else if r.eof then Eof  (* a trailing unterminated line is dropped *)
+    else begin
+      refill r;
+      read_frame r
+    end
+
+let write_frame fd s =
+  let payload = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length payload in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd payload !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

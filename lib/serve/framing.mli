@@ -1,0 +1,33 @@
+(** Newline-delimited framing over a file descriptor, hardened against
+    hostile peers.
+
+    One frame is one line; the reader enforces a byte cap and rejects
+    NUL-bearing lines {e without} dropping the connection — an overlong
+    or binary frame is consumed through its terminating newline and
+    reported as [Too_long]/[Nul], so the caller can answer a structured
+    error and keep serving the same client. A trailing [\r] is stripped
+    (CRLF tolerance). Reads are buffered; a connection must be read by
+    one thread at a time. *)
+
+type reader
+
+val reader : ?max_frame:int -> Unix.file_descr -> reader
+(** [max_frame] (default 65536) caps the frame length in bytes,
+    exclusive of the newline. *)
+
+type frame =
+  | Frame of string
+  | Too_long of int
+      (** the line exceeded [max_frame]; payload is the number of bytes
+          discarded (the line was consumed through its newline) *)
+  | Nul  (** the line contained a NUL byte and was discarded *)
+  | Eof
+      (** peer closed (a trailing unterminated line is discarded), or
+          the descriptor died under the read *)
+
+val read_frame : reader -> frame
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write the frame plus ['\n'], looping until fully written. Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) when the peer is gone; callers own
+    the per-connection write lock and the error handling. *)

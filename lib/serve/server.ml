@@ -1,0 +1,721 @@
+module Sp = Lattice_spice
+module Tt = Lattice_boolfn.Truthtable
+module Engine = Lattice_engine.Engine
+module Cancel = Lattice_engine.Cancel
+module Metrics = Lattice_obs.Metrics
+module Trace = Lattice_obs.Trace
+
+(* process-wide serve metrics (mirrored per-instance by atomic counters
+   so [stats] answers even while metrics are disabled) *)
+let m_requests = Metrics.counter "serve.requests"
+let m_ok = Metrics.counter "serve.responses.ok"
+let m_err = Metrics.counter "serve.responses.error"
+let m_overloaded = Metrics.counter "serve.overloaded"
+let m_quota = Metrics.counter "serve.quota_rejected"
+let m_malformed = Metrics.counter "serve.malformed"
+let m_queue_depth = Metrics.gauge "serve.queue.depth"
+let m_inflight = Metrics.gauge "serve.inflight"
+let m_queue_wait = Metrics.histogram "serve.queue_wait.seconds"
+let m_handle = Metrics.histogram "serve.handle.seconds"
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  tcp_host : string;
+  domains : int option;
+  cache_capacity : int;
+  store_dir : string option;
+  workers : int;
+  queue_capacity : int;
+  max_inflight_per_client : int;
+  default_deadline_s : float option;
+  max_frame : int;
+  drain_deadline_s : float;
+  allow_sleep : bool;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp_port = None;
+    tcp_host = "127.0.0.1";
+    domains = None;
+    cache_capacity = 4096;
+    store_dir = None;
+    workers = 2;
+    queue_capacity = 64;
+    max_inflight_per_client = 16;
+    default_deadline_s = Some 30.0;
+    max_frame = 65536;
+    drain_deadline_s = 10.0;
+    allow_sleep = false;
+    log = None;
+  }
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  write_lock : Mutex.t;
+  inflight : int Atomic.t;
+  mutable dead : bool;  (* under [write_lock]: no further writes *)
+  mutable fd_closed : bool;  (* under [write_lock] *)
+}
+
+type job = { jconn : conn; env : Protocol.envelope; enqueued_at : float }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  queue : job Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable qsize : int;  (* under [qlock] *)
+  stopping : bool Atomic.t;
+  lifecycle : Mutex.t;
+  mutable torn_down : bool;  (* under [lifecycle] *)
+  mutable started_at : float;
+  mutable listeners : (Unix.file_descr * string) list;  (* fd, description *)
+  mutable bound_port : int option;
+  mutable accept_threads : Thread.t list;
+  mutable worker_threads : Thread.t list;
+  conns : (int, conn * Thread.t) Hashtbl.t;
+  conns_lock : Mutex.t;
+  next_cid : int Atomic.t;
+  inflight_total : int Atomic.t;
+  (* per-instance counters behind the [stats] response *)
+  c_requests : int Atomic.t;
+  c_ok : int Atomic.t;
+  c_err : int Atomic.t;
+  c_overloaded : int Atomic.t;
+  c_quota : int Atomic.t;
+  c_malformed : int Atomic.t;
+  c_conns_total : int Atomic.t;
+}
+
+let create ?(config = default_config) () =
+  if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if config.queue_capacity < 1 then invalid_arg "Server.create: queue_capacity must be >= 1";
+  if config.max_inflight_per_client < 1 then
+    invalid_arg "Server.create: max_inflight_per_client must be >= 1";
+  {
+    config;
+    engine =
+      Engine.create ?domains:config.domains ~cache_capacity:config.cache_capacity
+        ?store_dir:config.store_dir ();
+    queue = Queue.create ();
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    qsize = 0;
+    stopping = Atomic.make false;
+    lifecycle = Mutex.create ();
+    torn_down = false;
+    started_at = 0.0;
+    listeners = [];
+    bound_port = None;
+    accept_threads = [];
+    worker_threads = [];
+    conns = Hashtbl.create 16;
+    conns_lock = Mutex.create ();
+    next_cid = Atomic.make 0;
+    inflight_total = Atomic.make 0;
+    c_requests = Atomic.make 0;
+    c_ok = Atomic.make 0;
+    c_err = Atomic.make 0;
+    c_overloaded = Atomic.make 0;
+    c_quota = Atomic.make 0;
+    c_malformed = Atomic.make 0;
+    c_conns_total = Atomic.make 0;
+  }
+
+let engine t = t.engine
+let port t = t.bound_port
+
+let log t fmt =
+  Printf.ksprintf
+    (fun line -> match t.config.log with None -> () | Some f -> f line)
+    fmt
+
+let now () = Unix.gettimeofday ()
+
+(* --- request handlers --------------------------------------------------- *)
+
+exception Handler_error of Protocol.error_code * string
+
+let h_reject code fmt = Printf.ksprintf (fun m -> raise (Handler_error (code, m))) fmt
+
+(* expression -> (truth table, nvars, synthesized lattice); the expensive
+   circuit work downstream is what the engine cache memoizes *)
+let grid_of_expr expr =
+  match Lattice_boolfn.Expr.parse expr with
+  | exception Lattice_boolfn.Expr.Parse_error msg -> h_reject Protocol.Bad_request "expr: %s" msg
+  | ast, names ->
+    let nvars = Array.length names in
+    if nvars > 5 then
+      h_reject Protocol.Bad_request
+        "expr has %d variables; circuit-level requests support at most 5" nvars;
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
+    let grid =
+      try (Lattice_synthesis.Altun_riedel.synthesize tt).Lattice_synthesis.Altun_riedel.grid
+      with Lattice_synthesis.Altun_riedel.No_shared_literal _ | Invalid_argument _ ->
+        h_reject Protocol.Bad_request "expr %S has no lattice realization here" expr
+    in
+    (tt, nvars, grid)
+
+let handle_dc_op t ~cancel ~expr ~state ~vdd =
+  let tt, nvars, grid = grid_of_expr expr in
+  let states = 1 lsl nvars in
+  if state >= states then
+    h_reject Protocol.Bad_request "state %d out of range for %d variable(s) (max %d)" state
+      nvars (states - 1);
+  let config =
+    match vdd with
+    | None -> Sp.Lattice_circuit.default_config
+    | Some v -> { Sp.Lattice_circuit.default_config with Sp.Lattice_circuit.vdd = v }
+  in
+  let vdd = config.Sp.Lattice_circuit.vdd in
+  let stimulus v = Sp.Source.Dc (if (state lsr v) land 1 = 1 then vdd else 0.0) in
+  let lc = Sp.Lattice_circuit.build ~config grid ~stimulus in
+  let netlist = lc.Sp.Lattice_circuit.netlist in
+  match Engine.dc_op t.engine ~cancel netlist with
+  | Error f -> h_reject Protocol.Non_convergent "%s" (Sp.Dcop.pp_failure f)
+  | Ok (x, diag) ->
+    let v = Sp.Mna.voltage x (Sp.Netlist.node netlist lc.Sp.Lattice_circuit.output_node) in
+    (* the lattice is a pull-down network: the output is the complement *)
+    let expected_high = not (Tt.eval tt state) in
+    Json.Obj
+      [
+        ("expr", Json.String expr);
+        ("state", Json.Int state);
+        ("output_v", Protocol.json_float v);
+        ("logic_high", Json.Bool (v > vdd /. 2.0));
+        ("expected_high", Json.Bool expected_high);
+        ("strategy", Json.String (Sp.Dcop.strategy_name diag.Sp.Dcop.strategy));
+        ("newton_iterations", Json.Int diag.Sp.Dcop.newton_iterations);
+      ]
+
+let handle_transient t ~cancel ~expr ~bit_time ~h =
+  ignore t;
+  let _tt, nvars, grid = grid_of_expr expr in
+  let vdd = Sp.Lattice_circuit.default_config.Sp.Lattice_circuit.vdd in
+  let lc =
+    Sp.Lattice_circuit.build grid
+      ~stimulus:(Sp.Lattice_circuit.exhaustive_stimulus ~vdd ~bit_time)
+  in
+  let t_stop = float_of_int (1 lsl nvars) *. bit_time in
+  match
+    Sp.Transient.run_diag ~cancel lc.Sp.Lattice_circuit.netlist ~h ~t_stop
+      ~record:[ lc.Sp.Lattice_circuit.output_node ] ()
+  with
+  | Error (f : Sp.Transient.failure) ->
+    h_reject Protocol.Non_convergent "transient failed at t=%g (dt=%g): %s"
+      f.Sp.Transient.at_time f.Sp.Transient.dt
+      (Sp.Dcop.pp_failure f.Sp.Transient.dc_failure)
+  | Ok r ->
+    let out = Sp.Transient.signal r lc.Sp.Lattice_circuit.output_node in
+    let vmin = Array.fold_left Float.min infinity out in
+    let vmax = Array.fold_left Float.max neg_infinity out in
+    Json.Obj
+      [
+        ("expr", Json.String expr);
+        ("t_stop", Protocol.json_float t_stop);
+        ("samples", Json.Int (Array.length r.Sp.Transient.times));
+        ("steps_taken", Json.Int r.Sp.Transient.stats.Sp.Transient.steps_taken);
+        ("halvings", Json.Int r.Sp.Transient.stats.Sp.Transient.halvings);
+        ("newton_iterations", Json.Int r.Sp.Transient.newton_iterations_total);
+        ("output_min_v", Protocol.json_float vmin);
+        ("output_max_v", Protocol.json_float vmax);
+        ("output_final_v", Protocol.json_float out.(Array.length out - 1));
+      ]
+
+let handle_yield t ~cancel ~expr ~samples ~sigma_vth ~seed =
+  let tt, _nvars, grid = grid_of_expr expr in
+  let mc =
+    Lattice_flow.Monte_carlo.run ~engine:t.engine ~cancel
+      ~variation:{ Lattice_flow.Monte_carlo.sigma_vth; sigma_kp_rel = 0.1 }
+      ~samples ~seed grid ~target:tt
+  in
+  (* the engine path scores cancelled dies instead of raising: surface a
+     mid-campaign deadline as a timeout, not as a silently low yield *)
+  Cancel.check cancel;
+  Json.Obj
+    [
+      ("expr", Json.String expr);
+      ("samples", Json.Int mc.Lattice_flow.Monte_carlo.samples);
+      ("yield", Protocol.json_float mc.Lattice_flow.Monte_carlo.yield);
+      ("v_low_mean", Protocol.json_float mc.Lattice_flow.Monte_carlo.v_low_mean);
+      ("v_low_std", Protocol.json_float mc.Lattice_flow.Monte_carlo.v_low_std);
+      ("v_high_mean", Protocol.json_float mc.Lattice_flow.Monte_carlo.v_high_mean);
+    ]
+
+let handle_defects t ~cancel ~expr ~all_classes =
+  let tt, _nvars, grid = grid_of_expr expr in
+  let module Fc = Lattice_flow.Fault_campaign in
+  let classes =
+    if all_classes then Sp.Defects.all_classes
+    else [ Sp.Defects.Opens; Sp.Defects.Shorts ]
+  in
+  (* remapping search is expensive and irrelevant to a classification
+     query; clients wanting repair run the CLI campaign *)
+  let options = { Fc.default_options with Fc.classes; attempt_repair = false } in
+  let rep = Fc.run ~engine:t.engine ~cancel ~options grid ~target:tt in
+  Cancel.check cancel;
+  Json.Obj
+    [
+      ("expr", Json.String expr);
+      ("samples", Json.Int (Array.length rep.Fc.samples));
+      ("functional", Json.Int rep.Fc.counts.Fc.functional);
+      ("degraded", Json.Int rep.Fc.counts.Fc.degraded);
+      ("faulty", Json.Int rep.Fc.counts.Fc.faulty);
+      ("non_convergent", Json.Int rep.Fc.counts.Fc.non_convergent);
+      ("detected", Json.Int rep.Fc.detected);
+      ("silent", Json.Int rep.Fc.silent);
+      ("test_vectors", Json.Int (List.length rep.Fc.test_set));
+    ]
+
+let handle_table1 ~rows ~cols =
+  let count = Lattice_core.Table1.count ~rows ~cols in
+  let fields =
+    [ ("rows", Json.Int rows); ("cols", Json.Int cols); ("count", Json.Int count) ]
+  in
+  let fields =
+    if rows <= 9 && cols <= 9 then
+      fields @ [ ("paper", Json.Int (Lattice_core.Table1.paper_value ~rows ~cols)) ]
+    else fields
+  in
+  Json.Obj fields
+
+let handle_paths ~rows ~cols =
+  let count = Lattice_core.Paths.count_irredundant ~rows ~cols in
+  let hist = Lattice_core.Paths.length_histogram ~rows ~cols in
+  Json.Obj
+    [
+      ("rows", Json.Int rows);
+      ("cols", Json.Int cols);
+      ("count", Json.Int count);
+      ("histogram", Json.List (Array.to_list (Array.map (fun n -> Json.Int n) hist)));
+    ]
+
+let handle_sleep t ~cancel ~seconds =
+  if not t.config.allow_sleep then
+    h_reject Protocol.Bad_request "sleep requests are disabled on this server";
+  (* sliced so a deadline still bites mid-sleep *)
+  let until = now () +. seconds in
+  let rec nap () =
+    Cancel.check cancel;
+    let left = until -. now () in
+    if left > 0.0 then begin
+      Thread.delay (Float.min left 0.05);
+      nap ()
+    end
+  in
+  nap ();
+  Json.Obj [ ("slept", Protocol.json_float seconds) ]
+
+let handle_compute t ~cancel (req : Protocol.request) =
+  match req with
+  | Protocol.Dc_op { expr; state; vdd } -> handle_dc_op t ~cancel ~expr ~state ~vdd
+  | Protocol.Transient { expr; bit_time; h } -> handle_transient t ~cancel ~expr ~bit_time ~h
+  | Protocol.Yield { expr; samples; sigma_vth; seed } ->
+    handle_yield t ~cancel ~expr ~samples ~sigma_vth ~seed
+  | Protocol.Defects { expr; all_classes } -> handle_defects t ~cancel ~expr ~all_classes
+  | Protocol.Table1 { rows; cols } -> handle_table1 ~rows ~cols
+  | Protocol.Paths { rows; cols } -> handle_paths ~rows ~cols
+  | Protocol.Sleep { seconds } -> handle_sleep t ~cancel ~seconds
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+    (* handled inline by the reader; unreachable through the queue *)
+    h_reject Protocol.Internal "control request reached the worker pool"
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_json t =
+  Engine.publish_gauges t.engine;
+  let tel = Engine.telemetry t.engine in
+  let module C = Lattice_engine.Cache in
+  let module S = Lattice_engine.Store in
+  Mutex.lock t.qlock;
+  let queue_depth = t.qsize in
+  Mutex.unlock t.qlock;
+  Mutex.lock t.conns_lock;
+  let live_conns = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_lock;
+  let store =
+    match tel.Engine.store with
+    | None -> Json.Null
+    | Some s ->
+      Json.Obj
+        [
+          ("hits", Json.Int s.S.hits);
+          ("misses", Json.Int s.S.misses);
+          ("writes", Json.Int s.S.writes);
+          ("corrupt", Json.Int s.S.corrupt);
+          ("errors", Json.Int s.S.errors);
+        ]
+  in
+  Json.Obj
+    [
+      ( "server",
+        Json.Obj
+          [
+            ("uptime_s", Protocol.json_float (now () -. t.started_at));
+            ("connections", Json.Int live_conns);
+            ("connections_total", Json.Int (Atomic.get t.c_conns_total));
+            ("requests", Json.Int (Atomic.get t.c_requests));
+            ("ok", Json.Int (Atomic.get t.c_ok));
+            ("errors", Json.Int (Atomic.get t.c_err));
+            ("overloaded", Json.Int (Atomic.get t.c_overloaded));
+            ("quota_rejected", Json.Int (Atomic.get t.c_quota));
+            ("malformed", Json.Int (Atomic.get t.c_malformed));
+            ("queue_depth", Json.Int queue_depth);
+            ("queue_capacity", Json.Int t.config.queue_capacity);
+            ("inflight", Json.Int (Atomic.get t.inflight_total));
+            ("workers", Json.Int t.config.workers);
+          ] );
+      ( "engine",
+        Json.Obj
+          [
+            ("domains", Json.Int tel.Engine.domains);
+            ("jobs", Json.Int tel.Engine.jobs);
+            ("dc_solves", Json.Int tel.Engine.dc_solves);
+            ("newton_iterations", Json.Int tel.Engine.newton_total);
+            ("retries", Json.Int tel.Engine.retries);
+            ("timeouts", Json.Int tel.Engine.timeouts);
+            ("job_failures", Json.Int tel.Engine.job_failures);
+            ( "cache",
+              Json.Obj
+                [
+                  ("hits", Json.Int tel.Engine.cache.C.hits);
+                  ("misses", Json.Int tel.Engine.cache.C.misses);
+                  ("evictions", Json.Int tel.Engine.cache.C.evictions);
+                  ("size", Json.Int tel.Engine.cache.C.size);
+                  ("capacity", Json.Int tel.Engine.cache.C.capacity);
+                ] );
+            ("store", store);
+            ( "store_dir",
+              match Engine.store_dir t.engine with
+              | None -> Json.Null
+              | Some d -> Json.String d );
+          ] );
+    ]
+
+(* --- response plumbing -------------------------------------------------- *)
+
+let write_response t conn line =
+  Mutex.lock conn.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_lock)
+    (fun () ->
+      if not (conn.dead || conn.fd_closed) then
+        try Framing.write_frame conn.fd line
+        with Unix.Unix_error _ ->
+          conn.dead <- true;
+          log t "conn %d: write failed, dropping connection" conn.cid)
+
+let respond_ok t conn ~id result =
+  Atomic.incr t.c_ok;
+  Metrics.Counter.incr m_ok;
+  write_response t conn (Protocol.render_ok ~id result)
+
+let respond_error t conn ~id code msg =
+  Atomic.incr t.c_err;
+  Metrics.Counter.incr m_err;
+  write_response t conn (Protocol.render_error ~id code msg)
+
+(* close the descriptor only when no writer can still reach it *)
+let maybe_close t conn =
+  Mutex.lock conn.write_lock;
+  let close_now = conn.dead && (not conn.fd_closed) && Atomic.get conn.inflight = 0 in
+  if close_now then conn.fd_closed <- true;
+  Mutex.unlock conn.write_lock;
+  if close_now then begin
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_lock;
+    Hashtbl.remove t.conns conn.cid;
+    Mutex.unlock t.conns_lock
+  end
+
+(* --- admission + workers ------------------------------------------------ *)
+
+let admit t conn env =
+  if Atomic.get t.stopping then
+    Error (Protocol.Shutting_down, "daemon is shutting down")
+  else if Atomic.get conn.inflight >= t.config.max_inflight_per_client then begin
+    Atomic.incr t.c_quota;
+    Metrics.Counter.incr m_quota;
+    Error
+      ( Protocol.Quota_exceeded,
+        Printf.sprintf "connection quota of %d in-flight request(s) reached"
+          t.config.max_inflight_per_client )
+  end
+  else begin
+    Mutex.lock t.qlock;
+    if t.qsize >= t.config.queue_capacity then begin
+      Mutex.unlock t.qlock;
+      Atomic.incr t.c_overloaded;
+      Metrics.Counter.incr m_overloaded;
+      Error
+        ( Protocol.Overloaded,
+          Printf.sprintf "admission queue full (capacity %d); back off and retry"
+            t.config.queue_capacity )
+    end
+    else begin
+      Queue.push { jconn = conn; env; enqueued_at = now () } t.queue;
+      t.qsize <- t.qsize + 1;
+      Atomic.incr conn.inflight;
+      Atomic.incr t.inflight_total;
+      Metrics.Gauge.add m_queue_depth 1.0;
+      Condition.signal t.qcond;
+      Mutex.unlock t.qlock;
+      Ok ()
+    end
+  end
+
+let execute t (job : job) =
+  let env = job.env in
+  let name = Protocol.request_name env.Protocol.req in
+  Trace.with_span ~cat:"serve" ~args:[ ("type", name) ] "serve.handle" (fun () ->
+      let deadline_s =
+        match env.Protocol.deadline_s with
+        | Some _ as d -> d
+        | None -> t.config.default_deadline_s
+      in
+      let cancel = Cancel.of_deadline_s deadline_s in
+      match handle_compute t ~cancel env.Protocol.req with
+      | result -> respond_ok t job.jconn ~id:env.Protocol.id result
+      | exception Handler_error (code, msg) -> respond_error t job.jconn ~id:env.Protocol.id code msg
+      | exception Cancel.Cancelled _ ->
+        respond_error t job.jconn ~id:env.Protocol.id Protocol.Timeout
+          (Printf.sprintf "request deadline of %gs exceeded"
+             (Option.value deadline_s ~default:0.0))
+      | exception e ->
+        log t "internal error handling %s: %s" name (Printexc.to_string e);
+        respond_error t job.jconn ~id:env.Protocol.id Protocol.Internal (Printexc.to_string e))
+
+let worker_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.qlock;
+    while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+      Condition.wait t.qcond t.qlock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping and drained *)
+      Mutex.unlock t.qlock;
+      running := false
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.qsize <- t.qsize - 1;
+      Mutex.unlock t.qlock;
+      Metrics.Gauge.add m_queue_depth (-1.0);
+      Metrics.Histogram.observe m_queue_wait (now () -. job.enqueued_at);
+      Metrics.Gauge.add m_inflight 1.0;
+      let t0 = now () in
+      execute t job;
+      Metrics.Histogram.observe m_handle (now () -. t0);
+      Metrics.Gauge.add m_inflight (-1.0);
+      Atomic.decr job.jconn.inflight;
+      Atomic.decr t.inflight_total;
+      maybe_close t job.jconn
+    end
+  done
+
+(* --- connection readers ------------------------------------------------- *)
+
+let request_stop t = Atomic.set t.stopping true
+
+let handle_frame t conn line =
+  Atomic.incr t.c_requests;
+  Metrics.Counter.incr m_requests;
+  let parsed =
+    Trace.with_span ~cat:"serve" "serve.parse" (fun () -> Protocol.parse_request line)
+  in
+  match parsed with
+  | Error (id, code, msg) ->
+    Atomic.incr t.c_malformed;
+    Metrics.Counter.incr m_malformed;
+    respond_error t conn ~id code msg
+  | Ok env -> (
+    let id = env.Protocol.id in
+    match env.Protocol.req with
+    | Protocol.Ping -> respond_ok t conn ~id (Json.Obj [ ("pong", Json.Bool true) ])
+    | Protocol.Stats -> respond_ok t conn ~id (stats_json t)
+    | Protocol.Shutdown ->
+      log t "conn %d: shutdown requested" conn.cid;
+      respond_ok t conn ~id (Json.Obj [ ("stopping", Json.Bool true) ]);
+      request_stop t
+    | _ -> (
+      match admit t conn env with
+      | Ok () -> ()
+      | Error (code, msg) -> respond_error t conn ~id code msg))
+
+let reader_loop t conn =
+  let r = Framing.reader ~max_frame:t.config.max_frame conn.fd in
+  let live = ref true in
+  while !live do
+    match Framing.read_frame r with
+    | Framing.Eof -> live := false
+    | Framing.Too_long n ->
+      Atomic.incr t.c_requests;
+      Metrics.Counter.incr m_requests;
+      Atomic.incr t.c_malformed;
+      Metrics.Counter.incr m_malformed;
+      respond_error t conn ~id:None Protocol.Frame_too_long
+        (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n t.config.max_frame)
+    | Framing.Nul ->
+      Atomic.incr t.c_requests;
+      Metrics.Counter.incr m_requests;
+      Atomic.incr t.c_malformed;
+      Metrics.Counter.incr m_malformed;
+      respond_error t conn ~id:None Protocol.Invalid_frame "frame contains a NUL byte"
+    | Framing.Frame line -> handle_frame t conn line
+  done;
+  Mutex.lock conn.write_lock;
+  conn.dead <- true;
+  Mutex.unlock conn.write_lock;
+  maybe_close t conn;
+  log t "conn %d: closed" conn.cid
+
+(* --- listeners ---------------------------------------------------------- *)
+
+let accept_loop t lfd =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ lfd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept lfd with
+      | exception Unix.Unix_error _ -> ()  (* racing teardown, or transient *)
+      | fd, _addr ->
+        let cid = Atomic.fetch_and_add t.next_cid 1 in
+        let conn =
+          {
+            cid;
+            fd;
+            write_lock = Mutex.create ();
+            inflight = Atomic.make 0;
+            dead = false;
+            fd_closed = false;
+          }
+        in
+        Atomic.incr t.c_conns_total;
+        let th = Thread.create (fun () -> reader_loop t conn) () in
+        Mutex.lock t.conns_lock;
+        Hashtbl.replace t.conns cid (conn, th);
+        Mutex.unlock t.conns_lock;
+        log t "conn %d: accepted" cid)
+  done
+
+let start t =
+  if t.config.socket_path = None && t.config.tcp_port = None then
+    invalid_arg "Server.start: config names no listener (socket_path or tcp_port)";
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  t.started_at <- now ();
+  (match t.config.socket_path with
+  | None -> ()
+  | Some path ->
+    (* a stale socket file from a dead daemon blocks bind; clear it *)
+    (match Unix.stat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    t.listeners <- (fd, "unix:" ^ path) :: t.listeners);
+  (match t.config.tcp_port with
+  | None -> ()
+  | Some port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.tcp_host, port));
+    Unix.listen fd 64;
+    (match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, bound) -> t.bound_port <- Some bound
+    | _ -> ());
+    t.listeners <-
+      (fd, Printf.sprintf "tcp:%s:%d" t.config.tcp_host (Option.value t.bound_port ~default:port))
+      :: t.listeners);
+  t.accept_threads <-
+    List.map (fun (fd, _) -> Thread.create (fun () -> accept_loop t fd) ()) t.listeners;
+  t.worker_threads <-
+    List.init t.config.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  List.iter (fun (_, desc) -> log t "listening on %s" desc) t.listeners;
+  log t "engine: %d domain(s), %d workers, queue %d, quota %d%s" (Engine.domains t.engine)
+    t.config.workers t.config.queue_capacity t.config.max_inflight_per_client
+    (match Engine.store_dir t.engine with
+    | None -> ""
+    | Some d -> Printf.sprintf ", store %s" d)
+
+let teardown t =
+  Mutex.lock t.lifecycle;
+  let first = not t.torn_down in
+  t.torn_down <- true;
+  Mutex.unlock t.lifecycle;
+  if first then begin
+    (* 1. accept threads observe the flag within their select timeout *)
+    List.iter Thread.join t.accept_threads;
+    List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    (match t.config.socket_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* 2. drain: admission already refuses, so the queue only shrinks *)
+    let deadline = now () +. t.config.drain_deadline_s in
+    let pending () =
+      Mutex.lock t.qlock;
+      let q = t.qsize in
+      Mutex.unlock t.qlock;
+      q + Atomic.get t.inflight_total
+    in
+    while pending () > 0 && now () < deadline do
+      Thread.delay 0.01
+    done;
+    if pending () > 0 then log t "drain deadline expired with %d job(s) pending" (pending ());
+    (* 3. workers exit once the queue is empty and the flag is up *)
+    Mutex.lock t.qlock;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qlock;
+    List.iter Thread.join t.worker_threads;
+    (* 4. wake blocked readers and reap connections *)
+    Mutex.lock t.conns_lock;
+    let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun (conn, _) ->
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      remaining;
+    List.iter (fun (_, th) -> Thread.join th) remaining;
+    List.iter
+      (fun (conn, _) ->
+        Mutex.lock conn.write_lock;
+        let close_now = not conn.fd_closed in
+        conn.fd_closed <- true;
+        conn.dead <- true;
+        Mutex.unlock conn.write_lock;
+        if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      remaining;
+    log t "stopped"
+  end
+
+let wait t =
+  while not (Atomic.get t.stopping) do
+    Thread.delay 0.05
+  done;
+  teardown t
+
+let stop t =
+  request_stop t;
+  wait t
+
+let run t =
+  start t;
+  (match Sys.os_type with
+  | "Unix" ->
+    (* handlers only flip an atomic; [wait] does the teardown from a
+       normal thread context *)
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t));
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t))
+  | _ -> ());
+  wait t

@@ -1,0 +1,104 @@
+(** The `ftl serve` daemon: simulation-as-a-service over a Unix-domain
+    (and optionally TCP) socket, multiplexing jobs onto one long-lived
+    {!Lattice_engine.Engine}.
+
+    {2 Architecture}
+
+    One reader thread per connection parses newline-delimited JSON
+    frames ({!Framing}, {!Protocol}). Control requests ([ping],
+    [stats], [shutdown]) answer inline from the reader; compute
+    requests are {e admitted} — per-client in-flight quota, then a
+    bounded FIFO admission queue — and picked up by a fixed pool of
+    worker threads that run the handler against the shared engine and
+    write the response under the connection's write lock. Admission
+    failure is an immediate structured error ([quota_exceeded] /
+    [overloaded] — explicit backpressure, never a silent drop), and no
+    request of any shape can kill the daemon: handler exceptions come
+    back as [internal] errors, deadline overruns as [timeout].
+
+    The engine — Domain pool, content-addressed DC cache, persistent
+    {!Lattice_engine.Store} spill directory — lives for the daemon's
+    lifetime, so the warm-cache hit rate compounds {e across requests
+    and across clients}, and with a store directory also across daemon
+    restarts: a restarted daemon answers repeat requests from disk with
+    zero DC solves.
+
+    {2 Shutdown}
+
+    [shutdown] requests and SIGINT/SIGTERM (wired by {!run}) share one
+    graceful path: stop admitting, drain queued and in-flight jobs
+    (their responses are delivered), then close connections and
+    listeners. Readers that race the drain get [shutting_down] errors.
+
+    {2 Observability}
+
+    Spans per phase ([serve.parse], [serve.handle]); process-wide
+    counters [serve.requests] / [serve.responses.ok] /
+    [serve.responses.error] / [serve.overloaded] /
+    [serve.quota_rejected] / [serve.malformed]; histograms
+    [serve.queue_wait.seconds] and [serve.handle.seconds]; level gauges
+    [serve.queue.depth] and [serve.inflight]. The [stats] request
+    returns the same numbers (plus engine/cache/store telemetry) as
+    JSON, and {!Lattice_engine.Engine.publish_gauges} refreshes the
+    [engine.live.*] gauges on every [stats] call and metrics export. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener *)
+  tcp_port : int option;  (** TCP listener on [tcp_host] *)
+  tcp_host : string;  (** default 127.0.0.1 *)
+  domains : int option;  (** engine Domain-pool width *)
+  cache_capacity : int;
+  store_dir : string option;  (** persistent DC-result store root *)
+  workers : int;  (** worker threads executing compute requests *)
+  queue_capacity : int;  (** admission-queue bound *)
+  max_inflight_per_client : int;  (** per-connection quota *)
+  default_deadline_s : float option;
+      (** per-request budget when the request names none *)
+  max_frame : int;  (** request-line byte cap *)
+  drain_deadline_s : float;  (** graceful-shutdown drain budget *)
+  allow_sleep : bool;  (** accept the test-only [sleep] request *)
+  log : (string -> unit) option;  (** one line per lifecycle event *)
+}
+
+val default_config : config
+(** No listeners (callers must set [socket_path] and/or [tcp_port]);
+    2 workers; queue 64; quota 16; 30 s default deadline; 64 KiB
+    frames; 10 s drain; [sleep] disabled; no log. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Builds the engine (honoring [FTL_DOMAINS]/[FTL_CACHE_DIR] like the
+    CLI when the config leaves them unset). Nothing listens yet. *)
+
+val engine : t -> Lattice_engine.Engine.t
+
+val start : t -> unit
+(** Bind the listeners (unlinking a stale socket file), spawn the
+    accept and worker threads, and return. Raises [Invalid_argument]
+    when the config names no listener, [Unix.Unix_error] on bind
+    failure. *)
+
+val port : t -> int option
+(** The bound TCP port, once started — useful with [tcp_port = Some 0]
+    (ephemeral port) in tests. *)
+
+val request_stop : t -> unit
+(** Flip the stop flag; safe from any thread and from signal handlers.
+    {!wait} performs the actual teardown. *)
+
+val wait : t -> unit
+(** Block until a stop is requested ([shutdown] request,
+    {!request_stop}, or a signal via {!run}), then tear down: stop
+    accepting, drain in-flight work for up to [drain_deadline_s],
+    join every thread, close every descriptor. Idempotent. *)
+
+val stop : t -> unit
+(** [request_stop] + [wait]. *)
+
+val run : t -> unit
+(** [start] + SIGINT/SIGTERM handlers (and SIGPIPE ignore) + [wait] —
+    the CLI entry point. *)
+
+val stats_json : t -> Json.t
+(** The [stats] response body (also exposed for tests/CLI). *)

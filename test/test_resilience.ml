@@ -439,7 +439,24 @@ let test_reset_telemetry_pins_new_counters () =
   ignore (Engine.dc_op e netlist);
   let w = Engine.telemetry e in
   Alcotest.(check int) "cache entry survived the reset" 1 w.Engine.cache.Cache.hits;
-  Alcotest.(check int) "no re-solve" 0 w.Engine.dc_solves
+  Alcotest.(check int) "no re-solve" 0 w.Engine.dc_solves;
+  (* live gauges: publish_gauges mirrors telemetry, reset republishes zeros *)
+  let module Metrics = Lattice_obs.Metrics in
+  let metrics_were_on = Metrics.on () in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled metrics_were_on) @@ fun () ->
+  Engine.publish_gauges e;
+  let g name = Metrics.Gauge.get (Metrics.gauge ("engine.live." ^ name)) in
+  Alcotest.(check (float 0.0)) "live cache_hits gauge" 1.0 (g "cache_hits");
+  Alcotest.(check (float 0.0)) "live dc_solves gauge" 0.0 (g "dc_solves");
+  Alcotest.(check (float 0.0)) "live store_writes gauge" 0.0 (g "store_writes");
+  ignore (Engine.dc_op e (build_netlist ~m:1 Lattice_synthesis.Library.maj3_2x3));
+  Engine.publish_gauges e;
+  Alcotest.(check (float 0.0)) "live dc_solves gauge tracks" 1.0 (g "dc_solves");
+  Alcotest.(check (float 0.0)) "live store_writes gauge tracks" 1.0 (g "store_writes");
+  Engine.reset_telemetry e;
+  Alcotest.(check (float 0.0)) "reset republishes zero hits" 0.0 (g "cache_hits");
+  Alcotest.(check (float 0.0)) "reset republishes zero solves" 0.0 (g "dc_solves")
 
 (* --- flow-level classification --------------------------------------------- *)
 

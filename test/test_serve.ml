@@ -1,0 +1,663 @@
+(* Service-layer tests: JSON codec determinism, protocol validation,
+   framing hardening, and a live in-process daemon — malformed-input
+   table, concurrent-client parity against direct engine calls,
+   quota/backpressure, graceful shutdown, restart-from-store with a
+   1.0 hit rate, and a multi-thousand-request soak. *)
+
+module S = Lattice_serve.Server
+module C = Lattice_serve.Client
+module J = Lattice_serve.Json
+module P = Lattice_serve.Protocol
+module F = Lattice_serve.Framing
+module Engine = Lattice_engine.Engine
+module Sp = Lattice_spice
+
+let temp_dir prefix =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%06x" prefix (Unix.getpid ()) (Random.bits () land 0xFFFFFF))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* --- json codec ------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Int 42);
+        ("b", J.Float 0.07414685561212285);
+        ("c", J.String "quote \" backslash \\ newline \n tab \t");
+        ("d", J.List [ J.Null; J.Bool true; J.Bool false; J.Int (-7); J.Float 1e-9 ]);
+        ("e", J.Obj [ ("nested", J.List [ J.Obj [] ]) ]);
+        ("f", J.Float 3.0);
+      ]
+  in
+  let s = J.to_string v in
+  Alcotest.(check bool) "roundtrip equal" true (J.parse s = v);
+  Alcotest.(check string) "printer deterministic" s (J.to_string (J.parse s));
+  (* integral floats keep their decimal point so they re-parse as Float *)
+  Alcotest.(check string) "integral float form" "3.0" (J.to_string (J.Float 3.0));
+  Alcotest.(check bool) "unicode escapes decode" true
+    (J.parse {|"\u0041\u00e9\u20ac\ud83d\ude00"|} = J.String "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80")
+
+let test_json_rejects () =
+  let rejects s =
+    match J.parse s with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.failf "parsed %S" s
+  in
+  List.iter rejects
+    [
+      "";
+      "{";
+      "[1,2";
+      "\"unterminated";
+      "{\"a\":}";
+      "1 2";
+      "nul";
+      "truex";
+      "\"bad \\x escape\"";
+      "\"\ncontrol\"";
+      "\"\\ud800\"";  (* unpaired surrogate *)
+      "{\"a\":1,}";
+      "[1,]";
+      "nan";
+    ];
+  (* deep nesting is a structured error, not a stack overflow *)
+  let deep = String.make 100 '[' ^ String.make 100 ']' in
+  rejects deep;
+  (match J.to_string (J.Float Float.nan) with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "printed non-finite float as %s" s)
+
+let test_json_numbers () =
+  Alcotest.(check bool) "int" true (J.parse "42" = J.Int 42);
+  Alcotest.(check bool) "negative" true (J.parse "-7" = J.Int (-7));
+  Alcotest.(check bool) "float" true (J.parse "1.5" = J.Float 1.5);
+  Alcotest.(check bool) "exponent" true (J.parse "2e3" = J.Float 2000.0);
+  Alcotest.(check bool) "int via float accessor" true (J.to_float (J.Int 3) = Some 3.0);
+  Alcotest.(check bool) "integral float via int accessor" true (J.to_int (J.Float 5.0) = Some 5);
+  Alcotest.(check bool) "fractional float not an int" true (J.to_int (J.Float 5.5) = None);
+  (* every float round-trips bit-exactly through the printer *)
+  List.iter
+    (fun f ->
+      Alcotest.(check int64) "float roundtrip bits" (Int64.bits_of_float f)
+        (match J.parse (J.to_string (J.Float f)) with
+        | J.Float g -> Int64.bits_of_float g
+        | J.Int n -> Int64.bits_of_float (float_of_int n)
+        | _ -> 0L))
+    [ 0.07414685561212285; 1e-300; -1.2345678901234567; 6.02214076e23; 0.1 ]
+
+(* --- protocol -------------------------------------------------------------- *)
+
+let code_of = function Error (_, code, _) -> Some code | Ok _ -> None
+
+let test_protocol_valid () =
+  (match P.parse_request {|{"type":"dc_op","expr":"a&b","state":2,"id":"r1","deadline_s":5.0}|} with
+  | Ok { P.id = Some (J.String "r1"); deadline_s = Some 5.0; req = P.Dc_op { expr = "a&b"; state = 2; vdd = None } } ->
+    ()
+  | _ -> Alcotest.fail "dc_op envelope did not parse");
+  (match P.parse_request {|{"type":"ping"}|} with
+  | Ok { P.id = None; deadline_s = None; req = P.Ping } -> ()
+  | _ -> Alcotest.fail "bare ping did not parse");
+  (match P.parse_request {|{"type":"yield","expr":"a|b"}|} with
+  | Ok { P.req = P.Yield { samples = 100; seed = 42; _ }; _ } -> ()
+  | _ -> Alcotest.fail "yield defaults did not apply")
+
+let test_protocol_malformed_table () =
+  let cases =
+    [
+      ("not json", P.Parse_error);
+      ("[1,2]", P.Bad_request);
+      ({|{"type":"warp"}|}, P.Unknown_type);
+      ({|{"type":"ping","extra":1}|}, P.Unknown_field);
+      ({|{"type":"dc_op","expr":"a&b"}|}, P.Bad_request);  (* missing state *)
+      ({|{"type":"dc_op","state":0}|}, P.Bad_request);  (* missing expr *)
+      ({|{"type":"dc_op","expr":"a","state":-1}|}, P.Bad_request);
+      ({|{"type":"dc_op","expr":"a","state":0,"vdd":0}|}, P.Bad_request);
+      ({|{"type":"table1","rows":1,"cols":4}|}, P.Bad_request);
+      ({|{"type":"table1","rows":4,"cols":13}|}, P.Bad_request);
+      ({|{"type":"paths","rows":4}|}, P.Bad_request);
+      ({|{"type":"transient","expr":"a","bit_time":1e-9,"h":1e-8}|}, P.Bad_request);
+      ({|{"type":"yield","expr":"a","samples":0}|}, P.Bad_request);
+      ({|{"type":"yield","expr":"a","samples":100001}|}, P.Bad_request);
+      ({|{"type":"sleep","seconds":100}|}, P.Bad_request);
+      ({|{"type":"ping","id":[1]}|}, P.Bad_request);
+      ({|{"type":"ping","deadline_s":-1}|}, P.Bad_request);
+      ({|{"type":42}|}, P.Bad_request);
+      ({|"ping"|}, P.Bad_request);
+    ]
+  in
+  List.iter
+    (fun (line, expected) ->
+      match code_of (P.parse_request line) with
+      | Some code when code = expected -> ()
+      | Some code ->
+        Alcotest.failf "%s: expected %s, got %s" line (P.code_name expected) (P.code_name code)
+      | None -> Alcotest.failf "%s: unexpectedly accepted" line)
+    cases;
+  (* a rejected request still recovers its id for the error response *)
+  match P.parse_request {|{"type":"warp","id":7}|} with
+  | Error (Some (J.Int 7), P.Unknown_type, _) -> ()
+  | _ -> Alcotest.fail "id not recovered from rejected request"
+
+let test_protocol_responses () =
+  let ok = P.render_ok ~id:(Some (J.Int 3)) (J.Obj [ ("pong", J.Bool true) ]) in
+  (match P.parse_response ok with
+  | Ok { P.resp_id = Some (J.Int 3); payload = Ok (J.Obj [ ("pong", J.Bool true) ]) } -> ()
+  | _ -> Alcotest.fail "ok response roundtrip");
+  let err = P.render_error ~id:None P.Overloaded "queue full" in
+  (match P.parse_response err with
+  | Ok { P.resp_id = None; payload = Error (P.Overloaded, "queue full") } -> ()
+  | _ -> Alcotest.fail "error response roundtrip");
+  (* every error code survives the name mapping *)
+  List.iter
+    (fun code ->
+      match P.code_of_name (P.code_name code) with
+      | Some c when c = code -> ()
+      | _ -> Alcotest.failf "code %s does not roundtrip" (P.code_name code))
+    [
+      P.Parse_error; P.Bad_request; P.Unknown_type; P.Unknown_field; P.Frame_too_long;
+      P.Invalid_frame; P.Overloaded; P.Quota_exceeded; P.Timeout; P.Non_convergent;
+      P.Shutting_down; P.Internal;
+    ]
+
+(* --- framing ---------------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_framing_roundtrip () =
+  with_socketpair @@ fun a b ->
+  let r = F.reader ~max_frame:64 b in
+  F.write_frame a "hello";
+  F.write_frame a "";
+  ignore (Unix.write_substring a "crlf\r\ntail" 0 10);
+  ignore (Unix.write_substring a "\n" 0 1);
+  Unix.close a;
+  Alcotest.(check bool) "frame 1" true (F.read_frame r = F.Frame "hello");
+  Alcotest.(check bool) "empty frame" true (F.read_frame r = F.Frame "");
+  Alcotest.(check bool) "crlf stripped" true (F.read_frame r = F.Frame "crlf");
+  Alcotest.(check bool) "tail frame" true (F.read_frame r = F.Frame "tail");
+  Alcotest.(check bool) "eof" true (F.read_frame r = F.Eof)
+
+let test_framing_hardening () =
+  with_socketpair @@ fun a b ->
+  let r = F.reader ~max_frame:16 b in
+  F.write_frame a (String.make 40 'x');  (* overlong, terminated *)
+  F.write_frame a "ok-1";
+  F.write_frame a "nul\000nul";
+  F.write_frame a "ok-2";
+  ignore (Unix.write_substring a "unterminated" 0 12);
+  Unix.close a;
+  (match F.read_frame r with
+  | F.Too_long n -> Alcotest.(check bool) "dropped count plausible" true (n >= 40)
+  | f -> Alcotest.failf "expected Too_long, got %s" (match f with F.Frame s -> s | _ -> "?"));
+  Alcotest.(check bool) "connection survives overlong frame" true (F.read_frame r = F.Frame "ok-1");
+  Alcotest.(check bool) "nul frame rejected" true (F.read_frame r = F.Nul);
+  Alcotest.(check bool) "connection survives nul frame" true (F.read_frame r = F.Frame "ok-2");
+  Alcotest.(check bool) "trailing unterminated line dropped" true (F.read_frame r = F.Eof)
+
+let test_framing_huge_unterminated () =
+  (* an unterminated flood past the cap must not buffer unboundedly:
+     it is discarded as soon as a newline finally arrives *)
+  with_socketpair @@ fun a b ->
+  let r = F.reader ~max_frame:64 b in
+  let blob = String.make 8192 'y' in
+  ignore (Unix.write_substring a blob 0 (String.length blob));
+  F.write_frame a "-the-end";
+  F.write_frame a "after";
+  Unix.close a;
+  (match F.read_frame r with
+  | F.Too_long n -> Alcotest.(check bool) "dropped all flooded bytes" true (n >= 8192)
+  | _ -> Alcotest.fail "expected Too_long");
+  Alcotest.(check bool) "framing recovers after flood" true (F.read_frame r = F.Frame "after")
+
+(* --- live daemon ------------------------------------------------------------ *)
+
+let with_server ?(workers = 2) ?(queue = 64) ?(quota = 16) ?(allow_sleep = false)
+    ?(max_frame = 65536) ?default_deadline_s ?store_dir f =
+  let dir = temp_dir "ftl-serve" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "daemon.sock" in
+  let config =
+    {
+      S.default_config with
+      S.socket_path = Some path;
+      domains = Some 2;
+      store_dir;
+      workers;
+      queue_capacity = queue;
+      max_inflight_per_client = quota;
+      allow_sleep;
+      max_frame;
+      default_deadline_s =
+        (match default_deadline_s with None -> S.default_config.S.default_deadline_s | d -> d);
+    }
+  in
+  let t = S.create ~config () in
+  S.start t;
+  Fun.protect ~finally:(fun () -> S.stop t) (fun () -> f t path)
+
+let expect_error c line expected =
+  match P.parse_response (C.call_raw c line) with
+  | Ok { P.payload = Error (code, _); _ } when code = expected -> ()
+  | Ok { P.payload = Error (code, _); _ } ->
+    Alcotest.failf "%s: expected %s, got %s" line (P.code_name expected) (P.code_name code)
+  | Ok { P.payload = Ok _; _ } -> Alcotest.failf "%s: unexpectedly succeeded" line
+  | Error msg -> Alcotest.failf "%s: undecodable response: %s" line msg
+
+let test_daemon_malformed_never_kills () =
+  with_server ~max_frame:256 ~allow_sleep:false @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  expect_error c "garbage" P.Parse_error;
+  expect_error c "{\"type\":\"ping\"" P.Parse_error;
+  expect_error c "[]" P.Bad_request;
+  expect_error c {|{"type":"warp"}|} P.Unknown_type;
+  expect_error c {|{"type":"ping","bogus":true}|} P.Unknown_field;
+  expect_error c {|{"type":"dc_op","expr":"(((","state":0}|} P.Bad_request;
+  expect_error c {|{"type":"dc_op","expr":"a&b","state":9}|} P.Bad_request;
+  expect_error c {|{"type":"dc_op","expr":"a&b&c&d&e&f","state":0}|} P.Bad_request;
+  expect_error c {|{"type":"sleep","seconds":0.01}|} P.Bad_request;  (* disabled *)
+  expect_error c (Printf.sprintf {|{"type":"ping","pad":"%s"}|} (String.make 300 'x'))
+    P.Frame_too_long;
+  expect_error c "with\000nul" P.Invalid_frame;
+  (* same connection still serves after the whole table *)
+  Alcotest.(check bool) "daemon alive on same connection" true (C.ping c)
+
+let test_daemon_parity_with_direct_engine () =
+  (* concurrent clients hammering dc_op must see voltages bit-identical
+     to direct engine calls on a private engine *)
+  let exprs = [| "a&b|c"; "a^b^c"; "a&b|b&c|a&c" |] in
+  let vdd = Sp.Lattice_circuit.default_config.Sp.Lattice_circuit.vdd in
+  let build expr state =
+    let ast, names = Lattice_boolfn.Expr.parse expr in
+    let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars:(Array.length names) in
+    let grid = (Lattice_synthesis.Altun_riedel.synthesize tt).Lattice_synthesis.Altun_riedel.grid in
+    let stimulus v = Sp.Source.Dc (if (state lsr v) land 1 = 1 then vdd else 0.0) in
+    Sp.Lattice_circuit.build grid ~stimulus
+  in
+  let direct = Engine.create ~domains:1 () in
+  let expected =
+    Array.map
+      (fun expr ->
+        Array.init 8 (fun state ->
+            let lc = build expr state in
+            match Engine.dc_op direct lc.Sp.Lattice_circuit.netlist with
+            | Ok (x, _) ->
+              Sp.Mna.voltage x
+                (Sp.Netlist.node lc.Sp.Lattice_circuit.netlist lc.Sp.Lattice_circuit.output_node)
+            | Error _ -> Alcotest.fail "direct solve failed"))
+      exprs
+  in
+  with_server @@ fun _t path ->
+  let results = Array.map (fun _ -> Array.make 8 Float.nan) exprs in
+  let worker e =
+    let c = C.connect (C.Unix_socket path) in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    for state = 0 to 7 do
+      match
+        C.call c ~type_:"dc_op"
+          [ ("expr", J.String exprs.(e)); ("state", J.Int state) ]
+      with
+      | Ok result ->
+        results.(e).(state) <-
+          (match Option.bind (J.member "output_v" result) J.to_float with
+          | Some v -> v
+          | None -> Alcotest.fail "response carries no output_v")
+      | Error (code, msg) -> Alcotest.failf "dc_op failed: %s: %s" (P.code_name code) msg
+    done
+  in
+  let threads = Array.mapi (fun e _ -> Thread.create worker e) exprs in
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun e per_state ->
+      Array.iteri
+        (fun state v ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s state %d bit-identical" exprs.(e) state)
+            (Int64.bits_of_float expected.(e).(state))
+            (Int64.bits_of_float v))
+        per_state)
+    results
+
+let get_server_stat c path =
+  match Option.bind (J.member "server" (C.stats c)) (J.member path) with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.failf "stats carries no server.%s" path
+
+let test_daemon_quota_and_backpressure () =
+  with_server ~workers:1 ~queue:2 ~quota:2 ~allow_sleep:true @@ fun _t path ->
+  let c1 = C.connect (C.Unix_socket path) in
+  let c2 = C.connect (C.Unix_socket path) in
+  Fun.protect
+    ~finally:(fun () ->
+      C.close c1;
+      C.close c2)
+  @@ fun () ->
+  let sleep_req seconds id =
+    J.to_string
+      (J.Obj [ ("type", J.String "sleep"); ("seconds", J.Float seconds); ("id", J.Int id) ])
+  in
+  (* occupy the single worker, then fill the queue up to c1's quota *)
+  C.send_raw c1 (sleep_req 0.6 1);
+  let rec wait_running tries =
+    if tries = 0 then Alcotest.fail "worker never picked the sleep up";
+    if get_server_stat c2 "queue_depth" > 0 || get_server_stat c2 "inflight" < 1 then begin
+      Thread.delay 0.01;
+      wait_running (tries - 1)
+    end
+  in
+  wait_running 100;
+  C.send_raw c1 (sleep_req 0.2 2);  (* queued: c1 at quota 2 *)
+  (* third c1 request bounces on the per-connection quota *)
+  C.send_raw c1 (sleep_req 0.2 3);
+  (match P.parse_response (Option.get (C.recv_raw c1)) with
+  | Ok { P.resp_id = Some (J.Int 3); payload = Error (P.Quota_exceeded, _) } -> ()
+  | _ -> Alcotest.fail "expected quota_exceeded for request 3");
+  (* c2 fills the remaining queue slot, then bounces on overload *)
+  C.send_raw c2 (sleep_req 0.2 4);
+  let rec wait_queued tries =
+    if tries = 0 then Alcotest.fail "queue never filled";
+    if get_server_stat c2 "queue_depth" < 2 then begin
+      Thread.delay 0.01;
+      wait_queued (tries - 1)
+    end
+  in
+  wait_queued 100;
+  C.send_raw c2 (sleep_req 0.2 5);
+  (match P.parse_response (Option.get (C.recv_raw c2)) with
+  | Ok { P.resp_id = Some (J.Int 5); payload = Error (P.Overloaded, _) } -> ()
+  | _ -> Alcotest.fail "expected overloaded for request 5");
+  (* backpressure is advisory: everything admitted still completes *)
+  let drain c expect_ids =
+    List.iter
+      (fun id ->
+        match P.parse_response (Option.get (C.recv_raw c)) with
+        | Ok { P.resp_id = Some (J.Int got); payload = Ok _ } when got = id -> ()
+        | _ -> Alcotest.failf "expected ok response %d" id)
+      expect_ids
+  in
+  drain c1 [ 1; 2 ];
+  drain c2 [ 4 ];
+  Alcotest.(check int) "rejections counted" 1 (get_server_stat c1 "quota_rejected");
+  Alcotest.(check int) "overloads counted" 1 (get_server_stat c1 "overloaded")
+
+let test_daemon_timeout_structured () =
+  with_server ~allow_sleep:true @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (match C.call c ~deadline_s:0.05 ~type_:"sleep" [ ("seconds", J.Float 5.0) ] with
+  | Error (P.Timeout, _) -> ()
+  | Error (code, msg) -> Alcotest.failf "expected timeout, got %s: %s" (P.code_name code) msg
+  | Ok _ -> Alcotest.fail "sleep outlived its deadline");
+  Alcotest.(check bool) "timeout fired early" true (Unix.gettimeofday () -. t0 < 2.0);
+  Alcotest.(check bool) "daemon alive after timeout" true (C.ping c)
+
+let test_daemon_tcp_listener () =
+  let config =
+    { S.default_config with S.tcp_port = Some 0; domains = Some 1; workers = 1 }
+  in
+  let t = S.create ~config () in
+  S.start t;
+  Fun.protect ~finally:(fun () -> S.stop t) @@ fun () ->
+  let port = Option.get (S.port t) in
+  let c = C.connect (C.Tcp ("127.0.0.1", port)) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  Alcotest.(check bool) "tcp ping" true (C.ping c);
+  match C.call c ~type_:"table1" [ ("rows", J.Int 3); ("cols", J.Int 3) ] with
+  | Ok result -> Alcotest.(check bool) "tcp table1" true (J.member "count" result = Some (J.Int 9))
+  | Error _ -> Alcotest.fail "tcp table1 failed"
+
+let test_daemon_graceful_shutdown_drains () =
+  let dir = temp_dir "ftl-serve" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "daemon.sock" in
+  let config =
+    {
+      S.default_config with
+      S.socket_path = Some path;
+      domains = Some 1;
+      workers = 1;
+      allow_sleep = true;
+    }
+  in
+  let t = S.create ~config () in
+  S.start t;
+  let waiter = Thread.create (fun () -> S.wait t) () in
+  let c1 = C.connect (C.Unix_socket path) in
+  C.send_raw c1
+    (J.to_string
+       (J.Obj [ ("type", J.String "sleep"); ("seconds", J.Float 0.4); ("id", J.Int 1) ]));
+  Thread.delay 0.05;  (* let the worker pick it up *)
+  let c2 = C.connect (C.Unix_socket path) in
+  C.shutdown c2;
+  (* the in-flight sleep drains to completion despite the shutdown *)
+  (match P.parse_response (Option.get (C.recv_raw c1)) with
+  | Ok { P.resp_id = Some (J.Int 1); payload = Ok _ } -> ()
+  | _ -> Alcotest.fail "in-flight job lost by graceful shutdown");
+  Alcotest.(check bool) "connection closed after drain" true (C.recv_raw c1 = None);
+  Thread.join waiter;
+  C.close c1;
+  C.close c2;
+  Alcotest.(check bool) "socket file unlinked" false (Sys.file_exists path);
+  S.stop t  (* idempotent *)
+
+let test_daemon_restart_store_warm () =
+  (* restart must serve repeat requests from the persistent store:
+     zero dc solves, a 1.0 store hit rate, byte-identical payloads *)
+  let dir = temp_dir "ftl-serve-store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Filename.concat dir "store" in
+  let requests =
+    List.concat_map
+      (fun expr ->
+        List.init 8 (fun state ->
+            J.to_string
+              (J.Obj
+                 [
+                   ("type", J.String "dc_op");
+                   ("id", J.String (Printf.sprintf "%s/%d" expr state));
+                   ("expr", J.String expr);
+                   ("state", J.Int state);
+                 ])))
+      [ "a&b|c"; "a^b^c" ]
+  in
+  let run_once nth =
+    let path = Filename.concat dir (Printf.sprintf "daemon-%d.sock" nth) in
+    let config =
+      { S.default_config with S.socket_path = Some path; domains = Some 2; store_dir = Some store }
+    in
+    let t = S.create ~config () in
+    S.start t;
+    Fun.protect ~finally:(fun () -> S.stop t) @@ fun () ->
+    let c = C.connect (C.Unix_socket path) in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    let responses = List.map (fun line -> C.call_raw c line) requests in
+    let tel = Engine.telemetry (S.engine t) in
+    (responses, tel)
+  in
+  let cold, tel_cold = run_once 0 in
+  Alcotest.(check int) "cold run solved everything" 16 tel_cold.Engine.dc_solves;
+  let warm, tel_warm = run_once 1 in
+  Alcotest.(check int) "warm run solved nothing" 0 tel_warm.Engine.dc_solves;
+  let st = Option.get tel_warm.Engine.store in
+  Alcotest.(check int) "store hit rate 1.0: no misses" 0 st.Lattice_engine.Store.misses;
+  Alcotest.(check int) "store hit rate 1.0: all hits" 16 st.Lattice_engine.Store.hits;
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "payload %d byte-identical across restart" i) a b)
+    (List.combine cold warm)
+
+let test_daemon_soak () =
+  (* thousands of mixed requests over concurrent connections: every
+     request answered, no crash, steady memory, cross-request hits *)
+  let trace_was_on = Lattice_obs.Trace.on () in
+  Lattice_obs.Trace.set_enabled false;
+  Fun.protect ~finally:(fun () -> Lattice_obs.Trace.set_enabled trace_was_on) @@ fun () ->
+  with_server ~workers:2 @@ fun t path ->
+  let exprs = [| "a&b|c"; "a^b" |] in
+  let send_one c i =
+    let expect_ok line =
+      match P.parse_response (C.call_raw c line) with
+      | Ok { P.payload = Ok _; _ } -> ()
+      | Ok { P.payload = Error (code, msg); _ } ->
+        Alcotest.failf "request %d failed: %s: %s" i (P.code_name code) msg
+      | Error msg -> Alcotest.failf "request %d: undecodable: %s" i msg
+    in
+    let expect_err line code =
+      match P.parse_response (C.call_raw c line) with
+      | Ok { P.payload = Error (got, _); _ } when got = code -> ()
+      | _ -> Alcotest.failf "request %d: expected %s" i (P.code_name code)
+    in
+    match i mod 8 with
+    | 0 -> expect_ok {|{"type":"ping"}|}
+    | 1 -> expect_ok {|{"type":"table1","rows":4,"cols":4}|}
+    | 2 -> expect_ok {|{"type":"paths","rows":3,"cols":3}|}
+    | 3 -> expect_err "!! not json !!" P.Parse_error
+    | 4 -> expect_err {|{"type":"warp"}|} P.Unknown_type
+    | 5 -> expect_ok {|{"type":"stats"}|}
+    | _ ->
+      expect_ok
+        (J.to_string
+           (J.Obj
+              [
+                ("type", J.String "dc_op");
+                ("expr", J.String exprs.(i mod 2));
+                ("state", J.Int (i mod 4));
+              ]))
+  in
+  let round offset n_per_conn =
+    let worker k =
+      let c = C.connect (C.Unix_socket path) in
+      Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+      for i = 0 to n_per_conn - 1 do
+        send_one c (offset + (k * n_per_conn) + i)
+      done
+    in
+    let threads = List.init 3 (fun k -> Thread.create worker k) in
+    List.iter Thread.join threads
+  in
+  round 0 250;  (* warm-up: 750 requests, caches filled *)
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  round 750 250;
+  round 1500 250;
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  let growth = float_of_int (live1 - live0) /. float_of_int live0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "live heap steady over 2250 requests (growth %.1f%%)" (100.0 *. growth))
+    true (growth < 0.10);
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  Alcotest.(check bool) "daemon alive after soak" true (C.ping c);
+  (* 2250 soak requests + the ping above + this stats request itself *)
+  Alcotest.(check int) "every request answered, none dropped" 2252
+    (get_server_stat c "requests");
+  let tel = Engine.telemetry (S.engine t) in
+  Alcotest.(check bool) "cross-request cache hits accrued" true
+    (tel.Engine.cache.Lattice_engine.Cache.hits > 0)
+
+let test_daemon_compute_handlers () =
+  with_server @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let field result name =
+    match J.member name result with
+    | Some v -> v
+    | None -> Alcotest.failf "response carries no %s" name
+  in
+  (match
+     C.call c ~type_:"transient"
+       [ ("expr", J.String "a&b"); ("bit_time", J.Float 20e-9); ("h", J.Float 2e-9) ]
+   with
+  | Ok result ->
+    Alcotest.(check bool) "transient samples recorded" true
+      (match field result "samples" with J.Int n -> n > 10 | _ -> false);
+    Alcotest.(check bool) "transient output bounded" true
+      (match field result "output_max_v" with J.Float v -> v <= 1.3 | _ -> false)
+  | Error (code, msg) -> Alcotest.failf "transient failed: %s: %s" (P.code_name code) msg);
+  (match
+     C.call c ~type_:"yield"
+       [ ("expr", J.String "a&b"); ("samples", J.Int 5); ("sigma_vth", J.Float 0.03) ]
+   with
+  | Ok result ->
+    Alcotest.(check bool) "yield in [0,1]" true
+      (match field result "yield" with
+      | J.Float y -> y >= 0.0 && y <= 1.0
+      | J.Int (0 | 1) -> true
+      | _ -> false)
+  | Error (code, msg) -> Alcotest.failf "yield failed: %s: %s" (P.code_name code) msg);
+  match C.call c ~type_:"defects" [ ("expr", J.String "a&b") ] with
+  | Ok result ->
+    let n = function J.Int n -> n | _ -> Alcotest.fail "non-integer count" in
+    let samples = n (field result "samples") in
+    Alcotest.(check bool) "defect samples enumerated" true (samples > 0);
+    Alcotest.(check int) "defect classes partition the samples" samples
+      (n (field result "functional") + n (field result "degraded")
+      + n (field result "faulty")
+      + n (field result "non_convergent"))
+  | Error (code, msg) -> Alcotest.failf "defects failed: %s: %s" (P.code_name code) msg
+
+let test_daemon_no_listener_rejected () =
+  let t = S.create () in
+  match S.start t with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "start without a listener must be rejected"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip + determinism" `Quick test_json_roundtrip;
+          Alcotest.test_case "malformed documents rejected" `Quick test_json_rejects;
+          Alcotest.test_case "number forms" `Quick test_json_numbers;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "valid envelopes" `Quick test_protocol_valid;
+          Alcotest.test_case "malformed-request table" `Quick test_protocol_malformed_table;
+          Alcotest.test_case "response rendering roundtrip" `Quick test_protocol_responses;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "overlong/NUL hardening" `Quick test_framing_hardening;
+          Alcotest.test_case "unterminated flood" `Quick test_framing_huge_unterminated;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "malformed input never kills" `Quick test_daemon_malformed_never_kills;
+          Alcotest.test_case "concurrent parity vs direct engine" `Quick
+            test_daemon_parity_with_direct_engine;
+          Alcotest.test_case "quota + backpressure" `Quick test_daemon_quota_and_backpressure;
+          Alcotest.test_case "deadline timeout is structured" `Quick test_daemon_timeout_structured;
+          Alcotest.test_case "tcp listener (ephemeral port)" `Quick test_daemon_tcp_listener;
+          Alcotest.test_case "graceful shutdown drains in-flight" `Quick
+            test_daemon_graceful_shutdown_drains;
+          Alcotest.test_case "restart serves from the store" `Quick test_daemon_restart_store_warm;
+          Alcotest.test_case "transient/yield/defects handlers" `Quick test_daemon_compute_handlers;
+          Alcotest.test_case "no listener rejected" `Quick test_daemon_no_listener_rejected;
+        ] );
+      ("soak", [ Alcotest.test_case "2250 mixed requests, 3 connections" `Quick test_daemon_soak ]);
+    ]
