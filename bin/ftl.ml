@@ -451,26 +451,118 @@ let defects_cmd =
 
 let export () expr =
   match Lattice_boolfn.Expr.parse expr with
-  | exception Lattice_boolfn.Expr.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  | exception Lattice_boolfn.Expr.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 2
   | ast, names ->
     let nvars = Array.length names in
+    let bit_time = 100e-9 in
     let tt = Lattice_boolfn.Expr.to_truthtable ast ~nvars in
     let r = Lattice_synthesis.Altun_riedel.synthesize tt in
     let lc =
       Lattice_spice.Lattice_circuit.build r.Lattice_synthesis.Altun_riedel.grid
-        ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time:100e-9)
+        ~stimulus:(Lattice_spice.Lattice_circuit.exhaustive_stimulus ~vdd:1.2 ~bit_time)
     in
-    print_string
-      (Lattice_spice.Netlist.to_spice_string lc.Lattice_spice.Lattice_circuit.netlist
-         ~title:(Printf.sprintf "four-terminal switching lattice for %s" expr))
+    let t_stop = bit_time *. float_of_int (1 lsl nvars) in
+    let deck =
+      Lattice_deck.Deck.of_netlist
+        ~title:(Printf.sprintf "four-terminal switching lattice for %s" expr)
+        ~analyses:
+          [ Lattice_deck.Deck.Op; Lattice_deck.Deck.Tran { step = bit_time /. 20.0; t_stop } ]
+        ~prints:[ Lattice_deck.Deck.Vprobe lc.Lattice_spice.Lattice_circuit.output_node ]
+        lc.Lattice_spice.Lattice_circuit.netlist
+    in
+    print_string (Lattice_deck.Deck.emit deck)
 
 let export_cmd =
   let expr =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Target expression.")
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"synthesize a lattice and print its circuit as a SPICE deck")
+    (Cmd.info "export"
+       ~doc:"synthesize a lattice and print its circuit as a canonical SPICE deck \
+             (re-runnable with $(b,ftl run), byte-stable under parse/emit roundtrips)")
     Term.(const export $ obs_term $ expr)
+
+(* --- run (SPICE deck) --------------------------------------------------- *)
+
+let read_deck_file path =
+  try
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "ftl run: %s\n" msg;
+    exit 2
+
+let run_deck () path smoke check domains cache_dir deadline =
+  let file = if path = "-" then "<stdin>" else path in
+  let src = read_deck_file path in
+  match Lattice_deck.Deck.parse src with
+  | Error e ->
+    Printf.eprintf "%s\n" (Lattice_deck.Deck.error_to_string ~file e);
+    exit 2
+  | Ok deck ->
+    if check then begin
+      (* Roundtrip audit: emit must be a fixed point of parse∘emit, and the
+         structural digest must survive the text boundary. *)
+      let once = Lattice_deck.Deck.emit deck in
+      match Lattice_deck.Deck.parse once with
+      | Error e ->
+        Printf.eprintf "%s: canonical form fails to reparse: %s\n" file
+          (Lattice_deck.Deck.error_to_string e);
+        exit 4
+      | Ok deck2 ->
+        let twice = Lattice_deck.Deck.emit deck2 in
+        let d1 = Lattice_spice.Netlist.structural_digest deck.Lattice_deck.Deck.netlist in
+        let d2 = Lattice_spice.Netlist.structural_digest deck2.Lattice_deck.Deck.netlist in
+        if once <> twice then begin
+          Printf.eprintf "%s: emit/parse roundtrip is not idempotent\n" file;
+          exit 4
+        end;
+        if d1 <> d2 then begin
+          Printf.eprintf "%s: structural digest changed across roundtrip (%s -> %s)\n" file d1 d2;
+          exit 4
+        end;
+        Printf.printf "%s: roundtrip stable, digest %s preserved\n" file d1
+    end
+    else begin
+      let engine = make_engine ?cache_dir domains in
+      let cancel = Lattice_engine.Cancel.of_deadline_s deadline in
+      match Lattice_deck.Runner.run ~engine ~cancel ~smoke deck with
+      | Ok r ->
+        print_string (Lattice_deck.Runner.render r);
+        print_engine_summary engine
+      | Error msg ->
+        Printf.eprintf "ftl run: %s: %s\n" file msg;
+        print_engine_summary engine;
+        exit 3
+      | exception Lattice_engine.Cancel.Cancelled reason ->
+        Printf.eprintf "ftl run: %s: cancelled (%s)\n" file
+          (Lattice_engine.Cancel.reason_name reason);
+        exit 3
+    end
+
+let run_cmd =
+  let deck_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DECK"
+           ~doc:"SPICE deck file ($(b,-) reads stdin).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Cap analysis sizes for CI smoke runs (transients to 50 steps, \
+                 sweeps to 5 points, AC to 3 points/decade).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Do not simulate; verify the deck's emit/parse roundtrip is \
+                 idempotent and digest-preserving, then exit.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"parse a SPICE deck and execute its analysis cards through the batch engine")
+    Term.(
+      const run_deck $ obs_term $ deck_file $ smoke $ check $ domains_arg $ cache_dir_arg
+      $ deadline_arg)
 
 (* --- histogram ----------------------------------------------------------- *)
 
@@ -650,7 +742,7 @@ let main =
     [
       all_cmd; table1_cmd; table2_cmd; function_cmd; synth_cmd; iv_cmd; field_cmd; fit_cmd;
       xor3_cmd; series_cmd; optimize_cmd; faults_cmd; complementary_cmd; frequency_cmd;
-      yield_cmd; defects_cmd; export_cmd; histogram_cmd; serve_cmd; client_cmd;
+      yield_cmd; defects_cmd; export_cmd; run_cmd; histogram_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,14 @@
+* nmos inverter with resistive load
+* cards are case-insensitive; engineering suffixes use spice rules
+* (155m = 0.155, 17.7u = 17.7e-6, 500k = 5e5, 10f = 1e-14)
+.model mn nmos (level=1 kp=17.7u vto=155m
++ lambda=0.05)          $ continuation line, inline comment
+vdd vdd 0 dc 1.2
+vin in 0 dc 0
+rload vdd out 500k      ; pull-up
+m1 out in 0 0 mn w=0.7u l=0.35u
+cout out 0 10f
+.op
+.dc vin 0 1.2 0.1
+.print dc v(out) v(in)
+.end

@@ -1,0 +1,175 @@
+* four-terminal switching lattice for a^b^c
+.MODEL NMOD1 NMOS (LEVEL=1 KP=17.7u VTO=155m LAMBDA=50m)
+VVDD vdd 0 DC 1.2
+RRpull vdd out 500k
+CCout out 0 1e-14
+VVin0 in_0 0 PULSE(0 1.2 0.1u 2e-21t 2e-21t 97.99999999999999n 0.2u)
+VVin0_bar in_0_bar 0 PULSE(1.2 0 0.1u 2e-21t 2e-21t 97.99999999999999n 0.2u)
+VVin1 in_1 0 PULSE(0 1.2 0.2u 2e-21t 2e-21t 198n 0.4u)
+VVin1_bar in_1_bar 0 PULSE(1.2 0 0.2u 2e-21t 2e-21t 198n 0.4u)
+VVin2 in_2 0 PULSE(0 1.2 0.4u 2e-21t 2e-21t 0.398u 0.8u)
+VVin2_bar in_2_bar 0 PULSE(1.2 0 0.4u 2e-21t 2e-21t 0.398u 0.8u)
+Mpd.X_0_0.MA_ne out in_0 pd.v_0_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_0.MA_es pd.v_0_1 in_0 pd.h_1_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_0.MA_sw pd.h_1_0 in_0 pd.v_0_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_0.MA_wn pd.v_0_0 in_0 out 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_0.MB_ns out in_0 pd.h_1_0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_0_0.MB_ew pd.v_0_1 in_0 pd.v_0_0 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_0_0.Cn out 0 1f
+Cpd.X_0_0.Ce pd.v_0_1 0 1f
+Cpd.X_0_0.Cs pd.h_1_0 0 1f
+Cpd.X_0_0.Cw pd.v_0_0 0 1f
+Mpd.X_0_1.MA_ne out in_2_bar pd.v_0_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_1.MA_es pd.v_0_2 in_2_bar pd.h_1_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_1.MA_sw pd.h_1_1 in_2_bar pd.v_0_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_1.MA_wn pd.v_0_1 in_2_bar out 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_1.MB_ns out in_2_bar pd.h_1_1 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_0_1.MB_ew pd.v_0_2 in_2_bar pd.v_0_1 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_0_1.Cn out 0 1f
+Cpd.X_0_1.Ce pd.v_0_2 0 1f
+Cpd.X_0_1.Cs pd.h_1_1 0 1f
+Cpd.X_0_1.Cw pd.v_0_1 0 1f
+Mpd.X_0_2.MA_ne out in_1_bar pd.v_0_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_2.MA_es pd.v_0_3 in_1_bar pd.h_1_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_2.MA_sw pd.h_1_2 in_1_bar pd.v_0_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_2.MA_wn pd.v_0_2 in_1_bar out 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_2.MB_ns out in_1_bar pd.h_1_2 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_0_2.MB_ew pd.v_0_3 in_1_bar pd.v_0_2 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_0_2.Cn out 0 1f
+Cpd.X_0_2.Ce pd.v_0_3 0 1f
+Cpd.X_0_2.Cs pd.h_1_2 0 1f
+Cpd.X_0_2.Cw pd.v_0_2 0 1f
+Mpd.X_0_3.MA_ne out in_0 pd.v_0_4 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_3.MA_es pd.v_0_4 in_0 pd.h_1_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_3.MA_sw pd.h_1_3 in_0 pd.v_0_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_3.MA_wn pd.v_0_3 in_0 out 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_0_3.MB_ns out in_0 pd.h_1_3 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_0_3.MB_ew pd.v_0_4 in_0 pd.v_0_3 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_0_3.Cn out 0 1f
+Cpd.X_0_3.Ce pd.v_0_4 0 1f
+Cpd.X_0_3.Cs pd.h_1_3 0 1f
+Cpd.X_0_3.Cw pd.v_0_3 0 1f
+Mpd.X_1_0.MA_ne pd.h_1_0 in_2_bar pd.v_1_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_0.MA_es pd.v_1_1 in_2_bar pd.h_2_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_0.MA_sw pd.h_2_0 in_2_bar pd.v_1_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_0.MA_wn pd.v_1_0 in_2_bar pd.h_1_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_0.MB_ns pd.h_1_0 in_2_bar pd.h_2_0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_1_0.MB_ew pd.v_1_1 in_2_bar pd.v_1_0 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_1_0.Cn pd.h_1_0 0 1f
+Cpd.X_1_0.Ce pd.v_1_1 0 1f
+Cpd.X_1_0.Cs pd.h_2_0 0 1f
+Cpd.X_1_0.Cw pd.v_1_0 0 1f
+Mpd.X_1_1.MA_ne pd.h_1_1 in_1 pd.v_1_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_1.MA_es pd.v_1_2 in_1 pd.h_2_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_1.MA_sw pd.h_2_1 in_1 pd.v_1_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_1.MA_wn pd.v_1_1 in_1 pd.h_1_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_1.MB_ns pd.h_1_1 in_1 pd.h_2_1 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_1_1.MB_ew pd.v_1_2 in_1 pd.v_1_1 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_1_1.Cn pd.h_1_1 0 1f
+Cpd.X_1_1.Ce pd.v_1_2 0 1f
+Cpd.X_1_1.Cs pd.h_2_1 0 1f
+Cpd.X_1_1.Cw pd.v_1_1 0 1f
+Mpd.X_1_2.MA_ne pd.h_1_2 in_0_bar pd.v_1_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_2.MA_es pd.v_1_3 in_0_bar pd.h_2_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_2.MA_sw pd.h_2_2 in_0_bar pd.v_1_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_2.MA_wn pd.v_1_2 in_0_bar pd.h_1_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_2.MB_ns pd.h_1_2 in_0_bar pd.h_2_2 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_1_2.MB_ew pd.v_1_3 in_0_bar pd.v_1_2 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_1_2.Cn pd.h_1_2 0 1f
+Cpd.X_1_2.Ce pd.v_1_3 0 1f
+Cpd.X_1_2.Cs pd.h_2_2 0 1f
+Cpd.X_1_2.Cw pd.v_1_2 0 1f
+Mpd.X_1_3.MA_ne pd.h_1_3 in_1 pd.v_1_4 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_3.MA_es pd.v_1_4 in_1 pd.h_2_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_3.MA_sw pd.h_2_3 in_1 pd.v_1_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_3.MA_wn pd.v_1_3 in_1 pd.h_1_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_1_3.MB_ns pd.h_1_3 in_1 pd.h_2_3 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_1_3.MB_ew pd.v_1_4 in_1 pd.v_1_3 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_1_3.Cn pd.h_1_3 0 1f
+Cpd.X_1_3.Ce pd.v_1_4 0 1f
+Cpd.X_1_3.Cs pd.h_2_3 0 1f
+Cpd.X_1_3.Cw pd.v_1_3 0 1f
+Mpd.X_2_0.MA_ne pd.h_2_0 in_1_bar pd.v_2_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_0.MA_es pd.v_2_1 in_1_bar pd.h_3_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_0.MA_sw pd.h_3_0 in_1_bar pd.v_2_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_0.MA_wn pd.v_2_0 in_1_bar pd.h_2_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_0.MB_ns pd.h_2_0 in_1_bar pd.h_3_0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_2_0.MB_ew pd.v_2_1 in_1_bar pd.v_2_0 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_2_0.Cn pd.h_2_0 0 1f
+Cpd.X_2_0.Ce pd.v_2_1 0 1f
+Cpd.X_2_0.Cs pd.h_3_0 0 1f
+Cpd.X_2_0.Cw pd.v_2_0 0 1f
+Mpd.X_2_1.MA_ne pd.h_2_1 in_0_bar pd.v_2_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_1.MA_es pd.v_2_2 in_0_bar pd.h_3_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_1.MA_sw pd.h_3_1 in_0_bar pd.v_2_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_1.MA_wn pd.v_2_1 in_0_bar pd.h_2_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_1.MB_ns pd.h_2_1 in_0_bar pd.h_3_1 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_2_1.MB_ew pd.v_2_2 in_0_bar pd.v_2_1 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_2_1.Cn pd.h_2_1 0 1f
+Cpd.X_2_1.Ce pd.v_2_2 0 1f
+Cpd.X_2_1.Cs pd.h_3_1 0 1f
+Cpd.X_2_1.Cw pd.v_2_1 0 1f
+Mpd.X_2_2.MA_ne pd.h_2_2 in_2 pd.v_2_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_2.MA_es pd.v_2_3 in_2 pd.h_3_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_2.MA_sw pd.h_3_2 in_2 pd.v_2_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_2.MA_wn pd.v_2_2 in_2 pd.h_2_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_2.MB_ns pd.h_2_2 in_2 pd.h_3_2 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_2_2.MB_ew pd.v_2_3 in_2 pd.v_2_2 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_2_2.Cn pd.h_2_2 0 1f
+Cpd.X_2_2.Ce pd.v_2_3 0 1f
+Cpd.X_2_2.Cs pd.h_3_2 0 1f
+Cpd.X_2_2.Cw pd.v_2_2 0 1f
+Mpd.X_2_3.MA_ne pd.h_2_3 in_2 pd.v_2_4 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_3.MA_es pd.v_2_4 in_2 pd.h_3_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_3.MA_sw pd.h_3_3 in_2 pd.v_2_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_3.MA_wn pd.v_2_3 in_2 pd.h_2_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_2_3.MB_ns pd.h_2_3 in_2 pd.h_3_3 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_2_3.MB_ew pd.v_2_4 in_2 pd.v_2_3 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_2_3.Cn pd.h_2_3 0 1f
+Cpd.X_2_3.Ce pd.v_2_4 0 1f
+Cpd.X_2_3.Cs pd.h_3_3 0 1f
+Cpd.X_2_3.Cw pd.v_2_3 0 1f
+Mpd.X_3_0.MA_ne pd.h_3_0 in_0 pd.v_3_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_0.MA_es pd.v_3_1 in_0 0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_0.MA_sw 0 in_0 pd.v_3_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_0.MA_wn pd.v_3_0 in_0 pd.h_3_0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_0.MB_ns pd.h_3_0 in_0 0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_3_0.MB_ew pd.v_3_1 in_0 pd.v_3_0 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_3_0.Cn pd.h_3_0 0 1f
+Cpd.X_3_0.Ce pd.v_3_1 0 1f
+Cpd.X_3_0.Cs 0 0 1f
+Cpd.X_3_0.Cw pd.v_3_0 0 1f
+Mpd.X_3_1.MA_ne pd.h_3_1 in_1 pd.v_3_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_1.MA_es pd.v_3_2 in_1 0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_1.MA_sw 0 in_1 pd.v_3_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_1.MA_wn pd.v_3_1 in_1 pd.h_3_1 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_1.MB_ns pd.h_3_1 in_1 0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_3_1.MB_ew pd.v_3_2 in_1 pd.v_3_1 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_3_1.Cn pd.h_3_1 0 1f
+Cpd.X_3_1.Ce pd.v_3_2 0 1f
+Cpd.X_3_1.Cs 0 0 1f
+Cpd.X_3_1.Cw pd.v_3_1 0 1f
+Mpd.X_3_2.MA_ne pd.h_3_2 in_2 pd.v_3_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_2.MA_es pd.v_3_3 in_2 0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_2.MA_sw 0 in_2 pd.v_3_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_2.MA_wn pd.v_3_2 in_2 pd.h_3_2 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_2.MB_ns pd.h_3_2 in_2 0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_3_2.MB_ew pd.v_3_3 in_2 pd.v_3_2 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_3_2.Cn pd.h_3_2 0 1f
+Cpd.X_3_2.Ce pd.v_3_3 0 1f
+Cpd.X_3_2.Cs 0 0 1f
+Cpd.X_3_2.Cw pd.v_3_2 0 1f
+Mpd.X_3_3.MA_ne pd.h_3_3 in_0 pd.v_3_4 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_3.MA_es pd.v_3_4 in_0 0 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_3.MA_sw 0 in_0 pd.v_3_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_3.MA_wn pd.v_3_3 in_0 pd.h_3_3 0 NMOD1 W=0.7u L=0.35u
+Mpd.X_3_3.MB_ns pd.h_3_3 in_0 0 0 NMOD1 W=0.7u L=0.5u
+Mpd.X_3_3.MB_ew pd.v_3_4 in_0 pd.v_3_3 0 NMOD1 W=0.7u L=0.5u
+Cpd.X_3_3.Cn pd.h_3_3 0 1f
+Cpd.X_3_3.Ce pd.v_3_4 0 1f
+Cpd.X_3_3.Cs 0 0 1f
+Cpd.X_3_3.Cw pd.v_3_3 0 1f
+.OP
+.TRAN 5n 0.8u
+.PRINT v(out)
+.END

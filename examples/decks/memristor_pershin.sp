@@ -1,0 +1,11 @@
+* pershin-di ventra threshold memristor (solid-state memcapacitive
+* switch, PRB 78 113309) -- NOT supported by this simulator.
+* `ftl run` rejects this deck with a pointed line:col error instead of
+* silently dropping the element; kept as the error-path showcase.
+.model memr memristor (ron=100 roff=16k vt=4.6 alpha=0 beta=62.5meg)
+vdrive in 0 sin(0 2.5 50)
+ym1 in out memr
+rload out 0 1k
+.tran 0.1m 40m
+.print tran v(out)
+.end

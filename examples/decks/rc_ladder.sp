@@ -1,0 +1,13 @@
+* three-stage rc ladder, built from a parameterized subcircuit
+.subckt stage in out r=1k c=1n
+rs in out {r}
+cs out 0 {c}
+.ends
+vin src 0 dc 1 ac 1
+x1 src n1 stage
+x2 n1 n2 stage r=2k
+x3 n2 out stage c=2n
+.op
+.ac dec 10 1 1meg
+.print ac v(out)
+.end

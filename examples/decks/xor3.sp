@@ -1,0 +1,35 @@
+* xor3 as a discrete sum-of-products pull-down network
+* f = a'b'c + a'bc' + ab'c' + abc; out is pulled LOW when f = 1
+* (compare examples/decks/lattice_4x4.sp: the same function as a
+*  synthesized four-terminal switching lattice)
+.model mn nmos (level=1 kp=17.7u vto=155m lambda=0.05)
+vdd vdd 0 dc 1.2
+* true and complemented input rails for the state a=1 b=0 c=0 -> f=1
+va  a  0 dc 1.2
+vb  b  0 dc 0
+vc  c  0 dc 0
+van an 0 dc 0
+vbn bn 0 dc 1.2
+vcn cn 0 dc 1.2
+rpull vdd out 500k
+* branch 1: a'b'c
+m11 out an  n11 0 mn w=0.7u l=0.35u
+m12 n11 bn  n12 0 mn w=0.7u l=0.35u
+m13 n12 c   0   0 mn w=0.7u l=0.35u
+* branch 2: a'bc'
+m21 out an  n21 0 mn w=0.7u l=0.35u
+m22 n21 b   n22 0 mn w=0.7u l=0.35u
+m23 n22 cn  0   0 mn w=0.7u l=0.35u
+* branch 3: ab'c'
+m31 out a   n31 0 mn w=0.7u l=0.35u
+m32 n31 bn  n32 0 mn w=0.7u l=0.35u
+m33 n32 cn  0   0 mn w=0.7u l=0.35u
+* branch 4: abc
+m41 out a   n41 0 mn w=0.7u l=0.35u
+m42 n41 b   n42 0 mn w=0.7u l=0.35u
+m43 n42 c   0   0 mn w=0.7u l=0.35u
+.op
+* sweeping a with b=0, c=0 walks f from 0 to 1: out swings high -> low
+.dc va 0 1.2 0.2
+.print v(out)
+.end

@@ -1,0 +1,44 @@
+(* Deck interop tour: parse every deck in examples/decks/, prove the
+   emit/parse roundtrip is a fixed point, and run each one's analyses
+   through the shared batch engine.
+
+   The memristor deck is the deliberate failure: `Deck.parse` rejects it
+   with a line:col error instead of silently dropping the unsupported
+   element — exactly what `ftl run` and the daemon's `run_deck` request
+   report to their callers. *)
+
+module Deck = Lattice_deck.Deck
+module Runner = Lattice_deck.Runner
+
+let deck_dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples/decks"
+
+let () =
+  let files =
+    Sys.readdir deck_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sp")
+    |> List.sort compare
+  in
+  let engine = Lattice_engine.Engine.create () in
+  List.iter
+    (fun file ->
+      let path = Filename.concat deck_dir file in
+      Printf.printf "=== %s ===\n" file;
+      let src = In_channel.with_open_bin path In_channel.input_all in
+      match Deck.parse src with
+      | Error e -> Printf.printf "rejected: %s\n\n" (Deck.error_to_string ~file e)
+      | Ok deck -> (
+        (* canonical form must be a fixed point of parse/emit *)
+        let once = Deck.emit deck in
+        (match Deck.parse once with
+        | Error e -> failwith ("canonical form failed to reparse: " ^ Deck.error_to_string e)
+        | Ok deck2 ->
+          assert (Deck.emit deck2 = once);
+          assert (
+            Lattice_spice.Netlist.structural_digest deck.Deck.netlist
+            = Lattice_spice.Netlist.structural_digest deck2.Deck.netlist));
+        Printf.printf "roundtrip: stable (%d bytes canonical)\n" (String.length once);
+        match Runner.run ~engine ~smoke:true deck with
+        | Ok r -> print_string (Runner.render r); print_newline ()
+        | Error msg -> Printf.printf "analysis failed: %s\n\n" msg))
+    files;
+  print_endline (Lattice_engine.Engine.summary engine)

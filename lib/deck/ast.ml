@@ -1,0 +1,22 @@
+type probe = Vprobe of string | Iprobe of string
+
+type analysis =
+  | Op
+  | Dc_sweep of { source : string; start : float; stop : float; step : float }
+  | Tran of { step : float; t_stop : float }
+  | Ac of { points_per_decade : int; f_start : float; f_stop : float }
+
+type deck = {
+  title : string;
+  netlist : Lattice_spice.Netlist.t;
+  analyses : analysis list;
+  prints : probe list;
+  ac_source : string option;
+}
+
+type error = { line : int; col : int; msg : string }
+
+let error_to_string ?file { line; col; msg } =
+  match file with
+  | Some f -> Printf.sprintf "%s:%d:%d: %s" f line col msg
+  | None -> Printf.sprintf "%d:%d: %s" line col msg

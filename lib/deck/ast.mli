@@ -1,0 +1,35 @@
+(** Parsed-deck representation shared by the lexer, parser, emitter and
+    runner. A deck is a {!Lattice_spice.Netlist.t} plus the analysis and
+    probe cards that tell the engine what to do with it. *)
+
+(** [Vprobe node] is a [v(node)] card; [Iprobe name] is [i(V<name>)] —
+    the branch current of the voltage source whose {e element} name is
+    [name] (card names carry the type letter, element names do not). *)
+type probe = Vprobe of string | Iprobe of string
+
+type analysis =
+  | Op  (** [.op] *)
+  | Dc_sweep of { source : string; start : float; stop : float; step : float }
+      (** [.dc V<source> start stop step]; [source] is the swept voltage
+          source's element name *)
+  | Tran of { step : float; t_stop : float }  (** [.tran step tstop] *)
+  | Ac of { points_per_decade : int; f_start : float; f_stop : float }
+      (** [.ac dec n fstart fstop]; the excitation is the deck's
+          [ac_source] *)
+
+type deck = {
+  title : string;  (** the deck's first line, leading [*] stripped *)
+  netlist : Lattice_spice.Netlist.t;  (** fully elaborated (subckts flattened) *)
+  analyses : analysis list;  (** in card order *)
+  prints : probe list;  (** union of [.print]/[.probe] cards, in order *)
+  ac_source : string option;
+      (** element name of the voltage source carrying the [AC 1] token *)
+}
+
+type error = { line : int; col : int; msg : string }
+(** Positions are 1-based and point into the deck {e source} text —
+    continuation lines keep their own physical line numbers. *)
+
+(** [error_to_string ?file e] renders ["file:line:col: msg"] — the
+    compiler-style form CLI diagnostics use. *)
+val error_to_string : ?file:string -> error -> string

@@ -1,0 +1,48 @@
+module Sp = Lattice_spice
+module N = Sp.Netlist
+
+type probe = Ast.probe = Vprobe of string | Iprobe of string
+
+type analysis = Ast.analysis =
+  | Op
+  | Dc_sweep of { source : string; start : float; stop : float; step : float }
+  | Tran of { step : float; t_stop : float }
+  | Ac of { points_per_decade : int; f_start : float; f_stop : float }
+
+type t = Ast.deck = {
+  title : string;
+  netlist : Sp.Netlist.t;
+  analyses : analysis list;
+  prints : probe list;
+  ac_source : string option;
+}
+
+type error = Ast.error = { line : int; col : int; msg : string }
+
+let error_to_string = Ast.error_to_string
+let parse = Parser.parse
+let emit = Emitter.emit
+
+let of_netlist ~title ?(analyses = []) ?(prints = []) ?ac_source netlist =
+  { title; netlist; analyses; prints; ac_source }
+
+let clone_with_wave src ~vsource ~wave =
+  let dst = N.create () in
+  (* Recreate nodes in id order first so the clone's ids match [src]. *)
+  Array.iter (fun name -> ignore (N.node dst name)) (N.all_node_names src);
+  let conv n = if n = N.ground then N.ground else N.node dst (N.node_name src n) in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Resistor { name; n1; n2; ohms } -> N.resistor dst name (conv n1) (conv n2) ohms
+      | N.Capacitor { name; n1; n2; farads } ->
+        N.capacitor dst name (conv n1) (conv n2) farads
+      | N.Vsource { name; npos; nneg; wave = w; _ } ->
+        N.vsource dst name (conv npos) (conv nneg) (if name = vsource then wave else w)
+      | N.Isource { name; npos; nneg; wave = w } ->
+        N.isource dst name (conv npos) (conv nneg) w
+      | N.Mosfet { name; drain; gate; source; model } ->
+        N.mosfet_model dst name ~drain:(conv drain) ~gate:(conv gate)
+          ~source:(conv source) model)
+    (N.elements src);
+  dst

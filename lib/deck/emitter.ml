@@ -1,0 +1,123 @@
+module Sp = Lattice_spice
+module N = Sp.Netlist
+module M = Lattice_mosfet
+module U = Sp.Units
+
+(* Model cards describe the electrical parameters only; W/L live on the
+   M card, so deduplication must ignore instance geometry. *)
+let model_key (m : M.Model.t) =
+  match m with
+  | M.Model.L1 p -> (1, p.M.Level1.kp, p.M.Level1.vth, p.M.Level1.lambda, 0.0, 0.0)
+  | M.Model.L3 p3 ->
+    let p = p3.M.Level3.base in
+    (3, p.M.Level1.kp, p.M.Level1.vth, p.M.Level1.lambda, p3.M.Level3.theta,
+     p3.M.Level3.vc)
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) name
+
+let wave_str ~ac wave =
+  let v = U.print_spice in
+  let base =
+    match wave with
+    | Sp.Source.Dc x -> Printf.sprintf "DC %s" (v x)
+    | Sp.Source.Pulse { v1; v2; delay; rise; fall; width; period } ->
+      Printf.sprintf "PULSE(%s %s %s %s %s %s %s)" (v v1) (v v2) (v delay) (v rise)
+        (v fall) (v width) (v period)
+    | Sp.Source.Sin { offset; amplitude; freq; delay; damping } ->
+      Printf.sprintf "SIN(%s %s %s %s %s)" (v offset) (v amplitude) (v freq) (v delay)
+        (v damping)
+    | Sp.Source.Pwl points ->
+      "PWL("
+      ^ String.concat " " (List.map (fun (t, x) -> Printf.sprintf "%s %s" (v t) (v x)) points)
+      ^ ")"
+  in
+  if ac then base ^ " AC 1" else base
+
+let emit (deck : Ast.deck) =
+  let net = deck.netlist in
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "* %s\n" deck.title;
+  let els = N.elements net in
+  (* .MODEL cards first, named NMOD1.. in first-use order over the
+     element list — deterministic, no Hashtbl iteration order. *)
+  let model_names = Hashtbl.create 8 in
+  let model_order = ref [] in
+  List.iter
+    (function
+      | N.Mosfet { model; _ } ->
+        let key = model_key model in
+        if not (Hashtbl.mem model_names key) then begin
+          Hashtbl.replace model_names key
+            (Printf.sprintf "NMOD%d" (Hashtbl.length model_names + 1));
+          model_order := model :: !model_order
+        end
+      | N.Resistor _ | N.Capacitor _ | N.Vsource _ | N.Isource _ -> ())
+    els;
+  List.iter
+    (fun model ->
+      let name = Hashtbl.find model_names (model_key model) in
+      match model with
+      | M.Model.L1 p ->
+        out ".MODEL %s NMOS (LEVEL=1 KP=%s VTO=%s LAMBDA=%s)\n" name
+          (U.print_spice p.M.Level1.kp) (U.print_spice p.M.Level1.vth)
+          (U.print_spice p.M.Level1.lambda)
+      | M.Model.L3 p3 ->
+        let p = p3.M.Level3.base in
+        out ".MODEL %s NMOS (LEVEL=3 KP=%s VTO=%s LAMBDA=%s THETA=%s VC=%s)\n" name
+          (U.print_spice p.M.Level1.kp) (U.print_spice p.M.Level1.vth)
+          (U.print_spice p.M.Level1.lambda) (U.print_spice p3.M.Level3.theta)
+          (U.print_spice p3.M.Level3.vc))
+    (List.rev !model_order);
+  let node_str n = if n = N.ground then "0" else sanitize (N.node_name net n) in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Resistor { name; n1; n2; ohms } ->
+        out "R%s %s %s %s\n" (sanitize name) (node_str n1) (node_str n2)
+          (U.print_spice ohms)
+      | N.Capacitor { name; n1; n2; farads } ->
+        out "C%s %s %s %s\n" (sanitize name) (node_str n1) (node_str n2)
+          (U.print_spice farads)
+      | N.Vsource { name; npos; nneg; wave; _ } ->
+        out "V%s %s %s %s\n" (sanitize name) (node_str npos) (node_str nneg)
+          (wave_str ~ac:(deck.ac_source = Some name) wave)
+      | N.Isource { name; npos; nneg; wave } ->
+        out "I%s %s %s %s\n" (sanitize name) (node_str npos) (node_str nneg)
+          (wave_str ~ac:false wave)
+      | N.Mosfet { name; drain; gate; source; model } ->
+        let base =
+          match model with
+          | M.Model.L1 p -> p
+          | M.Model.L3 p3 -> p3.M.Level3.base
+        in
+        out "M%s %s %s %s 0 %s W=%s L=%s\n" (sanitize name) (node_str drain)
+          (node_str gate) (node_str source)
+          (Hashtbl.find model_names (model_key model))
+          (U.print_spice base.M.Level1.w) (U.print_spice base.M.Level1.l))
+    els;
+  List.iter
+    (fun a ->
+      match a with
+      | Ast.Op -> out ".OP\n"
+      | Ast.Dc_sweep { source; start; stop; step } ->
+        out ".DC V%s %s %s %s\n" (sanitize source) (U.print_spice start)
+          (U.print_spice stop) (U.print_spice step)
+      | Ast.Tran { step; t_stop } ->
+        out ".TRAN %s %s\n" (U.print_spice step) (U.print_spice t_stop)
+      | Ast.Ac { points_per_decade; f_start; f_stop } ->
+        out ".AC DEC %d %s %s\n" points_per_decade (U.print_spice f_start)
+          (U.print_spice f_stop))
+    deck.analyses;
+  if deck.prints <> [] then begin
+    out ".PRINT";
+    List.iter
+      (function
+        | Ast.Vprobe node -> out " v(%s)" (sanitize node)
+        | Ast.Iprobe src -> out " i(V%s)" (sanitize src))
+      deck.prints;
+    out "\n"
+  end;
+  out ".END\n";
+  Buffer.contents buf

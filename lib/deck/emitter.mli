@@ -1,0 +1,17 @@
+(** Deterministic canonical deck emitter.
+
+    Canonical form, in order: the [* title] line; [.MODEL] cards named
+    [NMOD1..] in first-use order (deduplicated on electrical parameters
+    — instance W/L stay on the M card); elements in netlist insertion
+    order, card name = type letter + element name, every value rendered
+    by {!Lattice_spice.Units.print_spice} (shortest exact round-trip,
+    so no precision is lost); analyses in deck order; one [.PRINT] line;
+    [.END]. MOSFET bulk is always ["0"].
+
+    Stability property (the CedarSim roundtrip contract): for any deck
+    [d] accepted by {!Parser.parse},
+    [emit (parse (emit (parse d))) = emit (parse d)] byte for byte, and
+    parsing an emitted deck preserves
+    {!Lattice_spice.Netlist.structural_digest}. *)
+
+val emit : Ast.deck -> string

@@ -1,0 +1,85 @@
+type token = { text : string; line : int; col : int }
+
+exception Lex_error of Ast.error
+
+let err line col fmt =
+  Printf.ksprintf (fun msg -> raise (Lex_error { Ast.line; col; msg })) fmt
+
+let is_space c = c = ' ' || c = '\t' || c = ','
+let is_punct c = c = '(' || c = ')' || c = '='
+let is_delim c = is_space c || is_punct c
+
+(* Inline comments run from '$' or ';' to end of line. *)
+let strip_inline_comment s =
+  match String.index_opt s '$', String.index_opt s ';' with
+  | None, None -> s
+  | Some i, None | None, Some i -> String.sub s 0 i
+  | Some i, Some j -> String.sub s 0 (Int.min i j)
+
+let first_nonblank s =
+  let n = String.length s in
+  let rec go i = if i >= n then None else if s.[i] = ' ' || s.[i] = '\t' then go (i + 1) else Some i in
+  go 0
+
+let tokenize line_no s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if is_space c then incr i
+    else if is_punct c then begin
+      toks := { text = String.make 1 c; line = line_no; col = !i + 1 } :: !toks;
+      incr i
+    end
+    else begin
+      let start = !i in
+      while !i < n && not (is_delim s.[!i]) do incr i done;
+      toks := { text = String.sub s start (!i - start); line = line_no; col = start + 1 }
+              :: !toks
+    end
+  done;
+  List.rev !toks
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let title_of_line s =
+  let s = String.trim s in
+  let s = if String.length s > 0 && s.[0] = '*' then String.sub s 1 (String.length s - 1) else s in
+  String.trim s
+
+(* Logical lines: physical lines with comments dropped and '+'
+   continuations spliced onto their predecessor. Tokens keep the
+   physical line/column they came from, so errors inside a continuation
+   point at the right place. *)
+let lex src =
+  match String.split_on_char '\n' src with
+  | [] | [ "" ] -> Error { Ast.line = 1; col = 1; msg = "empty deck (first line is the title)" }
+  | title_line :: rest ->
+    (try
+       let title = title_of_line (strip_cr title_line) in
+       let logical = ref [] in  (* each entry: token list in reverse order *)
+       List.iteri
+         (fun i raw ->
+           let line_no = i + 2 in
+           let s = strip_cr raw in
+           match first_nonblank s with
+           | None -> ()
+           | Some fb when s.[fb] = '*' -> ()
+           | Some fb when s.[fb] = '+' ->
+             let body = strip_inline_comment s in
+             (* the '+' itself is a splice marker, not a token *)
+             let body = Bytes.of_string body in
+             if fb < Bytes.length body then Bytes.set body fb ' ';
+             let toks = tokenize line_no (Bytes.to_string body) in
+             (match !logical with
+              | [] -> err line_no (fb + 1) "continuation line with nothing to continue"
+              | prev :: others -> logical := List.rev_append toks prev :: others)
+           | Some _ ->
+             let toks = tokenize line_no (strip_inline_comment s) in
+             if toks <> [] then logical := List.rev toks :: !logical)
+         rest;
+       Ok (title, List.rev_map List.rev !logical)
+     with Lex_error e -> Error e)

@@ -1,0 +1,17 @@
+(** SPICE deck lexer: physical lines to logical token lines.
+
+    Handles the classic surface syntax — the mandatory title line,
+    [*] comment lines, [$]/[;] inline comments, [+] continuation lines,
+    comma-or-whitespace token separation — and splits [(], [)] and [=]
+    into their own tokens so ["PULSE(0 1.2"] and ["W=700n"] need no
+    lookahead in the parser. Tokens keep raw text (keyword matching is
+    the parser's, case-insensitively; names keep their case) and the
+    1-based physical line/column they started at. *)
+
+type token = { text : string; line : int; col : int }
+
+(** [lex src] returns the title (first line, leading [*] stripped) and
+    the logical card lines in order, each a non-empty token list.
+    Errors: an empty input, or a [+] continuation with no card before
+    it. Never raises. *)
+val lex : string -> (string * token list list, Ast.error) result

@@ -1,0 +1,18 @@
+(** Recursive-descent SPICE deck parser.
+
+    Grammar subset (case-insensitive keywords, case-preserving names):
+    element cards [R]/[C]/[V]/[I]/[M]/[X], sources [DC]/[PULSE]/[SIN]/
+    [PWL] with an optional unit [AC 1] tag, [.model] NMOS/PMOS level 1
+    and 3, hierarchical [.subckt]/[.ends] with [{param}] substitution
+    flattened at parse time (instance [Xfoo] prefixes inner element
+    names with [foo.] and internal nodes with [foo.]), analyses
+    [.op]/[.dc]/[.tran]/[.ac dec], probes [.print]/[.probe], and
+    [.end]. Everything else is a structured error.
+
+    Validation is strict and total: card arity, positive R/C values,
+    known models/subcircuits/parameters, probe and sweep targets
+    resolved against the elaborated netlist. Errors carry the 1-based
+    line and column of the offending token; no exception ever escapes
+    {!parse}. *)
+
+val parse : string -> (Ast.deck, Ast.error) result

@@ -9,6 +9,7 @@ type request =
   | Defects of { expr : string; all_classes : bool }
   | Table1 of { rows : int; cols : int }
   | Paths of { rows : int; cols : int }
+  | Run_deck of { deck : string; smoke : bool }
 
 type envelope = { id : Json.t option; deadline_s : float option; req : request }
 
@@ -23,6 +24,7 @@ let request_name = function
   | Defects _ -> "defects"
   | Table1 _ -> "table1"
   | Paths _ -> "paths"
+  | Run_deck _ -> "run_deck"
 
 type error_code =
   | Parse_error
@@ -35,6 +37,7 @@ type error_code =
   | Quota_exceeded
   | Timeout
   | Non_convergent
+  | Deck_error
   | Shutting_down
   | Internal
 
@@ -49,6 +52,7 @@ let code_name = function
   | Quota_exceeded -> "quota_exceeded"
   | Timeout -> "timeout"
   | Non_convergent -> "non_convergent"
+  | Deck_error -> "deck_error"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -56,7 +60,7 @@ let all_codes =
   [
     Parse_error; Bad_request; Unknown_type; Unknown_field; Frame_too_long;
     Invalid_frame; Overloaded; Quota_exceeded; Timeout; Non_convergent;
-    Shutting_down; Internal;
+    Deck_error; Shutting_down; Internal;
   ]
 
 let code_of_name name = List.find_opt (fun c -> code_name c = name) all_codes
@@ -181,6 +185,13 @@ let parse_typed pairs ty =
         rows = get "rows" dim ~what:"an integer in [2, 12]" pairs;
         cols = get "cols" dim ~what:"an integer in [2, 12]" pairs;
       }
+  | "run_deck" ->
+    check_fields ~allowed:[ "deck"; "smoke" ] pairs;
+    let deck = get "deck" Json.to_str ~what:"a string" pairs in
+    if String.length deck > 32768 then
+      reject Bad_request "deck of %d bytes exceeds the 32768-byte cap" (String.length deck);
+    let smoke = get_default "smoke" Json.to_bool ~what:"a boolean" ~default:false pairs in
+    Run_deck { deck; smoke }
   | other -> reject Unknown_type "unknown request type %S" other
 
 let recover_id json =
@@ -218,7 +229,7 @@ let id_field = function None -> [] | Some id -> [ ("id", id) ]
 let render_ok ~id result =
   Json.to_string (Json.Obj (id_field id @ [ ("ok", Json.Bool true); ("result", result) ]))
 
-let render_error ~id code message =
+let render_error ?(details = []) ~id code message =
   Json.to_string
     (Json.Obj
        (id_field id
@@ -226,7 +237,8 @@ let render_error ~id code message =
            ("ok", Json.Bool false);
            ( "error",
              Json.Obj
-               [ ("code", Json.String (code_name code)); ("message", Json.String message) ] );
+               ([ ("code", Json.String (code_name code)); ("message", Json.String message) ]
+               @ details) );
          ]))
 
 let json_float f =

@@ -34,6 +34,11 @@
     - [table1] — [rows], [cols] (2..12): ZDD product count.
     - [paths] — [rows], [cols] (2..12): product count plus per-size
       histogram.
+    - [run_deck] — [deck] (SPICE deck text, <= 32768 bytes), optional
+      [smoke]: parse the deck and execute its analysis cards through
+      the shared engine under tight server-side limits. A malformed
+      deck answers a [deck_error] whose error object carries the
+      offending [line]/[col] — it never terminates the connection.
     - [sleep] — [seconds]: test-only worker stall; rejected unless the
       server enables it. *)
 
@@ -48,6 +53,7 @@ type request =
   | Defects of { expr : string; all_classes : bool }
   | Table1 of { rows : int; cols : int }
   | Paths of { rows : int; cols : int }
+  | Run_deck of { deck : string; smoke : bool }
 
 type envelope = {
   id : Json.t option;  (** echoed back verbatim in the response *)
@@ -69,6 +75,8 @@ type error_code =
   | Quota_exceeded  (** too many in-flight requests on this connection *)
   | Timeout  (** per-request deadline fired *)
   | Non_convergent  (** solver failed; message carries the diagnostics *)
+  | Deck_error
+      (** SPICE deck rejected; the error object carries [line]/[col] *)
   | Shutting_down
   | Internal
 
@@ -83,7 +91,10 @@ val parse_request : string -> (envelope, Json.t option * error_code * string) re
 val render_ok : id:Json.t option -> Json.t -> string
 (** One response line (no trailing newline). *)
 
-val render_error : id:Json.t option -> error_code -> string -> string
+val render_error :
+  ?details:(string * Json.t) list -> id:Json.t option -> error_code -> string -> string
+(** [details] appends extra fields to the error object (after [code]
+    and [message]) — e.g. [line]/[col] for a [Deck_error]. *)
 
 (** {2 Response-side helpers} *)
 

@@ -140,9 +140,11 @@ let now () = Unix.gettimeofday ()
 
 (* --- request handlers --------------------------------------------------- *)
 
-exception Handler_error of Protocol.error_code * string
+(* [details] lands in the response's error object (e.g. line/col for a
+   rejected deck); most handlers leave it empty *)
+exception Handler_error of Protocol.error_code * string * (string * Json.t) list
 
-let h_reject code fmt = Printf.ksprintf (fun m -> raise (Handler_error (code, m))) fmt
+let h_reject code fmt = Printf.ksprintf (fun m -> raise (Handler_error (code, m, []))) fmt
 
 (* expression -> (truth table, nvars, synthesized lattice); the expensive
    circuit work downstream is what the engine cache memoizes *)
@@ -296,6 +298,73 @@ let handle_paths ~rows ~cols =
       ("histogram", Json.List (Array.to_list (Array.map (fun n -> Json.Int n) hist)));
     ]
 
+(* server-side deck limits: a daemon shared by many clients must not let
+   one deck monopolize a worker with a million-step transient *)
+let deck_limits =
+  { Lattice_deck.Runner.max_sweep_points = 256; max_tran_steps = 20_000 }
+
+let handle_run_deck t ~cancel ~deck ~smoke =
+  match Lattice_deck.Deck.parse deck with
+  | Error (e : Lattice_deck.Deck.error) ->
+    raise
+      (Handler_error
+         ( Protocol.Deck_error,
+           Printf.sprintf "%d:%d: %s" e.line e.col e.msg,
+           [ ("line", Json.Int e.line); ("col", Json.Int e.col) ] ))
+  | Ok d -> (
+    match Lattice_deck.Runner.run ~engine:t.engine ~cancel ~smoke ~limits:deck_limits d with
+    | Error msg -> h_reject Protocol.Non_convergent "%s" msg
+    | Ok r ->
+      let open Lattice_deck.Runner in
+      let analysis_json = function
+        | Op_result { strategy; rows } ->
+          Json.Obj
+            [
+              ("type", Json.String "op");
+              ("strategy", Json.String strategy);
+              ( "nodes",
+                Json.Obj (List.map (fun (n, v) -> (n, Protocol.json_float v)) rows) );
+            ]
+        | Dc_result { source; probes; rows } ->
+          Json.Obj
+            [
+              ("type", Json.String "dc");
+              ("source", Json.String source);
+              ("points", Json.Int (List.length rows));
+              ("probes", Json.List (List.map (fun p -> Json.String p) probes));
+            ]
+        | Tran_result { times; nodes; newton_iterations; _ } ->
+          Json.Obj
+            [
+              ("type", Json.String "tran");
+              ("samples", Json.Int (Array.length times));
+              ("newton_iterations", Json.Int newton_iterations);
+              ( "finals",
+                Json.Obj
+                  (List.map
+                     (fun (n, samples) ->
+                       (n, Protocol.json_float samples.(Array.length samples - 1)))
+                     nodes) );
+            ]
+        | Ac_result { source; output; dc_gain; f_3db; points } ->
+          Json.Obj
+            [
+              ("type", Json.String "ac");
+              ("source", Json.String source);
+              ("output", Json.String output);
+              ("dc_gain", Protocol.json_float dc_gain);
+              ( "f_3db",
+                match f_3db with None -> Json.Null | Some f -> Protocol.json_float f );
+              ("points", Json.Int (List.length points));
+            ]
+      in
+      Json.Obj
+        [
+          ("title", Json.String r.title);
+          ("digest", Json.String r.digest);
+          ("analyses", Json.List (List.map (fun (_, res) -> analysis_json res) r.results));
+        ])
+
 let handle_sleep t ~cancel ~seconds =
   if not t.config.allow_sleep then
     h_reject Protocol.Bad_request "sleep requests are disabled on this server";
@@ -321,6 +390,7 @@ let handle_compute t ~cancel (req : Protocol.request) =
   | Protocol.Defects { expr; all_classes } -> handle_defects t ~cancel ~expr ~all_classes
   | Protocol.Table1 { rows; cols } -> handle_table1 ~rows ~cols
   | Protocol.Paths { rows; cols } -> handle_paths ~rows ~cols
+  | Protocol.Run_deck { deck; smoke } -> handle_run_deck t ~cancel ~deck ~smoke
   | Protocol.Sleep { seconds } -> handle_sleep t ~cancel ~seconds
   | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
     (* handled inline by the reader; unreachable through the queue *)
@@ -416,10 +486,10 @@ let respond_ok t conn ~id result =
   Metrics.Counter.incr m_ok;
   write_response t conn (Protocol.render_ok ~id result)
 
-let respond_error t conn ~id code msg =
+let respond_error ?details t conn ~id code msg =
   Atomic.incr t.c_err;
   Metrics.Counter.incr m_err;
-  write_response t conn (Protocol.render_error ~id code msg)
+  write_response t conn (Protocol.render_error ?details ~id code msg)
 
 (* close the descriptor only when no writer can still reach it *)
 let maybe_close t conn =
@@ -482,7 +552,8 @@ let execute t (job : job) =
       let cancel = Cancel.of_deadline_s deadline_s in
       match handle_compute t ~cancel env.Protocol.req with
       | result -> respond_ok t job.jconn ~id:env.Protocol.id result
-      | exception Handler_error (code, msg) -> respond_error t job.jconn ~id:env.Protocol.id code msg
+      | exception Handler_error (code, msg, details) ->
+        respond_error ~details t job.jconn ~id:env.Protocol.id code msg
       | exception Cancel.Cancelled _ ->
         respond_error t job.jconn ~id:env.Protocol.id Protocol.Timeout
           (Printf.sprintf "request deadline of %gs exceeded"

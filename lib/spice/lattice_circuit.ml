@@ -56,6 +56,8 @@ let complement ~vdd wave =
   | Source.Dc v -> Source.Dc (vdd -. v)
   | Source.Pulse ({ v1; v2; _ } as p) -> Source.Pulse { p with v1 = vdd -. v1; v2 = vdd -. v2 }
   | Source.Pwl points -> Source.Pwl (List.map (fun (t, v) -> (t, vdd -. v)) points)
+  | Source.Sin ({ offset; amplitude; _ } as s) ->
+    Source.Sin { s with offset = vdd -. offset; amplitude = -.amplitude }
 
 let exhaustive_stimulus ~vdd ~bit_time v = Source.bit_clock ~vdd ~bit_time ~bit_index:v ()
 

@@ -98,6 +98,9 @@ let node_name t n =
   if n < 0 || n >= t.next_node then invalid_arg "Netlist.node_name: unknown node";
   t.node_names.(n)
 
+let all_node_names t =
+  Array.init (t.next_node - 1) (fun i -> t.node_names.(i + 1))
+
 let node_index n = n - 1
 
 let vsource_row t index = num_nodes t + index
@@ -124,6 +127,9 @@ let wave_to_spice = function
     ^ String.concat " "
         (List.map (fun (tt, v) -> Printf.sprintf "%s %s" (Units.format tt) (Units.format v)) points)
     ^ ")"
+  | Source.Sin { offset; amplitude; freq; delay; damping } ->
+    Printf.sprintf "SIN(%s %s %s %s %s)" (Units.format offset) (Units.format amplitude)
+      (Units.format freq) (Units.format delay) (Units.format damping)
 
 let to_spice_string t ~title =
   let buf = Buffer.create 1024 in
@@ -231,46 +237,79 @@ let digest_wave b = function
         digest_float b time;
         digest_float b v)
       points
+  | Source.Sin { offset; amplitude; freq; delay; damping } ->
+    Buffer.add_char b 'S';
+    List.iter (digest_float b) [ offset; amplitude; freq; delay; damping ]
 
-let digest_element b = function
+let digest_element b ~map = function
   | Resistor { name; n1; n2; ohms } ->
     Buffer.add_char b 'R';
     digest_string b name;
-    digest_int b n1;
-    digest_int b n2;
+    digest_int b (map n1);
+    digest_int b (map n2);
     digest_float b ohms
   | Capacitor { name; n1; n2; farads } ->
     Buffer.add_char b 'C';
     digest_string b name;
-    digest_int b n1;
-    digest_int b n2;
+    digest_int b (map n1);
+    digest_int b (map n2);
     digest_float b farads
   | Vsource { name; npos; nneg; wave; index } ->
     Buffer.add_char b 'V';
     digest_string b name;
-    digest_int b npos;
-    digest_int b nneg;
+    digest_int b (map npos);
+    digest_int b (map nneg);
     digest_int b index;
     digest_wave b wave
   | Isource { name; npos; nneg; wave } ->
     Buffer.add_char b 'I';
     digest_string b name;
-    digest_int b npos;
-    digest_int b nneg;
+    digest_int b (map npos);
+    digest_int b (map nneg);
     digest_wave b wave
   | Mosfet { name; drain; gate; source; model } ->
     Buffer.add_char b 'M';
     digest_string b name;
-    digest_int b drain;
-    digest_int b gate;
-    digest_int b source;
+    digest_int b (map drain);
+    digest_int b (map gate);
+    digest_int b (map source);
     digest_model b model
 
+(* Node ids are renumbered by first mention in element order before
+   hashing.  Raw ids depend on *creation* order, which differs between a
+   programmatic builder (nodes interleaved with construction) and a deck
+   parser (nodes appear as element cards reference them); first-mention
+   order is identical whenever the element lists are, so the digest — and
+   with it every engine cache key — survives the export→parse boundary. *)
 let structural_digest t =
   let b = Buffer.create 1024 in
+  let els = elements t in
+  let canon = Hashtbl.create 64 in
+  Hashtbl.replace canon ground 0;
+  let next = ref 0 in
+  let touch n =
+    if not (Hashtbl.mem canon n) then begin
+      incr next;
+      Hashtbl.replace canon n !next
+    end
+  in
+  List.iter
+    (function
+      | Resistor { n1; n2; _ } | Capacitor { n1; n2; _ } ->
+        touch n1;
+        touch n2
+      | Vsource { npos; nneg; _ } | Isource { npos; nneg; _ } ->
+        touch npos;
+        touch nneg
+      | Mosfet { drain; gate; source; _ } ->
+        touch drain;
+        touch gate;
+        touch source)
+    els;
+  let map n = match Hashtbl.find_opt canon n with Some c -> c | None -> n in
   digest_int b (num_nodes t);
   digest_int b (num_vsources t);
-  List.iter (digest_element b) (elements t);
+  List.iter (digest_element b ~map) els;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let summary t =

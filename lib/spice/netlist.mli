@@ -67,6 +67,12 @@ val elements : t -> element list
 (** [node_name t n] is the name [n] was created with. *)
 val node_name : t -> node -> string
 
+(** [all_node_names t] lists every non-ground node name in id order
+    (element [i] names node [i + 1]) — the read-only companion of
+    {!node_name} for emitters and clients that replay a circuit without
+    touching internals. *)
+val all_node_names : t -> string array
+
 (** [node_index n] is the row of node [n] in the MNA system, or [-1] for
     ground. *)
 val node_index : node -> int
@@ -82,14 +88,16 @@ val vsource_index : t -> string -> int option
 val summary : t -> string
 
 (** [structural_digest t] is a content hash of the circuit: node and
-    voltage-source counts plus every element — topology (node ids),
-    instance names, exact IEEE-754 bit patterns of all values, full
-    waveforms and full MOSFET model parameters. Two netlists built by
-    the same construction sequence get equal digests; changing any
-    single parameter by as little as one ulp (a [sigma_vth]
-    perturbation, a different oxide's [kp], one injected defect
-    resistor) changes the digest. This is the netlist half of the batch
-    engine's content-addressed cache key. *)
+    voltage-source counts plus every element — topology (node ids,
+    renumbered by first mention in element order so the digest is
+    independent of node {e creation} order and survives an
+    export→parse roundtrip through deck text), instance names, exact
+    IEEE-754 bit patterns of all values, full waveforms and full MOSFET
+    model parameters. Two netlists built by the same construction
+    sequence get equal digests; changing any single parameter by as
+    little as one ulp (a [sigma_vth] perturbation, a different oxide's
+    [kp], one injected defect resistor) changes the digest. This is the
+    netlist half of the batch engine's content-addressed cache key. *)
 val structural_digest : t -> string
 
 (** [to_spice_string t ~title] renders the circuit as a SPICE deck

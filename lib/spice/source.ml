@@ -10,6 +10,13 @@ type t =
       period : float;
     }
   | Pwl of (float * float) list
+  | Sin of {
+      offset : float;
+      amplitude : float;
+      freq : float;
+      delay : float;
+      damping : float;
+    }
 
 let pulse_value ~v1 ~v2 ~delay ~rise ~fall ~width ~period t =
   if t < delay then v1
@@ -43,6 +50,13 @@ let value w t =
   | Pulse { v1; v2; delay; rise; fall; width; period } ->
     pulse_value ~v1 ~v2 ~delay ~rise ~fall ~width ~period t
   | Pwl points -> pwl_value points t
+  | Sin { offset; amplitude; freq; delay; damping } ->
+    if t < delay then offset
+    else
+      let tau = t -. delay in
+      offset
+      +. amplitude *. Float.exp (-.damping *. tau)
+         *. Float.sin (2.0 *. Float.pi *. freq *. tau)
 
 let dc_value w = value w 0.0
 

@@ -12,6 +12,13 @@ type t =
       period : float;  (** repetition period, s *)
     }
   | Pwl of (float * float) list  (** (time, value) pairs, times increasing *)
+  | Sin of {
+      offset : float;  (** VO, V *)
+      amplitude : float;  (** VA, V *)
+      freq : float;  (** Hz *)
+      delay : float;  (** TD: hold at [offset] until then, s *)
+      damping : float;  (** THETA, 1/s; 0 for an undamped sine *)
+    }  (** the SPICE [SIN(VO VA FREQ TD THETA)] waveform *)
 
 (** [value w t] evaluates the waveform at time [t >= 0]. *)
 val value : t -> float -> float

@@ -528,13 +528,28 @@ let test_daemon_soak () =
       | Ok { P.payload = Error (got, _); _ } when got = code -> ()
       | _ -> Alcotest.failf "request %d: expected %s" i (P.code_name code)
     in
-    match i mod 8 with
+    match i mod 10 with
     | 0 -> expect_ok {|{"type":"ping"}|}
     | 1 -> expect_ok {|{"type":"table1","rows":4,"cols":4}|}
     | 2 -> expect_ok {|{"type":"paths","rows":3,"cols":3}|}
     | 3 -> expect_err "!! not json !!" P.Parse_error
     | 4 -> expect_err {|{"type":"warp"}|} P.Unknown_type
     | 5 -> expect_ok {|{"type":"stats"}|}
+    | 6 ->
+      expect_ok
+        (J.to_string
+           (J.Obj
+              [
+                ("type", J.String "run_deck");
+                ( "deck",
+                  J.String "soak\nv1 a 0 dc 1\nr1 a b 1k\nr2 b 0 1k\n.op\n.print v(b)\n.end\n"
+                );
+              ]))
+    | 7 ->
+      expect_err
+        (J.to_string
+           (J.Obj [ ("type", J.String "run_deck"); ("deck", J.String "t\nq1 a b c\n.end\n") ]))
+        P.Deck_error
     | _ ->
       expect_ok
         (J.to_string
@@ -618,6 +633,68 @@ let test_daemon_compute_handlers () =
       + n (field result "non_convergent"))
   | Error (code, msg) -> Alcotest.failf "defects failed: %s: %s" (P.code_name code) msg
 
+let test_daemon_run_deck () =
+  with_server @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (* happy path: a small divider deck with .op and a .dc sweep *)
+  let deck =
+    "divider over the wire\nv1 in 0 dc 1\nr1 in out 1k\nr2 out 0 1k\n\
+     .op\n.dc v1 0 1 0.5\n.print v(out)\n.end\n"
+  in
+  (match C.call c ~type_:"run_deck" [ ("deck", J.String deck) ] with
+  | Error (code, msg) -> Alcotest.failf "run_deck failed: %s: %s" (P.code_name code) msg
+  | Ok result ->
+    Alcotest.(check bool) "digest is a hex string" true
+      (match J.member "digest" result with
+      | Some (J.String d) -> String.length d = 32
+      | _ -> false);
+    (match J.member "analyses" result with
+    | Some (J.List [ op; dc ]) ->
+      Alcotest.(check bool) "op result typed" true
+        (J.member "type" op = Some (J.String "op"));
+      Alcotest.(check bool) "op v(out) is vdd/2" true
+        (match Option.bind (J.member "nodes" op) (J.member "out") with
+        | Some (J.Float v) -> Float.abs (v -. 0.5) < 1e-9
+        | _ -> false);
+      Alcotest.(check bool) "dc sweep has 3 points" true
+        (J.member "points" dc = Some (J.Int 3))
+    | _ -> Alcotest.fail "expected exactly two analyses"));
+  (* malformed decks: structured deck_error carrying line/col, and the
+     connection (and daemon) survive the whole table *)
+  let expect_deck_error deck line col =
+    let req = J.to_string (J.Obj [ ("type", J.String "run_deck"); ("deck", J.String deck) ]) in
+    let raw = C.call_raw c req in
+    match J.parse raw with
+    | J.Obj _ as resp ->
+      let err =
+        match J.member "error" resp with
+        | Some e -> e
+        | None -> Alcotest.failf "no error object in %s" raw
+      in
+      Alcotest.(check bool) "code is deck_error" true
+        (J.member "code" err = Some (J.String "deck_error"));
+      Alcotest.(check bool) (Printf.sprintf "line %d reported" line) true
+        (J.member "line" err = Some (J.Int line));
+      Alcotest.(check bool) (Printf.sprintf "col %d reported" col) true
+        (J.member "col" err = Some (J.Int col))
+    | _ | (exception J.Parse_error _) -> Alcotest.failf "undecodable response %s" raw
+  in
+  expect_deck_error "t\nq1 a b c\n.end\n" 2 1;  (* unsupported card *)
+  expect_deck_error "t\nr1 a 0 1k\nr1 a 0 2k\n.end\n" 3 1;  (* duplicate *)
+  expect_deck_error "t\n.subckt s a b\nr1 a b 1k\n.end\n" 2 1;  (* unterminated *)
+  expect_deck_error "t\nr1 a 0 12q3\n.end\n" 2 8;  (* bad value *)
+  (* oversized work is rejected by server limits, not truncated *)
+  expect_error c
+    (J.to_string
+       (J.Obj
+          [
+            ("type", J.String "run_deck");
+            ("deck", J.String "t\nv1 a 0 dc 0\nr1 a 0 1k\n.dc v1 0 1 1u\n.end\n");
+          ]))
+    P.Non_convergent;
+  Alcotest.(check bool) "daemon alive after deck table" true (C.ping c)
+
 let test_daemon_no_listener_rejected () =
   let t = S.create () in
   match S.start t with
@@ -657,6 +734,7 @@ let () =
             test_daemon_graceful_shutdown_drains;
           Alcotest.test_case "restart serves from the store" `Quick test_daemon_restart_store_warm;
           Alcotest.test_case "transient/yield/defects handlers" `Quick test_daemon_compute_handlers;
+          Alcotest.test_case "run_deck: results + error table" `Quick test_daemon_run_deck;
           Alcotest.test_case "no listener rejected" `Quick test_daemon_no_listener_rejected;
         ] );
       ("soak", [ Alcotest.test_case "2250 mixed requests, 3 connections" `Quick test_daemon_soak ]);

@@ -33,6 +33,76 @@ let test_units_roundtrip () =
         (Sp.Units.parse (Sp.Units.format x)))
     [ 1.0; 1e-15; 2.2e-12; 500e3; 1.2; 3.3e6; -4.7e-9 ]
 
+(* table-driven checks for the deck-facing SPICE value syntax: the
+   m-vs-meg trap, bare units, exponents followed by scale letters *)
+let test_units_parse_spice () =
+  let cases =
+    [
+      ("1meg", Some 1e6);
+      ("1m", Some 1e-3);  (* milli, NOT mega *)
+      ("1MEG", Some 1e6);
+      ("10pF", Some 10e-12);  (* trailing unit letters ignored *)
+      ("2ns", Some 2e-9);
+      ("2.5u", Some 2.5e-6);
+      ("-3.3k", Some (-3.3e3));
+      ("1e3k", Some 1e6);  (* exponent then scale letter *)
+      ("4t", Some 4e12);
+      ("7g", Some 7e9);
+      ("100f", Some 100e-15);
+      ("1mil", Some 25.4e-6);
+      ("0.155", Some 0.155);
+      ("1.5e-9", Some 1.5e-9);
+      ("42V", Some 42.0);  (* bare unit, scale 1 *)
+      ("", None);
+      ("k", None);  (* no digits *)
+      ("1.2.3", None);
+      ("3m#", None);  (* junk after the suffix *)
+      ("1e", Some 1.0);  (* no digit after 'e': the 'e' is a bare unit *)
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      match (Sp.Units.parse_spice s, expected) with
+      | Some got, Some want ->
+        (* a 1-ulp slack: [mantissa *. scale] may differ from the decimal
+           literal in the last bit *)
+        check_close (Printf.sprintf "parse_spice %S" s) (Float.abs want *. 1e-15) want got
+      | None, None -> ()
+      | Some got, None -> Alcotest.failf "parse_spice %S: expected None, got %g" s got
+      | None, Some want -> Alcotest.failf "parse_spice %S: expected %g, got None" s want)
+    cases
+
+let test_units_print_spice () =
+  Alcotest.(check string) "1e6 is meg, not m" "1meg" (Sp.Units.print_spice 1e6);
+  Alcotest.(check string) "1e-3 is milli" "1m" (Sp.Units.print_spice 1e-3);
+  (* the double behind "10pF" prints back as "10p" (the literal 1e-11 is
+     one ulp away from 10 *. 1e-12 and prints as "1e-11" instead) *)
+  Alcotest.(check string) "10pF value" "10p"
+    (Sp.Units.print_spice (Option.get (Sp.Units.parse_spice "10pF")));
+  Alcotest.(check string) "2ns value" "2n" (Sp.Units.print_spice 2e-9);
+  Alcotest.(check string) "zero" "0" (Sp.Units.print_spice 0.0);
+  Alcotest.(check string) "500k" "500k" (Sp.Units.print_spice 5e5);
+  Alcotest.(check string) "negative" "-4.7n"
+    (Sp.Units.print_spice (Option.get (Sp.Units.parse_spice "-4.7n")));
+  (* the decimal literal -4.7e-9 is one ulp from -4.7 *. 1e-9; its
+     shortest exact spelling goes through the pico scale instead *)
+  Alcotest.(check string) "negative literal" "-4700p" (Sp.Units.print_spice (-4.7e-9));
+  (* print_spice must be bit-exact under parse_spice for arbitrary floats *)
+  List.iter
+    (fun x ->
+      let s = Sp.Units.print_spice x in
+      match Sp.Units.parse_spice s with
+      | None -> Alcotest.failf "print_spice %h -> %S does not reparse" x s
+      | Some y ->
+        Alcotest.(check bool)
+          (Printf.sprintf "bit-exact roundtrip %h via %S" x s)
+          true
+          (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)))
+    [
+      1.0; -1.0; 0.1; 1.2; 17.7e-6; 155e-3; 2.0000000000000003e-9; Float.pi;
+      1e-15; 9.999999999999999e22; 5e5; 1.0000000000000002; -0.0; 3.141e-21;
+    ]
+
 (* --- Source ------------------------------------------------------------- *)
 
 let test_source_dc () =
@@ -1195,6 +1265,8 @@ let () =
           Alcotest.test_case "parse" `Quick test_units_parse;
           Alcotest.test_case "format" `Quick test_units_format;
           Alcotest.test_case "roundtrip" `Quick test_units_roundtrip;
+          Alcotest.test_case "parse_spice table" `Quick test_units_parse_spice;
+          Alcotest.test_case "print_spice shortest exact" `Quick test_units_print_spice;
         ] );
       ( "source",
         [
