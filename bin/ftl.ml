@@ -599,7 +599,7 @@ let tcp_host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "tcp-host" ] ~docv:"HOST" ~doc)
 
 let serve () socket tcp_port tcp_host domains cache_dir workers queue quota default_deadline
-    max_frame drain allow_sleep quiet =
+    max_frame drain allow_sleep quiet flight_dir slow_ms access_log =
   let module S = Lattice_serve.Server in
   if socket = None && tcp_port = None then begin
     prerr_endline "ftl serve: pass --socket PATH and/or --tcp-port N";
@@ -623,6 +623,9 @@ let serve () socket tcp_port tcp_host domains cache_dir workers queue quota defa
       log =
         (if quiet then None
          else Some (fun line -> Printf.eprintf "[ftl-serve] %s\n%!" line));
+      flight_dir = (match flight_dir with Some _ -> flight_dir | None -> S.default_config.S.flight_dir);
+      slow_threshold_s = (match slow_ms with Some ms -> Some (ms /. 1e3) | None -> None);
+      access_log_path = access_log;
     }
   in
   let t = S.create ~config () in
@@ -660,13 +663,29 @@ let serve_cmd =
            ~doc:"Accept the test-only $(b,sleep) request (load/backpressure testing).")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle logging.") in
+  let flight_dir =
+    Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"Flight-recorder spool directory: a request that errors, times out or \
+                 overruns $(b,--slow-ms) dumps the in-memory span ring there as \
+                 Chrome-trace JSONL (bounded: 64 files / 16 MiB, oldest evicted). \
+                 Defaults to $(b,FTL_FLIGHT_DIR) when set.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Also flight-dump requests slower than $(docv) milliseconds.")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Structured JSONL access log, one line per request (id, type, outcome, \
+                 duration, cache hits, DC solves, retries); rotated at 8 MiB.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"long-running simulation daemon over newline-delimited JSON (Unix socket and/or TCP)")
     Term.(
       const serve $ obs_term $ socket_arg $ tcp_port_arg $ tcp_host_arg $ domains_arg
       $ cache_dir_arg $ workers $ queue $ quota $ default_deadline $ max_frame $ drain
-      $ allow_sleep $ quiet)
+      $ allow_sleep $ quiet $ flight_dir $ slow_ms $ access_log)
 
 (* --- client ------------------------------------------------------------ *)
 
@@ -683,6 +702,17 @@ let client () socket tcp_port tcp_host deadline requests =
   in
   let c = C.connect addr in
   let all_ok = ref true in
+  (* under --trace, every request gets a fresh span here and carries
+     trace_id/parent_span on the wire, so the daemon's spans for it link
+     under ours: the exported file is one stitched Perfetto timeline *)
+  let trace_id =
+    if not (Lattice_obs.Trace.on ()) then None
+    else
+      Some
+        (Printf.sprintf "ftl-%d-%06x" (Unix.getpid ())
+           (int_of_float (Unix.gettimeofday () *. 1e3) land 0xffffff))
+  in
+  let seq = ref 0 in
   let send line =
     let line = String.trim line in
     if line <> "" then begin
@@ -698,15 +728,38 @@ let client () socket tcp_port tcp_host deadline requests =
                | None -> []
                | Some d -> [ ("deadline_s", J.Float d) ])))
       in
-      match C.call_raw c line with
-      | resp ->
-        print_endline resp;
-        (match Lattice_serve.Protocol.parse_response resp with
-        | Ok { Lattice_serve.Protocol.payload = Ok _; _ } -> ()
-        | Ok _ | Error _ -> all_ok := false)
-      | exception C.Protocol_error msg ->
-        Printf.eprintf "ftl client: %s\n" msg;
-        all_ok := false
+      let line, span_args =
+        match trace_id with
+        | None -> (line, [])
+        | Some tid -> (
+          match J.parse line with
+          | exception J.Parse_error _ -> (line, [])  (* let the daemon reject it *)
+          | J.Obj pairs when not (List.mem_assoc "trace_id" pairs) ->
+            incr seq;
+            let span_id = Printf.sprintf "%s.%d" tid !seq in
+            let ty =
+              Option.value ~default:"?" (Option.bind (List.assoc_opt "type" pairs) J.to_str)
+            in
+            ( J.to_string
+                (J.Obj
+                   (pairs
+                   @ [ ("trace_id", J.String tid); ("parent_span", J.String span_id) ])),
+              [ ("trace_id", tid); ("span_id", span_id); ("request", ty) ] )
+          | _ -> (line, []))
+      in
+      let call () =
+        match C.call_raw c line with
+        | resp ->
+          print_endline resp;
+          (match Lattice_serve.Protocol.parse_response resp with
+          | Ok { Lattice_serve.Protocol.payload = Ok _; _ } -> ()
+          | Ok _ | Error _ -> all_ok := false)
+        | exception C.Protocol_error msg ->
+          Printf.eprintf "ftl client: %s\n" msg;
+          all_ok := false
+      in
+      if span_args = [] then call ()
+      else Lattice_obs.Trace.with_span ~cat:"client" ~args:span_args "client.request" call
     end
   in
   (match requests with
@@ -732,9 +785,137 @@ let client_cmd =
                  non-zero when any response is an error.")
   in
   Cmd.v
-    (Cmd.info "client" ~doc:"send requests to a running ftl serve daemon")
+    (Cmd.info "client"
+       ~doc:"send requests to a running ftl serve daemon (with the global $(b,--trace) \
+             flag, requests carry trace_id/parent_span so daemon spans link under the \
+             client's in one Perfetto timeline)")
     Term.(
       const client $ obs_term $ socket_arg $ tcp_port_arg $ tcp_host_arg $ deadline $ requests)
+
+(* --- top --------------------------------------------------------------- *)
+
+(* Live daemon monitor: poll [stats], redraw a plain-ANSI dashboard.
+   Reads only the stats JSON — no extra daemon support needed. *)
+let top () socket tcp_port tcp_host interval iterations =
+  let module C = Lattice_serve.Client in
+  let module J = Lattice_serve.Json in
+  let addr =
+    match (socket, tcp_port) with
+    | Some path, _ -> C.Unix_socket path
+    | None, Some port -> C.Tcp (tcp_host, port)
+    | None, None ->
+      prerr_endline "ftl top: pass --socket PATH or --tcp-port N";
+      exit 2
+  in
+  let mem path j =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some j) path
+  in
+  let num path j =
+    match Option.bind (mem path j) J.to_float with Some f -> f | None -> Float.nan
+  in
+  let int_ path j =
+    match Option.bind (mem path j) J.to_int with Some n -> n | None -> 0
+  in
+  let fnum v = if Float.is_nan v then "    -" else Printf.sprintf "%8.2f" v in
+  let tty = Unix.isatty Unix.stdout in
+  let eol = if tty then "\027[K\n" else "\n" in
+  let render j =
+    let b = Buffer.create 2048 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ eol)) fmt in
+    let where =
+      match addr with
+      | C.Unix_socket p -> p
+      | C.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+    in
+    line "ftl top — %s   uptime %.0fs   conns %d   every %.1fs (q quits via Ctrl-C)" where
+      (num [ "server"; "uptime_s" ] j)
+      (int_ [ "server"; "connections" ] j)
+      interval;
+    line "requests %d   ok %d   err %d   timeouts %d   overloaded %d   quota %d   malformed %d"
+      (int_ [ "server"; "requests" ] j) (int_ [ "server"; "ok" ] j)
+      (int_ [ "server"; "errors" ] j)
+      (int_ [ "server"; "request_timeouts" ] j)
+      (int_ [ "server"; "overloaded" ] j)
+      (int_ [ "server"; "quota_rejected" ] j)
+      (int_ [ "server"; "malformed" ] j);
+    let inflight = int_ [ "server"; "inflight" ] j in
+    let workers = int_ [ "server"; "workers" ] j in
+    let util = if workers = 0 then 0.0 else 100.0 *. float_of_int inflight /. float_of_int workers in
+    line "queue %d/%d   inflight %d/%d workers (%.0f%% busy)   flight dumps %d"
+      (int_ [ "server"; "queue_depth" ] j)
+      (int_ [ "server"; "queue_capacity" ] j)
+      inflight workers util
+      (int_ [ "server"; "flight_dumps" ] j);
+    let hits = int_ [ "engine"; "cache"; "hits" ] j in
+    let misses = int_ [ "engine"; "cache"; "misses" ] j in
+    let hit_rate =
+      if hits + misses = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+    in
+    line "engine: dc_solves %d   cache %d hit / %d miss (%.1f%% hit)   retries %d"
+      (int_ [ "engine"; "dc_solves" ] j) hits misses hit_rate
+      (int_ [ "engine"; "retries" ] j);
+    line "";
+    line "window (%.0fs)   rate %.2f req/s" (num [ "window"; "window_s" ] j)
+      (let r = num [ "window"; "all"; "rate_per_s" ] j in
+       if Float.is_nan r then 0.0 else r);
+    line "  %-12s %7s %5s %5s %8s %8s %8s %8s" "type" "count" "err" "t/o" "p50ms" "p95ms"
+      "p99ms" "maxms";
+    let row label s =
+      line "  %-12s %7d %5d %5d %s %s %s %s" label (int_ [ "count" ] s) (int_ [ "errors" ] s)
+        (int_ [ "timeouts" ] s)
+        (fnum (num [ "p50_ms" ] s))
+        (fnum (num [ "p95_ms" ] s))
+        (fnum (num [ "p99_ms" ] s))
+        (fnum (num [ "max_ms" ] s))
+    in
+    (match mem [ "window"; "all" ] j with Some s -> row "all" s | None -> ());
+    (match mem [ "window"; "by_type" ] j with
+    | Some (J.Obj per) -> List.iter (fun (name, s) -> row name s) per
+    | Some _ | None -> ());
+    Buffer.contents b
+  in
+  let c =
+    try C.connect addr
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "ftl top: cannot connect: %s\n" (Unix.error_message e);
+      exit 1
+  in
+  let n = ref 0 in
+  (try
+     let continue = ref true in
+     while !continue do
+       let j = C.stats c in
+       (* home + draw + clear-below: flicker-free on a tty, plain dumps otherwise *)
+       if tty then print_string ("\027[H" ^ render j ^ "\027[J")
+       else print_string (render j);
+       flush stdout;
+       incr n;
+       if iterations > 0 && !n >= iterations then continue := false
+       else Unix.sleepf interval
+     done
+   with
+  | C.Protocol_error msg ->
+    Printf.eprintf "ftl top: %s\n" msg;
+    C.close c;
+    exit 1
+  | Sys.Break -> ());
+  C.close c
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period between $(b,stats) polls.")
+  in
+  let iterations =
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Stop after $(docv) refreshes (0 = run until interrupted) — for scripts \
+                 and transcripts.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"live monitor for a running ftl serve daemon: request mix, rolling \
+             p50/p95/p99, queue depth, cache hit rate, worker utilization")
+    Term.(const top $ obs_term $ socket_arg $ tcp_port_arg $ tcp_host_arg $ interval $ iterations)
 
 let main =
   let doc = "four-terminal switching lattice toolkit (DATE 2019 reproduction)" in
@@ -743,6 +924,7 @@ let main =
       all_cmd; table1_cmd; table2_cmd; function_cmd; synth_cmd; iv_cmd; field_cmd; fit_cmd;
       xor3_cmd; series_cmd; optimize_cmd; faults_cmd; complementary_cmd; frequency_cmd;
       yield_cmd; defects_cmd; export_cmd; run_cmd; histogram_cmd; serve_cmd; client_cmd;
+      top_cmd;
     ]
 
 let () = exit (Cmd.eval main)

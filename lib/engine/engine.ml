@@ -161,6 +161,7 @@ let run_jobs (type a) t ?(policy = default_policy) ?(cancel = Cancel.none) ?phas
           let indices = Array.of_list indices in
           ignore (Atomic.fetch_and_add t.retries (Array.length indices));
           Metrics.Counter.add retries_counter (Array.length indices);
+          Trace.attribute_retries (Array.length indices);
           if Trace.on () then
             Trace.instant ~cat:"engine"
               ~args:
@@ -204,8 +205,11 @@ let failure_iterations (f : Sp.Dcop.failure) =
 let dc_op t ?(options = Sp.Dcop.default_options) ?cancel netlist =
   let key = Key.dc_op ~options netlist in
   match Cache.find t.dc_cache ~key with
-  | Some r -> copy_result r
+  | Some r ->
+    Trace.attribute_cache_hit ();
+    copy_result r
   | None ->
+    Trace.attribute_dc_solve ();
     (* a cancelled solve raises out of [solve_diag] before any of the
        bookkeeping below — partial results are never cached *)
     let r = Sp.Dcop.solve_diag ~options ?cancel netlist in

@@ -1,0 +1,146 @@
+(* Flight recorder: an always-on, fixed-size per-domain ring of the
+   most recently completed spans. Unlike the opt-in {!Trace} buffers,
+   the rings never grow and never stop recording, so when a request
+   fails there is retroactive evidence of what the process was doing.
+
+   Each domain owns one ring; serve workers are systhreads sharing
+   domain 0's ring, so the write cursor is an atomic fetch-and-add.
+   Slot writes themselves are unsynchronized — a lost race overwrites
+   one record with a newer one, which is exactly the ring's contract.
+   The only allocation on the recording path is the span record
+   itself. *)
+
+type span = {
+  name : string;
+  cat : string;
+  dom : int;  (** recording domain *)
+  ts_ns : int;  (** start, ns since the trace epoch *)
+  dur_ns : int;
+  args : (string * string) list;
+}
+
+(* power of two so the cursor wraps with a mask, not a division *)
+let capacity = 512
+let mask = capacity - 1
+
+let enabled =
+  let from_env =
+    match Sys.getenv_opt "FTL_FLIGHT" with
+    | Some s when String.trim s = "0" -> false
+    | Some _ | None -> true
+  in
+  Atomic.make from_env
+
+let on () = Atomic.get enabled
+let set_enabled b = Atomic.set enabled b
+
+let dummy = { name = ""; cat = ""; dom = -1; ts_ns = 0; dur_ns = 0; args = [] }
+
+type ring = { slots : span array; cursor : int Atomic.t }
+
+(* rings of every domain that ever recorded; registration happens once
+   per domain (DLS init), never on a hot path *)
+let registry : ring list ref = ref []
+let registry_lock = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let r = { slots = Array.make capacity dummy; cursor = Atomic.make 0 } in
+      Mutex.lock registry_lock;
+      registry := r :: !registry;
+      Mutex.unlock registry_lock;
+      r)
+
+let record span =
+  if Atomic.get enabled then begin
+    let r = Domain.DLS.get dls_key in
+    let i = Atomic.fetch_and_add r.cursor 1 in
+    r.slots.(i land mask) <- span
+  end
+
+let rings () =
+  Mutex.lock registry_lock;
+  let rs = !registry in
+  Mutex.unlock registry_lock;
+  rs
+
+let dump ?last_n () =
+  let out = ref [] in
+  List.iter
+    (fun r ->
+      let c = Atomic.get r.cursor in
+      let n = Int.min c capacity in
+      (* oldest surviving slot first *)
+      for k = c - n to c - 1 do
+        let s = r.slots.(k land mask) in
+        if s != dummy then out := s :: !out
+      done)
+    (rings ());
+  let sorted = List.sort (fun a b -> Int.compare a.ts_ns b.ts_ns) !out in
+  match last_n with
+  | None -> sorted
+  | Some n when n < 0 -> invalid_arg "Ring.dump: negative last_n"
+  | Some n ->
+    let len = List.length sorted in
+    if len <= n then sorted else List.filteri (fun i _ -> i >= len - n) sorted
+
+let recorded () =
+  List.fold_left (fun acc r -> acc + Int.min (Atomic.get r.cursor) capacity) 0 (rings ())
+
+let reset () =
+  List.iter
+    (fun r ->
+      Atomic.set r.cursor 0;
+      Array.fill r.slots 0 capacity dummy)
+    (rings ())
+
+(* --- serialization ------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One Chrome-trace "X" event per line: the same shape Export.chrome_json
+   puts in [traceEvents], so a dump opens in Perfetto after wrapping the
+   lines in a JSON array. *)
+let span_to_json s =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+       (json_escape s.name)
+       (json_escape (if s.cat = "" then "default" else s.cat))
+       s.dom
+       (float_of_int s.ts_ns /. 1e3)
+       (float_of_int s.dur_ns /. 1e3));
+  if s.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      s.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let dump_jsonl ?last_n () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (span_to_json s);
+      Buffer.add_char b '\n')
+    (dump ?last_n ());
+  Buffer.contents b

@@ -56,6 +56,90 @@ let dls_key =
 
 let buf () = Domain.DLS.get dls_key
 
+(* --- ambient request context -------------------------------------------- *)
+
+type remote_context = {
+  trace_id : string option;
+  parent_span : string option;
+  req_id : string option;
+  ctx_dc_solves : int Atomic.t;
+  ctx_cache_hits : int Atomic.t;
+  ctx_retries : int Atomic.t;
+}
+
+let make_context ?trace_id ?parent_span ?req_id () =
+  {
+    trace_id;
+    parent_span;
+    req_id;
+    ctx_dc_solves = Atomic.make 0;
+    ctx_cache_hits = Atomic.make 0;
+    ctx_retries = Atomic.make 0;
+  }
+
+(* Keyed by (domain, systhread): the serve workers are threads sharing
+   domain 0, pool workers are the first thread of a spawned domain.
+   Lookups happen per span only while tracing is on, and per
+   request-level flight-recorder record otherwise — never in solver
+   inner loops. *)
+let ctx_table : (int * int, remote_context) Hashtbl.t = Hashtbl.create 16
+let ctx_lock = Mutex.create ()
+let ctx_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let current_context () =
+  Mutex.lock ctx_lock;
+  let c = Hashtbl.find_opt ctx_table (ctx_key ()) in
+  Mutex.unlock ctx_lock;
+  c
+
+let set_context key v =
+  Mutex.lock ctx_lock;
+  (match v with
+  | None -> Hashtbl.remove ctx_table key
+  | Some c -> Hashtbl.replace ctx_table key c);
+  Mutex.unlock ctx_lock
+
+let with_remote_context ctx f =
+  let key = ctx_key () in
+  Mutex.lock ctx_lock;
+  let prev = Hashtbl.find_opt ctx_table key in
+  Hashtbl.replace ctx_table key ctx;
+  Mutex.unlock ctx_lock;
+  Fun.protect ~finally:(fun () -> set_context key prev) f
+
+let with_context_opt ctx f =
+  match ctx with None -> f () | Some ctx -> with_remote_context ctx f
+
+let attribute_dc_solve () =
+  match current_context () with
+  | None -> ()
+  | Some c -> Atomic.incr c.ctx_dc_solves
+
+let attribute_cache_hit () =
+  match current_context () with
+  | None -> ()
+  | Some c -> Atomic.incr c.ctx_cache_hits
+
+let attribute_retries n =
+  match current_context () with
+  | None -> ()
+  | Some c -> ignore (Atomic.fetch_and_add c.ctx_retries n)
+
+let context_dc_solves c = Atomic.get c.ctx_dc_solves
+let context_cache_hits c = Atomic.get c.ctx_cache_hits
+let context_retries c = Atomic.get c.ctx_retries
+
+(* request ids are stamped into every span recorded under a context *)
+let ctx_args args =
+  match current_context () with
+  | None -> args
+  | Some c ->
+    let args = match c.req_id with None -> args | Some r -> ("req_id", r) :: args in
+    let args =
+      match c.parent_span with None -> args | Some p -> ("parent_span", p) :: args
+    in
+    (match c.trace_id with None -> args | Some tid -> ("trace_id", tid) :: args)
+
 let push b e =
   if b.len = Array.length b.events then begin
     let bigger = Array.make (2 * b.len) dummy in
@@ -69,8 +153,20 @@ type token = int
 
 let null = -1
 
+(* Spans are created when either sink wants them: the opt-in trace
+   buffers ([on ()]) or the always-on flight recorder ([Ring.on ()]).
+   Buffer pushes stay gated on [on ()] so {!events} is unchanged when
+   tracing is off; the ring is fed at close time, when the duration is
+   known. *)
+let recording () = on () || Ring.on ()
+
+let ring_record e =
+  if Ring.on () then
+    Ring.record
+      { Ring.name = e.name; cat = e.cat; dom = e.tid; ts_ns = e.ts_ns; dur_ns = e.dur_ns; args = e.args }
+
 let begin_span ?(cat = "") ?(args = []) name =
-  if not (on ()) then null
+  if not (recording ()) then null
   else begin
     let b = buf () in
     let parent = match b.stack with [] -> -1 | p :: _ -> p.id in
@@ -83,11 +179,11 @@ let begin_span ?(cat = "") ?(args = []) name =
         tid = b.dom;
         ts_ns = Clock.now_ns () - epoch;
         dur_ns = -1;
-        args;
+        args = ctx_args args;
         kind = Span;
       }
     in
-    push b e;
+    if on () then push b e;
     b.stack <- e :: b.stack;
     e.id
   end
@@ -101,23 +197,24 @@ let end_span tok =
       | [] -> []
       | e :: rest ->
         e.dur_ns <- t1 - e.ts_ns;
+        ring_record e;
         if e.id = tok then rest else pop rest
     in
     b.stack <- pop b.stack
   end
 
 let with_span ?cat ?args name f =
-  if not (on ()) then f ()
+  if not (recording ()) then f ()
   else begin
     let tok = begin_span ?cat ?args name in
     Fun.protect ~finally:(fun () -> end_span tok) f
   end
 
 let complete ?(cat = "") ?(args = []) ~name ~t0_ns ~t1_ns () =
-  if on () then begin
+  if recording () then begin
     let b = buf () in
     let parent = match b.stack with [] -> -1 | p :: _ -> p.id in
-    push b
+    let e =
       {
         id = Atomic.fetch_and_add next_id 1;
         parent;
@@ -126,9 +223,12 @@ let complete ?(cat = "") ?(args = []) ~name ~t0_ns ~t1_ns () =
         tid = b.dom;
         ts_ns = t0_ns - epoch;
         dur_ns = t1_ns - t0_ns;
-        args;
+        args = ctx_args args;
         kind = Span;
       }
+    in
+    if on () then push b e;
+    ring_record e
   end
 
 let instant ?(cat = "") ?(args = []) name =
@@ -144,7 +244,7 @@ let instant ?(cat = "") ?(args = []) name =
         tid = b.dom;
         ts_ns = Clock.now_ns () - epoch;
         dur_ns = 0;
-        args;
+        args = ctx_args args;
         kind = Instant;
       }
   end

@@ -36,13 +36,16 @@ val call :
   t ->
   ?id:Json.t ->
   ?deadline_s:float ->
+  ?trace_id:string ->
+  ?parent_span:string ->
   type_:string ->
   (string * Json.t) list ->
   (Json.t, Protocol.error_code * string) result
 (** Build the request object ([type] + envelope + [fields]), ship it,
     and decode the response: [Ok result] or the structured error.
-    Raises {!Protocol_error} only when the response itself is
-    undecodable. *)
+    [trace_id]/[parent_span] correlate the daemon's spans with a
+    client-side trace ({!Protocol.envelope}). Raises {!Protocol_error}
+    only when the response itself is undecodable. *)
 
 val ping : t -> bool
 (** [true] iff the daemon answered the ping with [ok]. *)

@@ -1,6 +1,7 @@
 type request =
   | Ping
   | Stats
+  | Metrics_text
   | Shutdown
   | Sleep of { seconds : float }
   | Dc_op of { expr : string; state : int; vdd : float option }
@@ -11,11 +12,18 @@ type request =
   | Paths of { rows : int; cols : int }
   | Run_deck of { deck : string; smoke : bool }
 
-type envelope = { id : Json.t option; deadline_s : float option; req : request }
+type envelope = {
+  id : Json.t option;
+  deadline_s : float option;
+  trace_id : string option;
+  parent_span : string option;
+  req : request;
+}
 
 let request_name = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics_text -> "metrics_text"
   | Shutdown -> "shutdown"
   | Sleep _ -> "sleep"
   | Dc_op _ -> "dc_op"
@@ -72,7 +80,7 @@ exception Reject of error_code * string
 let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
 
 (* every request accepts the envelope fields on top of its own *)
-let envelope_fields = [ "type"; "id"; "deadline_s" ]
+let envelope_fields = [ "type"; "id"; "deadline_s"; "trace_id"; "parent_span" ]
 
 let check_fields ~allowed pairs =
   List.iter
@@ -117,6 +125,9 @@ let parse_typed pairs ty =
   | "stats" ->
     check_fields ~allowed:[] pairs;
     Stats
+  | "metrics_text" ->
+    check_fields ~allowed:[] pairs;
+    Metrics_text
   | "shutdown" ->
     check_fields ~allowed:[] pairs;
     Shutdown
@@ -215,8 +226,22 @@ let parse_request line =
       let deadline_s =
         get_opt "deadline_s" nonneg_float ~what:"a non-negative number" pairs
       in
+      (* trace correlation ids: opaque to the daemon, stamped into its
+         spans; bounded and non-empty so a garbage value fails loudly *)
+      let trace_field name =
+        get_opt name
+          (fun v ->
+            match Json.to_str v with
+            | Some s when String.length s >= 1 && String.length s <= 128 -> Some s
+            | _ -> None)
+          ~what:"a string of 1..128 bytes" pairs
+      in
+      let trace_id = trace_field "trace_id" in
+      let parent_span = trace_field "parent_span" in
+      if parent_span <> None && trace_id = None then
+        reject Bad_request "field \"parent_span\" requires \"trace_id\"";
       let ty = get "type" Json.to_str ~what:"a string" pairs in
-      { id; deadline_s; req = parse_typed pairs ty }
+      { id; deadline_s; trace_id; parent_span; req = parse_typed pairs ty }
     with
     | env -> Ok env
     | exception Reject (code, msg) -> Error (id, code, msg))

@@ -4,11 +4,13 @@
     {2 Grammar}
 
     Every frame is one JSON object on one line. Requests carry a
-    mandatory ["type"] plus type-specific fields; two envelope fields
+    mandatory ["type"] plus type-specific fields; four envelope fields
     are accepted on every request: ["id"] (any scalar, echoed back
-    verbatim so clients can pipeline) and ["deadline_s"] (per-request
-    wall-clock budget; jobs overrunning it answer a [timeout] error).
-    Unknown fields are rejected — a typo'd option must fail loudly, not
+    verbatim so clients can pipeline), ["deadline_s"] (per-request
+    wall-clock budget; jobs overrunning it answer a [timeout] error),
+    and ["trace_id"]/["parent_span"] (client-side trace correlation,
+    stamped into every daemon span recorded for the request). Unknown
+    fields are rejected — a typo'd option must fail loudly, not
     silently fall back to a default.
 
     Responses are [{"id":..,"ok":true,"result":{..}}] or
@@ -19,7 +21,10 @@
     {2 Request types}
 
     - [ping] — liveness probe.
-    - [stats] — serving/engine/cache/store telemetry snapshot.
+    - [stats] — serving/engine/cache/store telemetry snapshot plus the
+      rolling 60-second SLO window (per-type p50/p95/p99, rates).
+    - [metrics_text] — Prometheus-style exposition text of the same
+      telemetry, as a single string result.
     - [shutdown] — graceful daemon stop (drains in-flight jobs).
     - [dc_op] — [expr] (Boolean expression, <= 5 vars), [state] (input
       combination index), optional [vdd]: synthesize the lattice, solve
@@ -45,6 +50,7 @@
 type request =
   | Ping
   | Stats
+  | Metrics_text
   | Shutdown
   | Sleep of { seconds : float }
   | Dc_op of { expr : string; state : int; vdd : float option }
@@ -58,6 +64,12 @@ type request =
 type envelope = {
   id : Json.t option;  (** echoed back verbatim in the response *)
   deadline_s : float option;
+  trace_id : string option;
+      (** client-side trace correlation id (1..128 bytes), stamped into
+          every daemon span recorded for this request *)
+  parent_span : string option;
+      (** client-side span id the daemon's spans should link under;
+          requires [trace_id] *)
   req : request;
 }
 

@@ -4,6 +4,10 @@ module Engine = Lattice_engine.Engine
 module Cancel = Lattice_engine.Cancel
 module Metrics = Lattice_obs.Metrics
 module Trace = Lattice_obs.Trace
+module Ring = Lattice_obs.Ring
+module Rolling = Lattice_obs.Rolling
+module Spool = Lattice_obs.Spool
+module Clock = Lattice_obs.Clock
 
 (* process-wide serve metrics (mirrored per-instance by atomic counters
    so [stats] answers even while metrics are disabled) *)
@@ -33,6 +37,15 @@ type config = {
   drain_deadline_s : float;
   allow_sleep : bool;
   log : (string -> unit) option;
+  (* request observability *)
+  slow_threshold_s : float option;
+      (* a request slower than this triggers a flight dump; [None]
+         dumps only on errors/timeouts *)
+  flight_dir : string option;  (* flight-recorder spool; None disables dumps *)
+  flight_max_files : int;
+  flight_max_bytes : int;
+  access_log_path : string option;
+  access_log_max_bytes : int;
 }
 
 let default_config =
@@ -51,6 +64,12 @@ let default_config =
     drain_deadline_s = 10.0;
     allow_sleep = false;
     log = None;
+    slow_threshold_s = None;
+    flight_dir = Sys.getenv_opt "FTL_FLIGHT_DIR";
+    flight_max_files = 64;
+    flight_max_bytes = 16 * 1024 * 1024;
+    access_log_path = None;
+    access_log_max_bytes = 8 * 1024 * 1024;
   }
 
 type conn = {
@@ -91,6 +110,13 @@ type t = {
   c_quota : int Atomic.t;
   c_malformed : int Atomic.t;
   c_conns_total : int Atomic.t;
+  c_timeouts : int Atomic.t;  (* requests killed by their deadline *)
+  c_flight_dumps : int Atomic.t;
+  (* rolling SLO windows: one global, one per request type *)
+  rolling_all : Rolling.t;
+  rolling : (string, Rolling.t) Hashtbl.t;
+  rolling_lock : Mutex.t;
+  access : Spool.log option;
 }
 
 let create ?(config = default_config) () =
@@ -126,6 +152,16 @@ let create ?(config = default_config) () =
     c_quota = Atomic.make 0;
     c_malformed = Atomic.make 0;
     c_conns_total = Atomic.make 0;
+    c_timeouts = Atomic.make 0;
+    c_flight_dumps = Atomic.make 0;
+    rolling_all = Rolling.create ();
+    rolling = Hashtbl.create 16;
+    rolling_lock = Mutex.create ();
+    access =
+      (match config.access_log_path with
+      | None -> None
+      | Some path ->
+        Some (Spool.open_log ~path ~max_bytes:config.access_log_max_bytes ()));
   }
 
 let engine t = t.engine
@@ -392,11 +428,94 @@ let handle_compute t ~cancel (req : Protocol.request) =
   | Protocol.Paths { rows; cols } -> handle_paths ~rows ~cols
   | Protocol.Run_deck { deck; smoke } -> handle_run_deck t ~cancel ~deck ~smoke
   | Protocol.Sleep { seconds } -> handle_sleep t ~cancel ~seconds
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Metrics_text | Protocol.Shutdown ->
     (* handled inline by the reader; unreachable through the queue *)
     h_reject Protocol.Internal "control request reached the worker pool"
 
+(* --- request observability ---------------------------------------------- *)
+
+let rolling_for t name =
+  Mutex.lock t.rolling_lock;
+  let r =
+    match Hashtbl.find_opt t.rolling name with
+    | Some r -> r
+    | None ->
+      let r = Rolling.create () in
+      Hashtbl.replace t.rolling name r;
+      r
+  in
+  Mutex.unlock t.rolling_lock;
+  r
+
+let observe_window t ~name ~dur_ns ~outcome =
+  let now_ns = Clock.now_ns () in
+  let dur_s = float_of_int dur_ns /. 1e9 in
+  Rolling.observe t.rolling_all ~now_ns ~dur_s ~outcome;
+  Rolling.observe (rolling_for t name) ~now_ns ~dur_s ~outcome
+
+(* one JSONL line per request: correlation fields first, cost
+   attribution (from the request's remote context) after *)
+let access_line t ~id ~name ~outcome ~dur_ns ?ctx ?trace_id () =
+  match t.access with
+  | None -> ()
+  | Some alog ->
+    let counts f = match ctx with None -> 0 | Some c -> f c in
+    Spool.line alog
+      (Json.to_string
+         (Json.Obj
+            [
+              ("ts", Protocol.json_float (Unix.gettimeofday ()));
+              ("id", Option.value id ~default:Json.Null);
+              ("type", Json.String name);
+              ("outcome", Json.String outcome);
+              ("duration_ns", Json.Int dur_ns);
+              ("cache_hits", Json.Int (counts Trace.context_cache_hits));
+              ("dc_solves", Json.Int (counts Trace.context_dc_solves));
+              ("retries", Json.Int (counts Trace.context_retries));
+              ( "trace_id",
+                match trace_id with None -> Json.Null | Some s -> Json.String s );
+            ]))
+
+let flight_dump t ~name ~outcome =
+  match t.config.flight_dir with
+  | None -> ()
+  | Some dir -> (
+    match
+      Spool.write ~dir ~max_files:t.config.flight_max_files
+        ~max_bytes:t.config.flight_max_bytes (Ring.dump_jsonl ())
+    with
+    | Ok path ->
+      Atomic.incr t.c_flight_dumps;
+      log t "flight dump (%s %s): %s" name outcome path
+    | Error e -> log t "flight dump (%s %s) failed: %s" name outcome e)
+
+(* the request id as an unquoted span/log label *)
+let scalar_string = function Json.String s -> s | j -> Json.to_string j
+
 (* --- stats -------------------------------------------------------------- *)
+
+let window_snaps t =
+  let now_ns = Clock.now_ns () in
+  let all = Rolling.snapshot t.rolling_all ~now_ns in
+  Mutex.lock t.rolling_lock;
+  let per =
+    Hashtbl.fold (fun name r acc -> (name, Rolling.snapshot r ~now_ns) :: acc) t.rolling []
+  in
+  Mutex.unlock t.rolling_lock;
+  (all, List.sort (fun (a, _) (b, _) -> String.compare a b) per)
+
+let snap_json (s : Rolling.snap) =
+  Json.Obj
+    [
+      ("count", Json.Int s.Rolling.count);
+      ("errors", Json.Int s.Rolling.errors);
+      ("timeouts", Json.Int s.Rolling.timeouts);
+      ("rate_per_s", Protocol.json_float s.Rolling.rate_per_s);
+      ("p50_ms", Protocol.json_float (s.Rolling.p50_s *. 1e3));
+      ("p95_ms", Protocol.json_float (s.Rolling.p95_s *. 1e3));
+      ("p99_ms", Protocol.json_float (s.Rolling.p99_s *. 1e3));
+      ("max_ms", Protocol.json_float (s.Rolling.max_s *. 1e3));
+    ]
 
 let stats_json t =
   Engine.publish_gauges t.engine;
@@ -440,6 +559,8 @@ let stats_json t =
             ("queue_capacity", Json.Int t.config.queue_capacity);
             ("inflight", Json.Int (Atomic.get t.inflight_total));
             ("workers", Json.Int t.config.workers);
+            ("request_timeouts", Json.Int (Atomic.get t.c_timeouts));
+            ("flight_dumps", Json.Int (Atomic.get t.c_flight_dumps));
           ] );
       ( "engine",
         Json.Obj
@@ -466,7 +587,89 @@ let stats_json t =
               | None -> Json.Null
               | Some d -> Json.String d );
           ] );
+      (let all, per = window_snaps t in
+       ( "window",
+         Json.Obj
+           [
+             ("window_s", Protocol.json_float (Rolling.window_s t.rolling_all));
+             ("inflight", Json.Int (Atomic.get t.inflight_total));
+             ("all", snap_json all);
+             ("by_type", Json.Obj (List.map (fun (n, s) -> (n, snap_json s)) per));
+           ] ));
     ]
+
+(* Prometheus-style exposition text: cumulative counters/gauges plus the
+   rolling window rendered as one summary metric labelled by request
+   type. Scrapers that only speak the exposition format get the same
+   telemetry as [stats]. *)
+let prometheus_text t =
+  Engine.publish_gauges t.engine;
+  let tel = Engine.telemetry t.engine in
+  let module C = Lattice_engine.Cache in
+  Mutex.lock t.qlock;
+  let queue_depth = t.qsize in
+  Mutex.unlock t.qlock;
+  let b = Buffer.create 4096 in
+  let fmt v =
+    if Float.is_nan v then "NaN"
+    else if v = Float.infinity then "+Inf"
+    else if v = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.9g" v
+  in
+  let metric name ty v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n%s %s\n" name ty name v)
+  in
+  let counter name v = metric name "counter" (string_of_int v) in
+  let gauge name v = metric name "gauge" (fmt v) in
+  gauge "ftl_uptime_seconds" (now () -. t.started_at);
+  counter "ftl_requests_total" (Atomic.get t.c_requests);
+  counter "ftl_responses_ok_total" (Atomic.get t.c_ok);
+  counter "ftl_responses_error_total" (Atomic.get t.c_err);
+  counter "ftl_request_timeouts_total" (Atomic.get t.c_timeouts);
+  counter "ftl_overloaded_total" (Atomic.get t.c_overloaded);
+  counter "ftl_quota_rejected_total" (Atomic.get t.c_quota);
+  counter "ftl_malformed_total" (Atomic.get t.c_malformed);
+  counter "ftl_connections_total" (Atomic.get t.c_conns_total);
+  counter "ftl_flight_dumps_total" (Atomic.get t.c_flight_dumps);
+  gauge "ftl_queue_depth" (float_of_int queue_depth);
+  gauge "ftl_queue_capacity" (float_of_int t.config.queue_capacity);
+  gauge "ftl_inflight" (float_of_int (Atomic.get t.inflight_total));
+  gauge "ftl_workers" (float_of_int t.config.workers);
+  counter "ftl_engine_dc_solves_total" tel.Engine.dc_solves;
+  counter "ftl_engine_newton_iterations_total" tel.Engine.newton_total;
+  counter "ftl_engine_retries_total" tel.Engine.retries;
+  counter "ftl_engine_cache_hits_total" tel.Engine.cache.C.hits;
+  counter "ftl_engine_cache_misses_total" tel.Engine.cache.C.misses;
+  let all, per = window_snaps t in
+  gauge "ftl_window_seconds" (Rolling.window_s t.rolling_all);
+  Buffer.add_string b "# TYPE ftl_request_duration_seconds summary\n";
+  let summary label (s : Rolling.snap) =
+    let q quant v =
+      Buffer.add_string b
+        (Printf.sprintf "ftl_request_duration_seconds{type=%S,quantile=\"%s\"} %s\n" label
+           quant (fmt v))
+    in
+    q "0.5" s.Rolling.p50_s;
+    q "0.95" s.Rolling.p95_s;
+    q "0.99" s.Rolling.p99_s;
+    Buffer.add_string b
+      (Printf.sprintf "ftl_request_duration_seconds_sum{type=%S} %s\n" label
+         (fmt (if s.Rolling.count = 0 then 0.0 else s.Rolling.mean_s *. float_of_int s.Rolling.count)));
+    Buffer.add_string b
+      (Printf.sprintf "ftl_request_duration_seconds_count{type=%S} %d\n" label s.Rolling.count)
+  in
+  summary "all" all;
+  List.iter (fun (name, s) -> summary name s) per;
+  let windowed name pick =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+    Buffer.add_string b (Printf.sprintf "%s{type=\"all\"} %d\n" name (pick all));
+    List.iter
+      (fun (label, s) -> Buffer.add_string b (Printf.sprintf "%s{type=%S} %d\n" name label (pick s)))
+      per
+  in
+  windowed "ftl_window_errors" (fun (s : Rolling.snap) -> s.Rolling.errors);
+  windowed "ftl_window_timeouts" (fun (s : Rolling.snap) -> s.Rolling.timeouts);
+  Buffer.contents b
 
 (* --- response plumbing -------------------------------------------------- *)
 
@@ -543,24 +746,62 @@ let admit t conn env =
 let execute t (job : job) =
   let env = job.env in
   let name = Protocol.request_name env.Protocol.req in
-  Trace.with_span ~cat:"serve" ~args:[ ("type", name) ] "serve.handle" (fun () ->
-      let deadline_s =
-        match env.Protocol.deadline_s with
-        | Some _ as d -> d
-        | None -> t.config.default_deadline_s
-      in
-      let cancel = Cancel.of_deadline_s deadline_s in
-      match handle_compute t ~cancel env.Protocol.req with
-      | result -> respond_ok t job.jconn ~id:env.Protocol.id result
-      | exception Handler_error (code, msg, details) ->
-        respond_error ~details t job.jconn ~id:env.Protocol.id code msg
-      | exception Cancel.Cancelled _ ->
-        respond_error t job.jconn ~id:env.Protocol.id Protocol.Timeout
-          (Printf.sprintf "request deadline of %gs exceeded"
-             (Option.value deadline_s ~default:0.0))
-      | exception e ->
-        log t "internal error handling %s: %s" name (Printexc.to_string e);
-        respond_error t job.jconn ~id:env.Protocol.id Protocol.Internal (Printexc.to_string e))
+  let req_id = Option.map scalar_string env.Protocol.id in
+  (* every span recorded under this context — worker thread and pool
+     domains alike — carries req_id/trace_id/parent_span args, and the
+     engine attributes its solves/hits/retries to it *)
+  let ctx =
+    Trace.make_context ?trace_id:env.Protocol.trace_id
+      ?parent_span:env.Protocol.parent_span ?req_id ()
+  in
+  Trace.with_remote_context ctx @@ fun () ->
+  let deadline_s =
+    match env.Protocol.deadline_s with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline_s
+  in
+  let cancel = Cancel.of_deadline_s deadline_s in
+  let t0_ns = Clock.now_ns () in
+  let outcome =
+    Trace.with_span ~cat:"serve" ~args:[ ("type", name) ] "serve.handle" (fun () ->
+        match handle_compute t ~cancel env.Protocol.req with
+        | result ->
+          respond_ok t job.jconn ~id:env.Protocol.id result;
+          `Ok
+        | exception Handler_error (code, msg, details) ->
+          respond_error ~details t job.jconn ~id:env.Protocol.id code msg;
+          `Err code
+        | exception Cancel.Cancelled _ ->
+          respond_error t job.jconn ~id:env.Protocol.id Protocol.Timeout
+            (Printf.sprintf "request deadline of %gs exceeded"
+               (Option.value deadline_s ~default:0.0));
+          `Err Protocol.Timeout
+        | exception e ->
+          log t "internal error handling %s: %s" name (Printexc.to_string e);
+          respond_error t job.jconn ~id:env.Protocol.id Protocol.Internal
+            (Printexc.to_string e);
+          `Err Protocol.Internal)
+  in
+  (* bookkeeping runs after the serve.handle span closed, so a flight
+     dump triggered here already holds the request's own spans *)
+  let dur_ns = Clock.now_ns () - t0_ns in
+  let outcome_name, roll =
+    match outcome with
+    | `Ok -> ("ok", Rolling.Ok)
+    | `Err Protocol.Timeout -> (Protocol.code_name Protocol.Timeout, Rolling.Timeout)
+    | `Err code -> (Protocol.code_name code, Rolling.Error)
+  in
+  if roll = Rolling.Timeout then Atomic.incr t.c_timeouts;
+  observe_window t ~name ~dur_ns ~outcome:roll;
+  access_line t ~id:env.Protocol.id ~name ~outcome:outcome_name ~dur_ns ~ctx
+    ?trace_id:env.Protocol.trace_id ();
+  let slow =
+    match t.config.slow_threshold_s with
+    | Some s -> float_of_int dur_ns /. 1e9 >= s
+    | None -> false
+  in
+  if outcome <> `Ok then flight_dump t ~name ~outcome:outcome_name
+  else if slow then flight_dump t ~name ~outcome:"slow"
 
 let worker_loop t =
   let running = ref true in
@@ -605,20 +846,40 @@ let handle_frame t conn line =
   | Error (id, code, msg) ->
     Atomic.incr t.c_malformed;
     Metrics.Counter.incr m_malformed;
-    respond_error t conn ~id code msg
+    respond_error t conn ~id code msg;
+    access_line t ~id ~name:"malformed" ~outcome:(Protocol.code_name code) ~dur_ns:0 ()
   | Ok env -> (
     let id = env.Protocol.id in
+    let name = Protocol.request_name env.Protocol.req in
+    (* control requests answer inline from the reader thread; they get
+       the same windowed accounting and access-log line as queued work *)
+    let inline result_f =
+      let t0_ns = Clock.now_ns () in
+      respond_ok t conn ~id (result_f ());
+      let dur_ns = Clock.now_ns () - t0_ns in
+      observe_window t ~name ~dur_ns ~outcome:Rolling.Ok;
+      access_line t ~id ~name ~outcome:"ok" ~dur_ns ?trace_id:env.Protocol.trace_id ()
+    in
     match env.Protocol.req with
-    | Protocol.Ping -> respond_ok t conn ~id (Json.Obj [ ("pong", Json.Bool true) ])
-    | Protocol.Stats -> respond_ok t conn ~id (stats_json t)
+    | Protocol.Ping -> inline (fun () -> Json.Obj [ ("pong", Json.Bool true) ])
+    | Protocol.Stats -> inline (fun () -> stats_json t)
+    | Protocol.Metrics_text ->
+      inline (fun () ->
+          Json.Obj
+            [
+              ("content_type", Json.String "text/plain; version=0.0.4");
+              ("text", Json.String (prometheus_text t));
+            ])
     | Protocol.Shutdown ->
       log t "conn %d: shutdown requested" conn.cid;
-      respond_ok t conn ~id (Json.Obj [ ("stopping", Json.Bool true) ]);
+      inline (fun () -> Json.Obj [ ("stopping", Json.Bool true) ]);
       request_stop t
     | _ -> (
       match admit t conn env with
       | Ok () -> ()
-      | Error (code, msg) -> respond_error t conn ~id code msg))
+      | Error (code, msg) ->
+        respond_error t conn ~id code msg;
+        access_line t ~id ~name ~outcome:(Protocol.code_name code) ~dur_ns:0 ()))
 
 let reader_loop t conn =
   let r = Framing.reader ~max_frame:t.config.max_frame conn.fd in
@@ -767,6 +1028,7 @@ let teardown t =
         Mutex.unlock conn.write_lock;
         if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ())
       remaining;
+    Option.iter Spool.close_log t.access;
     log t "stopped"
   end
 

@@ -58,12 +58,24 @@ type config = {
   drain_deadline_s : float;  (** graceful-shutdown drain budget *)
   allow_sleep : bool;  (** accept the test-only [sleep] request *)
   log : (string -> unit) option;  (** one line per lifecycle event *)
+  slow_threshold_s : float option;
+      (** a request slower than this triggers a flight-recorder dump;
+          [None] dumps only on errors/timeouts *)
+  flight_dir : string option;
+      (** flight-recorder spool directory; [None] disables dumps *)
+  flight_max_files : int;  (** spool cap: file count (oldest evicted) *)
+  flight_max_bytes : int;  (** spool cap: total bytes (oldest evicted) *)
+  access_log_path : string option;
+      (** structured JSONL access log, one line per request *)
+  access_log_max_bytes : int;  (** access-log rotation threshold *)
 }
 
 val default_config : config
 (** No listeners (callers must set [socket_path] and/or [tcp_port]);
     2 workers; queue 64; quota 16; 30 s default deadline; 64 KiB
-    frames; 10 s drain; [sleep] disabled; no log. *)
+    frames; 10 s drain; [sleep] disabled; no log. Flight dumps go to
+    [FTL_FLIGHT_DIR] when that is set (64 files / 16 MiB caps); no slow
+    threshold; no access log. *)
 
 type t
 

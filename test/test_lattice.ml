@@ -184,6 +184,29 @@ let test_zdd_histogram_matches_enum () =
         (Paths.length_histogram ~rows:m ~cols:n))
     [ (5, 5); (3, 6); (6, 3); (1, 4); (4, 1) ]
 
+let test_crossover_boundary_parity () =
+  (* the enum/ZDD crossover (enumeration iff both dims < crossover_dim)
+     must be invisible: both pinned backends and the auto dispatch agree
+     on every cell around the boundary, counts and histograms alike *)
+  Alcotest.(check int) "crossover dim pinned" 8 Paths.crossover_dim;
+  let d = Paths.crossover_dim in
+  List.iter
+    (fun (m, n) ->
+      let enum = Paths.count_irredundant_enum ~rows:m ~cols:n in
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d enum = zdd" m n)
+        enum
+        (Paths.count_irredundant_zdd ~rows:m ~cols:n);
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d auto dispatch" m n)
+        enum
+        (Paths.count_irredundant ~rows:m ~cols:n);
+      Alcotest.(check (array int))
+        (Printf.sprintf "%dx%d histogram parity" m n)
+        (Paths.length_histogram_enum ~rows:m ~cols:n)
+        (Paths.length_histogram_zdd ~rows:m ~cols:n))
+    [ (d - 1, d - 1); (d - 1, d); (d, d - 1); (d, d) ]
+
 let test_zdd_structure () =
   let z = Zdd.of_lattice ~rows:4 ~cols:4 in
   Alcotest.(check int) "vars = cells" 16 (Zdd.n_vars z);
@@ -454,6 +477,7 @@ let () =
           Alcotest.test_case "histogram matches enumeration" `Quick
             test_zdd_histogram_matches_enum;
           Alcotest.test_case "structure of 4x4" `Quick test_zdd_structure;
+          Alcotest.test_case "crossover boundary parity" `Quick test_crossover_boundary_parity;
         ] );
       ( "table1",
         [

@@ -6,20 +6,29 @@ module Trace = Lattice_obs.Trace
 module Metrics = Lattice_obs.Metrics
 module Probe = Lattice_obs.Probe
 module Export = Lattice_obs.Export
+module Ring = Lattice_obs.Ring
+module Rolling = Lattice_obs.Rolling
+module Spool = Lattice_obs.Spool
 
 (* Every test owns the global flags: start from a known state and leave
-   everything disabled and empty (the suite may run under FTL_TRACE=1). *)
+   everything disabled and empty (the suite may run under FTL_TRACE=1;
+   the flight ring is on by default, so it is parked off here and ring
+   tests enable it themselves). *)
 let isolated f () =
   Trace.set_enabled false;
   Metrics.set_enabled false;
+  Ring.set_enabled false;
   Trace.reset ();
   Metrics.reset ();
+  Ring.reset ();
   Fun.protect
     ~finally:(fun () ->
       Trace.set_enabled false;
       Metrics.set_enabled false;
+      Ring.set_enabled false;
       Trace.reset ();
-      Metrics.reset ())
+      Metrics.reset ();
+      Ring.reset ())
     f
 
 (* --- trace ---------------------------------------------------------------- *)
@@ -90,6 +99,251 @@ let test_multi_domain_buffers () =
   Alcotest.(check int) "three distinct domains" 3 (List.length tids);
   let ids = List.map (fun (e : Trace.event) -> e.Trace.id) evs in
   Alcotest.(check int) "ids unique across domains" 3 (List.length (List.sort_uniq Int.compare ids))
+
+(* --- flight ring ----------------------------------------------------------- *)
+
+(* The ring feeds from Trace even while tracing is off; each domain
+   keeps exactly its last [capacity] spans under single-threaded
+   recording, and a dump merges the survivors in start-time order. *)
+let test_ring_wrap_under_domains () =
+  Ring.set_enabled true;
+  let per_domain = (2 * Ring.capacity) + 100 in
+  let hammer () =
+    for i = 1 to per_domain do
+      Trace.with_span ~cat:"hammer" (Printf.sprintf "h%d" i) (fun () -> ())
+    done
+  in
+  let doms = Array.init 4 (fun _ -> Domain.spawn hammer) in
+  Array.iter Domain.join doms;
+  Ring.set_enabled false;
+  let spans = Ring.dump () in
+  Alcotest.(check int) "each ring holds exactly capacity" (4 * Ring.capacity)
+    (List.length spans);
+  (* survivors are each domain's most recent [capacity] spans *)
+  List.iter
+    (fun (s : Ring.span) ->
+      let i = int_of_string (String.sub s.Ring.name 1 (String.length s.Ring.name - 1)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "span %d survived the wrap" i)
+        true
+        (i > per_domain - Ring.capacity))
+    spans;
+  let ts = List.map (fun (s : Ring.span) -> s.Ring.ts_ns) spans in
+  Alcotest.(check bool) "dump sorted by start time" true (List.sort Int.compare ts = ts);
+  let last = Ring.dump ~last_n:10 () in
+  Alcotest.(check int) "last_n truncates" 10 (List.length last);
+  let newest_full = List.nth spans (List.length spans - 1) in
+  let newest_last = List.nth last 9 in
+  Alcotest.(check string) "last_n keeps the newest" newest_full.Ring.name newest_last.Ring.name
+
+let test_ring_disabled_records_nothing () =
+  Trace.with_span "invisible" (fun () -> ());
+  Ring.record
+    { Ring.name = "direct"; cat = ""; dom = 0; ts_ns = 0; dur_ns = 0; args = [] };
+  Alcotest.(check int) "nothing recorded while off" 0 (Ring.recorded ())
+
+let test_ring_dump_jsonl () =
+  Ring.set_enabled true;
+  Trace.with_span ~cat:"c" ~args:[ ("k", "v\"q") ] "jsonl-span" (fun () -> ());
+  Ring.set_enabled false;
+  let lines =
+    String.split_on_char '\n' (Ring.dump_jsonl ()) |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per span" 1 (List.length lines);
+  let l = List.hd lines in
+  let contains needle =
+    let n = String.length needle and m = String.length l in
+    let rec go i = i + n <= m && (String.sub l i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "chrome complete event" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "name present" true (contains "\"name\":\"jsonl-span\"");
+  Alcotest.(check bool) "args object present" true (contains "\"args\":{");
+  Alcotest.(check bool) "arg value escaped" true (contains "v\\\"q");
+  Alcotest.(check bool) "duration in us" true (contains "\"dur\":")
+
+(* daemon-side requirement: spans completed inside a remote context carry
+   the caller's correlation ids even when only the ring is recording *)
+let test_ring_spans_carry_remote_context () =
+  Ring.set_enabled true;
+  let ctx = Trace.make_context ~trace_id:"trace-77" ~parent_span:"span-3" ~req_id:"req-9" () in
+  Trace.with_remote_context ctx (fun () -> Trace.with_span "ctx-span" (fun () -> ()));
+  Trace.with_span "bare-span" (fun () -> ());
+  Ring.set_enabled false;
+  let spans = Ring.dump () in
+  let find name = List.find (fun (s : Ring.span) -> s.Ring.name = name) spans in
+  let stamped = find "ctx-span" and bare = find "bare-span" in
+  Alcotest.(check (option string)) "trace_id stamped" (Some "trace-77")
+    (List.assoc_opt "trace_id" stamped.Ring.args);
+  Alcotest.(check (option string)) "parent_span stamped" (Some "span-3")
+    (List.assoc_opt "parent_span" stamped.Ring.args);
+  Alcotest.(check (option string)) "req_id stamped" (Some "req-9")
+    (List.assoc_opt "req_id" stamped.Ring.args);
+  Alcotest.(check (option string)) "no leakage outside the context" None
+    (List.assoc_opt "trace_id" bare.Ring.args)
+
+let test_remote_context_attribution () =
+  let ctx = Trace.make_context ~req_id:"r" () in
+  Trace.with_remote_context ctx (fun () ->
+      Trace.attribute_dc_solve ();
+      Trace.attribute_dc_solve ();
+      Trace.attribute_cache_hit ();
+      Trace.attribute_retries 3);
+  (* attribution outside any context is dropped, not misfiled *)
+  Trace.attribute_dc_solve ();
+  Alcotest.(check int) "dc solves attributed" 2 (Trace.context_dc_solves ctx);
+  Alcotest.(check int) "cache hits attributed" 1 (Trace.context_cache_hits ctx);
+  Alcotest.(check int) "retries attributed" 3 (Trace.context_retries ctx)
+
+(* --- rolling window -------------------------------------------------------- *)
+
+let s_to_ns s = int_of_float (s *. 1e9)
+
+(* exact nearest-rank reference for the percentile checks *)
+let ref_percentile sorted p =
+  let n = Array.length sorted in
+  let rank = Int.max 1 (int_of_float (Float.round (p *. float_of_int n /. 100.0 +. 0.5))) in
+  sorted.(Int.min (n - 1) (rank - 1))
+
+let test_rolling_percentiles_vs_reference () =
+  let t = Rolling.create () in
+  let durs = Array.init 200 (fun i -> 0.001 *. float_of_int (i + 1)) in
+  (* shuffle deterministically so insertion order is not sorted *)
+  let st = Random.State.make [| 42 |] in
+  for i = Array.length durs - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = durs.(i) in
+    durs.(i) <- durs.(j);
+    durs.(j) <- tmp
+  done;
+  let now = s_to_ns 1000.0 in
+  Array.iter (fun d -> Rolling.observe t ~now_ns:now ~dur_s:d ~outcome:Rolling.Ok) durs;
+  let s = Rolling.snapshot t ~now_ns:now in
+  Alcotest.(check int) "count" 200 s.Rolling.count;
+  Alcotest.(check (float 1e-9)) "max is exact" 0.2 s.Rolling.max_s;
+  let sorted = Array.copy durs in
+  Array.sort Float.compare sorted;
+  List.iter
+    (fun (p, got) ->
+      let want = ref_percentile sorted p in
+      let rel = got /. want in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g %.4f within sqrt2 of reference %.4f" p got want)
+        true
+        (rel >= 1.0 /. Float.sqrt 2.0 && rel <= Float.sqrt 2.0))
+    [ (50.0, s.Rolling.p50_s); (95.0, s.Rolling.p95_s); (99.0, s.Rolling.p99_s) ];
+  let mean = Array.fold_left ( +. ) 0.0 durs /. 200.0 in
+  Alcotest.(check (float 1e-9)) "mean exact" mean s.Rolling.mean_s
+
+let test_rolling_window_expiry () =
+  let t = Rolling.create ~buckets:6 ~bucket_s:10.0 () in
+  Rolling.observe t ~now_ns:(s_to_ns 5.0) ~dur_s:0.01 ~outcome:Rolling.Error;
+  Rolling.observe t ~now_ns:(s_to_ns 15.0) ~dur_s:0.02 ~outcome:Rolling.Timeout;
+  Rolling.observe t ~now_ns:(s_to_ns 55.0) ~dur_s:0.04 ~outcome:Rolling.Ok;
+  let s = Rolling.snapshot t ~now_ns:(s_to_ns 59.0) in
+  Alcotest.(check int) "all three inside the window" 3 s.Rolling.count;
+  Alcotest.(check int) "error counted" 1 s.Rolling.errors;
+  Alcotest.(check int) "timeout counted" 1 s.Rolling.timeouts;
+  (* at t=65 the first bucket (0..10s) has left the 60s window *)
+  let s = Rolling.snapshot t ~now_ns:(s_to_ns 65.0) in
+  Alcotest.(check int) "oldest bucket expired" 2 s.Rolling.count;
+  Alcotest.(check int) "its error went with it" 0 s.Rolling.errors;
+  (* far in the future everything is stale *)
+  let s = Rolling.snapshot t ~now_ns:(s_to_ns 500.0) in
+  Alcotest.(check int) "empty after the window passes" 0 s.Rolling.count;
+  Alcotest.(check bool) "percentiles nan when empty" true (Float.is_nan s.Rolling.p50_s);
+  (* stale buckets are recycled on the next observation, not leaked into *)
+  Rolling.observe t ~now_ns:(s_to_ns 500.0) ~dur_s:0.08 ~outcome:Rolling.Ok;
+  let s = Rolling.snapshot t ~now_ns:(s_to_ns 500.0) in
+  Alcotest.(check int) "recycled bucket counts only the new sample" 1 s.Rolling.count
+
+let test_rolling_rate () =
+  let t = Rolling.create ~buckets:6 ~bucket_s:10.0 () in
+  Alcotest.(check (float 1e-9)) "window span" 60.0 (Rolling.window_s t);
+  for i = 1 to 120 do
+    Rolling.observe t ~now_ns:(s_to_ns (float_of_int i *. 0.25)) ~dur_s:0.001
+      ~outcome:Rolling.Ok
+  done;
+  (* 120 completions over a 60 s window -> 2/s *)
+  let s = Rolling.snapshot t ~now_ns:(s_to_ns 30.0) in
+  Alcotest.(check (float 1e-9)) "rate over the window" 2.0 s.Rolling.rate_per_s
+
+(* --- spool ------------------------------------------------------------------ *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let test_spool_count_cap () =
+  let dir = temp_dir "spool" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let written =
+    List.init 5 (fun i ->
+        match Spool.write ~dir ~max_files:3 ~max_bytes:1_000_000 (Printf.sprintf "dump-%d\n" i) with
+        | Ok path -> path
+        | Error e -> Alcotest.failf "write %d failed: %s" i e)
+  in
+  let survivors = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+  Alcotest.(check int) "count cap enforced" 3 (List.length survivors);
+  let newest = List.filteri (fun i _ -> i >= 2) written |> List.map Filename.basename in
+  Alcotest.(check (list string)) "newest files survive" (List.sort String.compare newest)
+    survivors
+
+let test_spool_bytes_cap () =
+  let dir = temp_dir "spool" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let blob = String.make 100 'x' in
+  List.iter
+    (fun i ->
+      match Spool.write ~dir ~max_files:100 ~max_bytes:250 blob with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "write %d failed: %s" i e)
+    [ 1; 2; 3; 4; 5 ];
+  let files = Sys.readdir dir in
+  Alcotest.(check int) "bytes cap leaves two 100-byte files" 2 (Array.length files)
+
+let test_log_rotation () =
+  let dir = temp_dir "alog" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "access.log" in
+  let log = Spool.open_log ~path ~max_bytes:200 ~keep:2 () in
+  let line_len = 50 in
+  (* 20 lines of 50 bytes: several generations' worth against a
+     200-byte cap *)
+  for i = 1 to 20 do
+    Spool.line log (Printf.sprintf "%04d %s" i (String.make (line_len - 5) 'a'))
+  done;
+  Spool.close_log log;
+  let size p = (Unix.stat p).Unix.st_size in
+  Alcotest.(check bool) "live log exists" true (Sys.file_exists path);
+  Alcotest.(check bool) "live log under the cap" true (size path <= 200);
+  Alcotest.(check bool) "one rotation kept" true (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check bool) "second rotation kept" true (Sys.file_exists (path ^ ".2"));
+  Alcotest.(check bool) "beyond keep evicted" false (Sys.file_exists (path ^ ".3"));
+  (* every surviving line is intact: rotation never tears a line *)
+  List.iter
+    (fun p ->
+      if Sys.file_exists p then begin
+        let ic = open_in p in
+        (try
+           while true do
+             let l = input_line ic in
+             Alcotest.(check int) ("line length in " ^ p) line_len (String.length l)
+           done
+         with End_of_file -> ());
+        close_in ic
+      end)
+    [ path; path ^ ".1"; path ^ ".2" ]
 
 (* --- metrics -------------------------------------------------------------- *)
 
@@ -283,6 +537,26 @@ let () =
           t "span nesting and parentage" test_span_nesting;
           t "exceptions close spans" test_exception_closes_spans;
           t "per-domain buffers merge" test_multi_domain_buffers;
+        ] );
+      ( "ring",
+        [
+          t "wrap and dump under 4-domain hammering" test_ring_wrap_under_domains;
+          t "disabled records nothing" test_ring_disabled_records_nothing;
+          t "dump_jsonl chrome events" test_ring_dump_jsonl;
+          t "spans carry the remote context" test_ring_spans_carry_remote_context;
+          t "remote-context attribution" test_remote_context_attribution;
+        ] );
+      ( "rolling",
+        [
+          t "percentiles vs nearest-rank reference" test_rolling_percentiles_vs_reference;
+          t "window expiry and recycle" test_rolling_window_expiry;
+          t "rate over the window" test_rolling_rate;
+        ] );
+      ( "spool",
+        [
+          t "file-count cap" test_spool_count_cap;
+          t "byte cap" test_spool_bytes_cap;
+          t "access-log rotation" test_log_rotation;
         ] );
       ( "metrics",
         [

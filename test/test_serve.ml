@@ -105,15 +105,18 @@ let code_of = function Error (_, code, _) -> Some code | Ok _ -> None
 
 let test_protocol_valid () =
   (match P.parse_request {|{"type":"dc_op","expr":"a&b","state":2,"id":"r1","deadline_s":5.0}|} with
-  | Ok { P.id = Some (J.String "r1"); deadline_s = Some 5.0; req = P.Dc_op { expr = "a&b"; state = 2; vdd = None } } ->
+  | Ok { P.id = Some (J.String "r1"); deadline_s = Some 5.0; req = P.Dc_op { expr = "a&b"; state = 2; vdd = None }; _ } ->
     ()
   | _ -> Alcotest.fail "dc_op envelope did not parse");
   (match P.parse_request {|{"type":"ping"}|} with
-  | Ok { P.id = None; deadline_s = None; req = P.Ping } -> ()
+  | Ok { P.id = None; deadline_s = None; trace_id = None; parent_span = None; req = P.Ping } -> ()
   | _ -> Alcotest.fail "bare ping did not parse");
   (match P.parse_request {|{"type":"yield","expr":"a|b"}|} with
   | Ok { P.req = P.Yield { samples = 100; seed = 42; _ }; _ } -> ()
-  | _ -> Alcotest.fail "yield defaults did not apply")
+  | _ -> Alcotest.fail "yield defaults did not apply");
+  match P.parse_request {|{"type":"ping","trace_id":"t-1","parent_span":"s-9"}|} with
+  | Ok { P.trace_id = Some "t-1"; parent_span = Some "s-9"; req = P.Ping; _ } -> ()
+  | _ -> Alcotest.fail "trace envelope did not parse"
 
 let test_protocol_malformed_table () =
   let cases =
@@ -137,6 +140,11 @@ let test_protocol_malformed_table () =
       ({|{"type":"ping","deadline_s":-1}|}, P.Bad_request);
       ({|{"type":42}|}, P.Bad_request);
       ({|"ping"|}, P.Bad_request);
+      ({|{"type":"ping","trace_id":""}|}, P.Bad_request);
+      ({|{"type":"ping","trace_id":42}|}, P.Bad_request);
+      ({|{"type":"ping","parent_span":"s1"}|}, P.Bad_request);  (* needs trace_id *)
+      ( Printf.sprintf {|{"type":"ping","trace_id":"%s"}|} (String.make 129 't'),
+        P.Bad_request );
     ]
   in
   List.iter
@@ -232,7 +240,8 @@ let test_framing_huge_unterminated () =
 (* --- live daemon ------------------------------------------------------------ *)
 
 let with_server ?(workers = 2) ?(queue = 64) ?(quota = 16) ?(allow_sleep = false)
-    ?(max_frame = 65536) ?default_deadline_s ?store_dir f =
+    ?(max_frame = 65536) ?default_deadline_s ?store_dir ?flight_dir ?slow_threshold_s
+    ?access_log_path f =
   let dir = temp_dir "ftl-serve" in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let path = Filename.concat dir "daemon.sock" in
@@ -249,6 +258,9 @@ let with_server ?(workers = 2) ?(queue = 64) ?(quota = 16) ?(allow_sleep = false
       max_frame;
       default_deadline_s =
         (match default_deadline_s with None -> S.default_config.S.default_deadline_s | d -> d);
+      flight_dir;
+      slow_threshold_s;
+      access_log_path;
     }
   in
   let t = S.create ~config () in
@@ -695,6 +707,225 @@ let test_daemon_run_deck () =
     P.Non_convergent;
   Alcotest.(check bool) "daemon alive after deck table" true (C.ping c)
 
+(* --- observability over the wire -------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let test_daemon_flight_dump_carries_trace () =
+  (* acceptance: a deadline-killed request leaves a flight dump in the
+     spool whose daemon-side spans carry the client's trace_id,
+     parent_span, and request id — wire-level propagation verified
+     structurally, over a live socket *)
+  let flight = temp_dir "ftl-flight" in
+  Fun.protect ~finally:(fun () -> rm_rf flight) @@ fun () ->
+  let ring_was = Lattice_obs.Ring.on () in
+  Lattice_obs.Ring.set_enabled true;
+  Fun.protect ~finally:(fun () -> Lattice_obs.Ring.set_enabled ring_was) @@ fun () ->
+  with_server ~allow_sleep:true ~flight_dir:flight @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (match
+     C.call c ~id:(J.String "kill-me") ~deadline_s:0.05 ~trace_id:"cli-trace-7"
+       ~parent_span:"cli-span-2" ~type_:"sleep" [ ("seconds", J.Float 5.0) ]
+   with
+  | Error (P.Timeout, _) -> ()
+  | Error (code, msg) -> Alcotest.failf "expected timeout, got %s: %s" (P.code_name code) msg
+  | Ok _ -> Alcotest.fail "sleep outlived its deadline");
+  (* the dump lands just after the timeout response ships; poll the
+     counter (incremented only once the spool file is fully written) *)
+  let rec wait_dump tries =
+    if get_server_stat c "flight_dumps" < 1 then
+      if tries = 0 then Alcotest.fail "timeout never produced a flight dump"
+      else begin
+        Thread.delay 0.02;
+        wait_dump (tries - 1)
+      end
+  in
+  wait_dump 200;
+  let files = Sys.readdir flight in
+  Alcotest.(check bool) "spool file written" true (Array.length files >= 1);
+  Alcotest.(check bool) "spool names prefixed flight-" true
+    (Array.for_all (fun f -> String.length f > 7 && String.sub f 0 7 = "flight-") files);
+  let dump =
+    String.concat "\n"
+      (Array.to_list (Array.map (fun f -> read_file (Filename.concat flight f)) files))
+  in
+  Alcotest.(check bool) "dump holds the killed request's handler span" true
+    (contains ~sub:{|"name":"serve.handle"|} dump);
+  Alcotest.(check bool) "daemon spans carry the request id" true
+    (contains ~sub:{|"req_id":"kill-me"|} dump);
+  Alcotest.(check bool) "daemon spans carry the client trace id" true
+    (contains ~sub:{|"trace_id":"cli-trace-7"|} dump);
+  Alcotest.(check bool) "daemon spans link to the client span" true
+    (contains ~sub:{|"parent_span":"cli-span-2"|} dump);
+  (* every dump line is one self-contained chrome-trace "X" event *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match J.parse line with
+        | J.Obj _ as e ->
+          Alcotest.(check bool) "chrome X event" true (J.member "ph" e = Some (J.String "X"))
+        | _ -> Alcotest.failf "non-object dump line %s" line
+        | exception J.Parse_error _ -> Alcotest.failf "unparseable dump line %s" line)
+    (String.split_on_char '\n' dump)
+
+let test_daemon_stats_window_and_metrics_text () =
+  with_server @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  Alcotest.(check bool) "ping 1" true (C.ping c);
+  Alcotest.(check bool) "ping 2" true (C.ping c);
+  (match C.call c ~type_:"dc_op" [ ("expr", J.String "a&b"); ("state", J.Int 1) ] with
+  | Ok _ -> ()
+  | Error (code, msg) -> Alcotest.failf "dc_op failed: %s: %s" (P.code_name code) msg);
+  let stats = C.stats c in
+  let mem keys = List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some stats) keys in
+  let num keys =
+    match mem keys with
+    | Some (J.Int n) -> float_of_int n
+    | Some (J.Float f) -> f
+    | _ -> Alcotest.failf "stats carries no %s" (String.concat "." keys)
+  in
+  (* pinned stats shape: window object + the new server counters *)
+  Alcotest.(check bool) "window.window_s is 60s" true (num [ "window"; "window_s" ] = 60.0);
+  Alcotest.(check bool) "window.inflight present" true (mem [ "window"; "inflight" ] <> None);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "window.all.%s present" f)
+        true
+        (mem [ "window"; "all"; f ] <> None))
+    [ "count"; "errors"; "timeouts"; "rate_per_s"; "p50_ms"; "p95_ms"; "p99_ms"; "max_ms" ];
+  Alcotest.(check bool) "window counted the pings" true
+    (num [ "window"; "by_type"; "ping"; "count" ] >= 2.0);
+  Alcotest.(check bool) "window counted the dc_op" true
+    (num [ "window"; "by_type"; "dc_op"; "count" ] >= 1.0);
+  Alcotest.(check bool) "window has no errors" true (num [ "window"; "all"; "errors" ] = 0.0);
+  (* nearest-rank on log buckets is monotone; the top rank is the exact max *)
+  Alcotest.(check bool) "percentiles ordered" true
+    (num [ "window"; "all"; "p50_ms" ] <= num [ "window"; "all"; "p99_ms" ]
+    && num [ "window"; "all"; "p99_ms" ]
+       <= (num [ "window"; "all"; "max_ms" ] *. Float.sqrt 2.0) +. 1e-9);
+  Alcotest.(check int) "no timeouts yet" 0 (get_server_stat c "request_timeouts");
+  Alcotest.(check int) "no dumps yet" 0 (get_server_stat c "flight_dumps");
+  (* the same window, rendered as Prometheus exposition text *)
+  match C.call c ~type_:"metrics_text" [] with
+  | Error (code, msg) -> Alcotest.failf "metrics_text failed: %s: %s" (P.code_name code) msg
+  | Ok result ->
+    Alcotest.(check bool) "content type pinned" true
+      (J.member "content_type" result = Some (J.String "text/plain; version=0.0.4"));
+    let text =
+      match J.member "text" result with
+      | Some (J.String s) -> s
+      | _ -> Alcotest.fail "metrics_text carries no text"
+    in
+    List.iter
+      (fun sub ->
+        Alcotest.(check bool) (Printf.sprintf "exposition has %s" sub) true (contains ~sub text))
+      [
+        "# TYPE ftl_requests_total counter";
+        "# TYPE ftl_uptime_seconds gauge";
+        "# TYPE ftl_request_duration_seconds summary";
+        {|ftl_request_duration_seconds{type="all",quantile="0.5"}|};
+        {|ftl_request_duration_seconds{type="ping",quantile="0.99"}|};
+        {|ftl_request_duration_seconds_count{type="dc_op"}|};
+        {|ftl_window_errors{type="all"}|};
+        {|ftl_window_timeouts{type="ping"}|};
+        "ftl_engine_dc_solves_total";
+        "ftl_flight_dumps_total";
+        "ftl_window_seconds 60";
+      ]
+
+let test_daemon_access_log () =
+  let dir = temp_dir "ftl-access" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log = Filename.concat dir "access.jsonl" in
+  with_server ~allow_sleep:true ~access_log_path:log @@ fun _t path ->
+  let c = C.connect (C.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  Alcotest.(check bool) "ping ok" true (C.ping c);
+  (match
+     C.call c ~id:(J.String "traced-1") ~trace_id:"trace-al-1" ~type_:"dc_op"
+       [ ("expr", J.String "a|b"); ("state", J.Int 2) ]
+   with
+  | Ok _ -> ()
+  | Error (code, msg) -> Alcotest.failf "dc_op failed: %s: %s" (P.code_name code) msg);
+  expect_error c "garbage" P.Parse_error;
+  (match
+     C.call c ~id:(J.String "late-1") ~deadline_s:0.05 ~type_:"sleep"
+       [ ("seconds", J.Float 2.0) ]
+   with
+  | Error (P.Timeout, _) -> ()
+  | _ -> Alcotest.fail "expected timeout");
+  (* four requests, one JSONL line each; worker-side lines land just
+     after their response ships, so poll *)
+  let lines_of () =
+    if Sys.file_exists log then
+      String.split_on_char '\n' (read_file log) |> List.filter (fun l -> l <> "")
+    else []
+  in
+  let rec wait tries =
+    let ls = lines_of () in
+    if List.length ls >= 4 then ls
+    else if tries = 0 then Alcotest.failf "access log has %d lines, want 4" (List.length ls)
+    else begin
+      Thread.delay 0.02;
+      wait (tries - 1)
+    end
+  in
+  let parsed =
+    List.map
+      (fun l ->
+        match J.parse l with
+        | J.Obj _ as j -> j
+        | _ -> Alcotest.failf "access line is not an object: %s" l
+        | exception J.Parse_error _ -> Alcotest.failf "unparseable access line: %s" l)
+      (wait 200)
+  in
+  (* every line carries the full pinned field set *)
+  List.iter
+    (fun j ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (Printf.sprintf "field %s present" k) true (J.member k j <> None))
+        [
+          "ts"; "id"; "type"; "outcome"; "duration_ns"; "cache_hits"; "dc_solves"; "retries";
+          "trace_id";
+        ])
+    parsed;
+  let find ty = List.find_opt (fun j -> J.member "type" j = Some (J.String ty)) parsed in
+  (match find "ping" with
+  | Some j ->
+    Alcotest.(check bool) "ping outcome ok" true (J.member "outcome" j = Some (J.String "ok"))
+  | None -> Alcotest.fail "no ping access line");
+  (match find "dc_op" with
+  | Some j ->
+    Alcotest.(check bool) "dc_op carries the client trace id" true
+      (J.member "trace_id" j = Some (J.String "trace-al-1"));
+    Alcotest.(check bool) "dc_op id logged" true
+      (J.member "id" j = Some (J.String "traced-1"));
+    Alcotest.(check bool) "dc_op attribution: solves counted" true
+      (match J.member "dc_solves" j with Some (J.Int n) -> n >= 1 | _ -> false)
+  | None -> Alcotest.fail "no dc_op access line");
+  (match find "malformed" with
+  | Some j ->
+    Alcotest.(check bool) "malformed outcome is the error code" true
+      (J.member "outcome" j = Some (J.String (P.code_name P.Parse_error)))
+  | None -> Alcotest.fail "no malformed access line");
+  match find "sleep" with
+  | Some j ->
+    Alcotest.(check bool) "sleep outcome timeout" true
+      (J.member "outcome" j = Some (J.String (P.code_name P.Timeout)))
+  | None -> Alcotest.fail "no sleep access line"
+
 let test_daemon_no_listener_rejected () =
   let t = S.create () in
   match S.start t with
@@ -735,6 +966,12 @@ let () =
           Alcotest.test_case "restart serves from the store" `Quick test_daemon_restart_store_warm;
           Alcotest.test_case "transient/yield/defects handlers" `Quick test_daemon_compute_handlers;
           Alcotest.test_case "run_deck: results + error table" `Quick test_daemon_run_deck;
+          Alcotest.test_case "flight dump carries the client trace" `Quick
+            test_daemon_flight_dump_carries_trace;
+          Alcotest.test_case "stats window + metrics_text pinned" `Quick
+            test_daemon_stats_window_and_metrics_text;
+          Alcotest.test_case "access log: lines, outcomes, attribution" `Quick
+            test_daemon_access_log;
           Alcotest.test_case "no listener rejected" `Quick test_daemon_no_listener_rejected;
         ] );
       ("soak", [ Alcotest.test_case "2250 mixed requests, 3 connections" `Quick test_daemon_soak ]);
